@@ -1,0 +1,685 @@
+use crate::config::HeteroNode;
+use crate::cost::{lbtime, CostModel, Prediction};
+use crate::engine::FmmEngine;
+use fmm_math::Kernel;
+use octree::{NodeId, Octree};
+
+/// The three load-balancing strategies compared in the paper's §IX.A.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// Strategy 1: optimal S chosen at the outset by binary search, then the
+    /// tree structure is never modified (bodies are still re-binned).
+    StaticS,
+    /// Strategy 2: initial binary search; afterwards, when the compute time
+    /// regresses more than 5% past the best seen, call `Enforce_S` and take
+    /// the next step's time as the new best.
+    EnforceOnly,
+    /// Strategy 3: the full machine — Search / Incremental / Observation
+    /// states with `Enforce_S` and `FineGrainedOptimize`.
+    Full,
+}
+
+/// The load balancer's state (paper §V). Each state persists over multiple
+/// time steps; `Frozen` is the terminal state of [`Strategy::StaticS`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LbState {
+    Search,
+    Incremental,
+    Observation,
+    Frozen,
+}
+
+impl LbState {
+    pub fn name(self) -> &'static str {
+        match self {
+            LbState::Search => "search",
+            LbState::Incremental => "incremental",
+            LbState::Observation => "observation",
+            LbState::Frozen => "frozen",
+        }
+    }
+}
+
+/// Tunables of the load balancer; defaults are the paper's values where it
+/// states them (0.15 s state-switch threshold, 5% regression trigger).
+#[derive(Clone, Copy, Debug)]
+pub struct LbConfig {
+    pub s_min: usize,
+    pub s_max: usize,
+    /// Leave Search / skip FGO when |t_cpu − t_gpu| is at most this (paper:
+    /// 0.15 s).
+    pub eps_switch_s: f64,
+    /// Observation acts when compute time exceeds best by this fraction
+    /// (paper: 5%).
+    pub regression_frac: f64,
+    /// Enable `FineGrainedOptimize` (off reproduces the paper's Fig 10
+    /// baseline).
+    pub use_fgo: bool,
+    /// FGO batch size as a fraction of the active leaf count.
+    pub fgo_batch_frac: f64,
+    /// Upper bound on FGO batches per invocation.
+    pub fgo_max_rounds: usize,
+    /// Multiplicative S step of the Incremental state.
+    pub incr_factor: f64,
+}
+
+impl Default for LbConfig {
+    fn default() -> Self {
+        LbConfig {
+            s_min: 8,
+            s_max: 4096,
+            eps_switch_s: 0.15,
+            regression_frac: 0.05,
+            use_fgo: true,
+            fgo_batch_frac: 0.03,
+            fgo_max_rounds: 12,
+            incr_factor: 1.15,
+        }
+    }
+}
+
+/// What the balancer did after a step, and what it cost (modeled wall time,
+/// charged as the paper's "LB time").
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LbReport {
+    pub lb_time: f64,
+    pub rebuilt: bool,
+    pub enforced: bool,
+    pub fgo_rounds: usize,
+}
+
+/// The dynamic load balancer of §V–VII: a state machine driven by each
+/// step's realized CPU/GPU times, steering the leaf capacity S globally
+/// (Search / Incremental) and the tree locally (`Enforce_S`,
+/// `FineGrainedOptimize`).
+#[derive(Clone, Debug)]
+pub struct LoadBalancer {
+    pub cfg: LbConfig,
+    strategy: Strategy,
+    state: LbState,
+    s: usize,
+    lo: usize,
+    hi: usize,
+    best_compute: f64,
+    /// Dominant side (CPU?) recorded when entering Incremental.
+    incr_dominant: Option<bool>,
+    /// Strategy 2: the next step's compute time becomes the new best.
+    reset_best_next: bool,
+}
+
+fn geometric_mid(lo: usize, hi: usize) -> usize {
+    ((lo.max(1) as f64 * hi.max(1) as f64).sqrt().round() as usize).clamp(lo, hi)
+}
+
+impl LoadBalancer {
+    pub fn new(strategy: Strategy, cfg: LbConfig) -> Self {
+        assert!(cfg.s_min >= 1 && cfg.s_min < cfg.s_max);
+        let s = geometric_mid(cfg.s_min, cfg.s_max);
+        LoadBalancer {
+            cfg,
+            strategy,
+            state: LbState::Search,
+            s,
+            lo: cfg.s_min,
+            hi: cfg.s_max,
+            best_compute: f64::INFINITY,
+            incr_dominant: None,
+            reset_best_next: false,
+        }
+    }
+
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    pub fn state(&self) -> LbState {
+        self.state
+    }
+
+    /// The S value the balancer currently targets.
+    pub fn s(&self) -> usize {
+        self.s
+    }
+
+    pub fn best_compute(&self) -> f64 {
+        self.best_compute
+    }
+
+    /// Feed one completed step's realized times and let the balancer prepare
+    /// the tree for the next step (possibly rebuilding at a new S, enforcing
+    /// the current S, or fine-grain optimizing). `pos` must be the *updated*
+    /// positions — the paper performs tree optimizations after the position
+    /// update.
+    pub fn post_step<K: Kernel>(
+        &mut self,
+        engine: &mut FmmEngine<K>,
+        model: &CostModel,
+        node: &HeteroNode,
+        pos: &[geom::Vec3],
+        t_cpu: f64,
+        t_gpu: f64,
+    ) -> LbReport {
+        let compute = t_cpu.max(t_gpu);
+        let mut rep = LbReport::default();
+        if self.reset_best_next {
+            self.best_compute = compute;
+            self.reset_best_next = false;
+        }
+        match self.state {
+            LbState::Frozen => {}
+            LbState::Search => self.search_step(engine, node, pos, t_cpu, t_gpu, &mut rep),
+            LbState::Incremental => {
+                self.incremental_step(engine, model, node, pos, t_cpu, t_gpu, &mut rep)
+            }
+            LbState::Observation => {
+                self.observation_step(engine, model, node, compute, &mut rep)
+            }
+        }
+        rep
+    }
+
+    fn leave_search(&mut self, compute: f64) {
+        self.best_compute = compute;
+        self.state = match self.strategy {
+            Strategy::StaticS => LbState::Frozen,
+            Strategy::EnforceOnly => LbState::Observation,
+            Strategy::Full => LbState::Incremental,
+        };
+        self.incr_dominant = None;
+    }
+
+    fn search_step<K: Kernel>(
+        &mut self,
+        engine: &mut FmmEngine<K>,
+        node: &HeteroNode,
+        pos: &[geom::Vec3],
+        t_cpu: f64,
+        t_gpu: f64,
+        rep: &mut LbReport,
+    ) {
+        let compute = t_cpu.max(t_gpu);
+        let diff = (t_cpu - t_gpu).abs();
+        let bracket_done = self.hi <= self.lo + self.lo / 4;
+        // A CPU-only node has nothing to balance *between*: any S trades CPU
+        // work against CPU work, so the state machine defers to an external
+        // S sweep (see `search_best_s_cpu_only`) and freezes.
+        if node.gpus.is_none() || diff <= self.cfg.eps_switch_s || bracket_done {
+            self.leave_search(compute);
+            return;
+        }
+        if t_cpu > t_gpu {
+            // CPU dominates: shift work toward the GPU with a larger S.
+            self.lo = self.s;
+        } else {
+            self.hi = self.s;
+        }
+        let mid = geometric_mid(self.lo, self.hi);
+        if mid == self.s {
+            self.leave_search(compute);
+            return;
+        }
+        self.s = mid;
+        engine.rebuild(pos, self.s);
+        rep.lb_time += lbtime::rebuild(node, pos.len());
+        rep.rebuilt = true;
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn incremental_step<K: Kernel>(
+        &mut self,
+        engine: &mut FmmEngine<K>,
+        model: &CostModel,
+        node: &HeteroNode,
+        pos: &[geom::Vec3],
+        t_cpu: f64,
+        t_gpu: f64,
+        rep: &mut LbReport,
+    ) {
+        let compute = t_cpu.max(t_gpu);
+        let dom_cpu = t_cpu >= t_gpu;
+        let flipped = matches!(self.incr_dominant, Some(d0) if d0 != dom_cpu);
+        if flipped {
+            // Transitional S found. If the times still differ materially,
+            // bridge the gap locally with FGO, then observe.
+            let diff = (t_cpu - t_gpu).abs();
+            self.best_compute = compute;
+            if diff > self.cfg.eps_switch_s && self.cfg.use_fgo && self.strategy == Strategy::Full
+            {
+                let out = fine_grained_optimize(engine, model, node, &self.cfg);
+                rep.lb_time += out.lb_time;
+                rep.fgo_rounds = out.rounds;
+                self.best_compute = self.best_compute.min(out.prediction.compute());
+            }
+            self.state = LbState::Observation;
+            return;
+        }
+        if self.incr_dominant.is_none() {
+            self.incr_dominant = Some(dom_cpu);
+        }
+        let f = self.cfg.incr_factor;
+        let next = if dom_cpu {
+            ((self.s as f64 * f).ceil() as usize).min(self.cfg.s_max)
+        } else {
+            ((self.s as f64 / f).floor() as usize).max(self.cfg.s_min)
+        };
+        if next == self.s {
+            // Pinned at a bound; stop pushing and observe.
+            self.best_compute = compute;
+            self.state = LbState::Observation;
+            return;
+        }
+        self.s = next;
+        engine.rebuild(pos, self.s);
+        rep.lb_time += lbtime::rebuild(node, pos.len());
+        rep.rebuilt = true;
+    }
+
+    fn observation_step<K: Kernel>(
+        &mut self,
+        engine: &mut FmmEngine<K>,
+        model: &CostModel,
+        node: &HeteroNode,
+        compute: f64,
+        rep: &mut LbReport,
+    ) {
+        let limit = self.best_compute * (1.0 + self.cfg.regression_frac);
+        if compute <= limit {
+            self.best_compute = self.best_compute.min(compute);
+            return;
+        }
+        // Regression: first line of defense is Enforce_S.
+        let nodes_before = engine.tree().visible_nodes().len();
+        let outcome = engine.tree_mut().enforce_s();
+        rep.lb_time += lbtime::enforce(node, nodes_before, outcome.collapses + outcome.pushdowns);
+        rep.enforced = true;
+        match self.strategy {
+            Strategy::StaticS => unreachable!("StaticS freezes after Search"),
+            Strategy::EnforceOnly => {
+                self.reset_best_next = true;
+            }
+            Strategy::Full => {
+                let counts = engine.refresh_lists();
+                rep.lb_time += lbtime::predict(node, list_entries(engine));
+                let mut pred = model.predict(&counts, node);
+                if pred.compute() > limit && self.cfg.use_fgo {
+                    let out = fine_grained_optimize(engine, model, node, &self.cfg);
+                    rep.lb_time += out.lb_time;
+                    rep.fgo_rounds = out.rounds;
+                    pred = out.prediction;
+                }
+                if pred.compute() > limit {
+                    // Local repair failed: re-run the global adjustment.
+                    self.state = LbState::Incremental;
+                    self.incr_dominant = None;
+                }
+            }
+        }
+    }
+}
+
+/// M2L + P2P interaction-list entries of the engine's current lists (the
+/// size driver of a prediction pass).
+fn list_entries<K: Kernel>(engine: &FmmEngine<K>) -> usize {
+    engine.lists().num_m2l() + engine.lists().num_p2p_pairs()
+}
+
+/// Result of one [`fine_grained_optimize`] invocation.
+#[derive(Clone, Copy, Debug)]
+pub struct FgoOutcome {
+    pub lb_time: f64,
+    pub rounds: usize,
+    /// Predicted times of the tree as left behind.
+    pub prediction: Prediction,
+}
+
+/// Visible internal non-root nodes whose visible children are all leaves
+/// ("twigs"), cheapest first — collapsing one of these trades its children's
+/// M2L/L2L work for a bounded P2P increase, and is exactly invertible by
+/// PushDown.
+fn collapse_candidates(tree: &Octree, k: usize) -> Vec<NodeId> {
+    let mut cand: Vec<NodeId> = tree
+        .visible_nodes()
+        .into_iter()
+        .filter(|&id| {
+            id != Octree::ROOT
+                && !tree.node(id).is_leaf()
+                && tree.node(id).count() > 0
+                && tree.visible_children(id).all(|c| tree.node(c).is_leaf())
+        })
+        .collect();
+    cand.sort_by_key(|&id| (tree.node(id).count(), id));
+    cand.truncate(k);
+    cand
+}
+
+/// Active leaves heavy enough to be worth splitting, heaviest first.
+fn pushdown_candidates(tree: &Octree, k: usize) -> Vec<NodeId> {
+    let mut cand: Vec<NodeId> = tree
+        .active_leaves()
+        .into_iter()
+        .filter(|&id| tree.node(id).count() >= 8)
+        .collect();
+    cand.sort_by_key(|&id| (std::cmp::Reverse(tree.node(id).count()), id));
+    cand.truncate(k);
+    cand
+}
+
+/// The paper's **FineGrainedOptimize** (§VI.B): make batched local Collapse
+/// (CPU too slow) or PushDown (GPU too slow) modifications, re-predicting
+/// the step time after each batch via the cost model, and keep going while
+/// the predicted compute time falls. The last (non-improving) batch is
+/// reverted.
+pub fn fine_grained_optimize<K: Kernel>(
+    engine: &mut FmmEngine<K>,
+    model: &CostModel,
+    node: &HeteroNode,
+    cfg: &LbConfig,
+) -> FgoOutcome {
+    let mut lb_time = 0.0;
+    let mut counts = engine.refresh_lists();
+    lb_time += lbtime::predict(node, list_entries(engine));
+    let mut best = model.predict(&counts, node);
+    let mut rounds = 0usize;
+
+    while rounds < cfg.fgo_max_rounds {
+        let tree = engine.tree();
+        // P2P pairs only convert to M2L when *both* cells of a pair are
+        // refined, so pushdown batches must be large enough to split
+        // spatially neighbouring cells together (heaviest leaves cluster);
+        // a batch of one almost never improves and would stall the loop.
+        let batch_size =
+            ((tree.active_leaves().len() as f64 * cfg.fgo_batch_frac).ceil() as usize).max(8);
+        let collapsing = best.cpu_dominant();
+        let batch = if collapsing {
+            collapse_candidates(tree, batch_size)
+        } else {
+            pushdown_candidates(tree, batch_size)
+        };
+        if batch.is_empty() {
+            break;
+        }
+        let applied = apply_batch(engine.tree_mut(), &batch, collapsing);
+        if applied.is_empty() {
+            break;
+        }
+        lb_time += lbtime::modify(node, applied.len());
+        counts = engine.refresh_lists();
+        lb_time += lbtime::predict(node, list_entries(engine));
+        let pred = model.predict(&counts, node);
+        rounds += 1;
+        if pred.compute() < best.compute() {
+            best = pred;
+        } else {
+            // Revert the non-improving batch and stop.
+            apply_batch(engine.tree_mut(), &applied, !collapsing);
+            lb_time += lbtime::modify(node, applied.len());
+            engine.refresh_lists();
+            lb_time += lbtime::predict(node, list_entries(engine));
+            break;
+        }
+    }
+    FgoOutcome { lb_time, rounds, prediction: best }
+}
+
+/// Apply Collapse (`collapsing`) or PushDown to every node in `batch`;
+/// returns the ids where the operation actually applied.
+fn apply_batch(tree: &mut Octree, batch: &[NodeId], collapsing: bool) -> Vec<NodeId> {
+    batch
+        .iter()
+        .copied()
+        .filter(|&id| if collapsing { tree.collapse(id) } else { tree.push_down(id) })
+        .collect()
+}
+
+/// Sweep S on a geometric grid and return the value minimizing the virtual
+/// compute time — how the paper picks S for CPU-only runs ("the S that
+/// minimized the time for this single core case") and how every strategy's
+/// initial S is validated in the benches.
+pub fn search_best_s_cpu_only<K: Kernel>(
+    engine: &mut FmmEngine<K>,
+    node: &HeteroNode,
+    pos: &[geom::Vec3],
+    cfg: &LbConfig,
+) -> (usize, f64) {
+    let flops = engine.kernel.op_flops(engine.expansion_ops());
+    let mut best = (cfg.s_min, f64::INFINITY);
+    let mut s = cfg.s_min;
+    while s <= cfg.s_max {
+        engine.rebuild(pos, s);
+        engine.refresh_lists();
+        let t = crate::exec::time_step(engine.tree(), engine.lists(), &flops, node).compute();
+        if t < best.1 {
+            best = (s, t);
+        }
+        s = ((s as f64 * 1.6).ceil() as usize).max(s + 1);
+    }
+    engine.rebuild(pos, best.0);
+    engine.refresh_lists();
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FmmParams;
+    use crate::exec::time_step;
+    use fmm_math::{GravityKernel, Kernel};
+    use nbody::plummer;
+
+    struct Harness {
+        engine: FmmEngine<GravityKernel>,
+        model: CostModel,
+        node: HeteroNode,
+        pos: Vec<geom::Vec3>,
+    }
+
+    impl Harness {
+        fn new(n: usize, node: HeteroNode, s0: usize) -> Self {
+            let b = plummer(n, 1.0, 1.0, 401);
+            let engine =
+                FmmEngine::new(GravityKernel::default(), FmmParams::default(), &b.pos, s0);
+            Harness { engine, model: CostModel::new(), node, pos: b.pos }
+        }
+
+        /// One timing-only step: refresh, time, observe. Returns (cpu, gpu).
+        fn measure(&mut self) -> (f64, f64) {
+            let counts = self.engine.refresh_lists();
+            let flops = self.engine.kernel.op_flops(self.engine.expansion_ops());
+            let t = time_step(self.engine.tree(), self.engine.lists(), &flops, &self.node);
+            self.model.observe(&counts, &t, &flops, &self.node);
+            (t.t_cpu, t.t_gpu)
+        }
+    }
+
+    fn cfg_for_tests() -> LbConfig {
+        // The scaled-down workloads run in milliseconds, so scale the
+        // paper's 0.15 s switching threshold accordingly.
+        LbConfig { eps_switch_s: 2e-3, ..Default::default() }
+    }
+
+    #[test]
+    fn search_converges_to_crossover() {
+        let mut h = Harness::new(6000, HeteroNode::system_a(10, 2), 64);
+        let mut lb = LoadBalancer::new(Strategy::Full, cfg_for_tests());
+        h.engine.rebuild(&h.pos.clone(), lb.s());
+        let mut steps = 0;
+        while lb.state() == LbState::Search && steps < 25 {
+            let (tc, tg) = h.measure();
+            let pos = h.pos.clone();
+            lb.post_step(&mut h.engine, &h.model, &h.node, &pos, tc, tg);
+            steps += 1;
+        }
+        assert!(steps < 25, "binary search did not converge");
+        assert_ne!(lb.state(), LbState::Search);
+        // At the S the search settled on, CPU and GPU times are of the same
+        // order (within the bracket resolution).
+        let (tc, tg) = h.measure();
+        let ratio = tc.max(tg) / tc.min(tg).max(1e-12);
+        assert!(ratio < 4.0, "crossover imbalance ratio {ratio} (tc={tc}, tg={tg})");
+    }
+
+    #[test]
+    fn search_typically_short_like_paper() {
+        // Paper: "this state typically persists for fewer than 15 time
+        // steps".
+        let mut h = Harness::new(4000, HeteroNode::system_a(10, 1), 64);
+        let mut lb = LoadBalancer::new(Strategy::Full, cfg_for_tests());
+        h.engine.rebuild(&h.pos.clone(), lb.s());
+        let mut steps = 0;
+        while lb.state() == LbState::Search {
+            let (tc, tg) = h.measure();
+            let pos = h.pos.clone();
+            lb.post_step(&mut h.engine, &h.model, &h.node, &pos, tc, tg);
+            steps += 1;
+            assert!(steps <= 15, "search ran {steps} steps");
+        }
+    }
+
+    #[test]
+    fn static_strategy_freezes_after_search() {
+        let mut h = Harness::new(2000, HeteroNode::system_a(4, 1), 64);
+        let mut lb = LoadBalancer::new(Strategy::StaticS, cfg_for_tests());
+        for _ in 0..30 {
+            let (tc, tg) = h.measure();
+            let pos = h.pos.clone();
+            lb.post_step(&mut h.engine, &h.model, &h.node, &pos, tc, tg);
+            if lb.state() == LbState::Frozen {
+                break;
+            }
+        }
+        assert_eq!(lb.state(), LbState::Frozen);
+        // Frozen: no further tree modifications whatever the times.
+        let nodes = h.engine.tree().num_nodes();
+        let pos = h.pos.clone();
+        let rep = lb.post_step(&mut h.engine, &h.model, &h.node, &pos, 100.0, 1.0);
+        assert_eq!(rep.lb_time, 0.0);
+        assert!(!rep.rebuilt && !rep.enforced);
+        assert_eq!(h.engine.tree().num_nodes(), nodes);
+    }
+
+    #[test]
+    fn cpu_only_node_skips_search() {
+        let mut h = Harness::new(1000, HeteroNode::serial(), 64);
+        let mut lb = LoadBalancer::new(Strategy::Full, cfg_for_tests());
+        let (tc, tg) = h.measure();
+        let pos = h.pos.clone();
+        lb.post_step(&mut h.engine, &h.model, &h.node, &pos, tc, tg);
+        assert_ne!(lb.state(), LbState::Search);
+    }
+
+    #[test]
+    fn fgo_never_worsens_predicted_compute() {
+        let mut h = Harness::new(6000, HeteroNode::system_a(10, 2), 64);
+        // Deliberately imbalanced tree: far too coarse (GPU overloaded).
+        h.engine.rebuild(&h.pos.clone(), 1024);
+        h.measure();
+        let counts = h.engine.refresh_lists();
+        let before = h.model.predict(&counts, &h.node);
+        let out = fine_grained_optimize(&mut h.engine, &h.model, &h.node, &cfg_for_tests());
+        assert!(
+            out.prediction.compute() <= before.compute() * (1.0 + 1e-9),
+            "FGO worsened prediction: {} -> {}",
+            before.compute(),
+            out.prediction.compute()
+        );
+        assert!(out.lb_time > 0.0);
+    }
+
+    #[test]
+    fn fgo_bridges_gpu_overload_with_pushdowns() {
+        // Needs enough bodies that splitting a batch of neighbouring heavy
+        // leaves converts P2P pairs into M2L (both sides of a pair must
+        // refine); below ~15k bodies the batches cannot bite.
+        let mut h = Harness::new(20000, HeteroNode::system_a(10, 2), 64);
+        h.engine.rebuild(&h.pos.clone(), 1024);
+        h.measure();
+        let counts = h.engine.refresh_lists();
+        let before = h.model.predict(&counts, &h.node);
+        assert!(!before.cpu_dominant(), "setup should be GPU-bound");
+        let out = fine_grained_optimize(&mut h.engine, &h.model, &h.node, &cfg_for_tests());
+        assert!(out.rounds > 0, "expected at least one pushdown batch");
+        assert!(out.prediction.t_gpu < before.t_gpu, "pushdowns must shed GPU work");
+        h.engine.tree().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn fgo_bridges_cpu_overload_with_collapses() {
+        let mut h = Harness::new(6000, HeteroNode::system_a(4, 4), 64);
+        h.engine.rebuild(&h.pos.clone(), 12);
+        h.measure();
+        let counts = h.engine.refresh_lists();
+        let before = h.model.predict(&counts, &h.node);
+        assert!(before.cpu_dominant(), "setup should be CPU-bound");
+        let out = fine_grained_optimize(&mut h.engine, &h.model, &h.node, &cfg_for_tests());
+        assert!(out.rounds > 0, "expected at least one collapse batch");
+        assert!(out.prediction.t_cpu < before.t_cpu, "collapses must shed CPU work");
+        h.engine.tree().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn enforce_only_resets_best_after_enforce() {
+        let mut h = Harness::new(2000, HeteroNode::system_a(4, 1), 64);
+        let mut lb = LoadBalancer::new(Strategy::EnforceOnly, cfg_for_tests());
+        // Drive through search.
+        for _ in 0..25 {
+            let (tc, tg) = h.measure();
+            let pos = h.pos.clone();
+            lb.post_step(&mut h.engine, &h.model, &h.node, &pos, tc, tg);
+            if lb.state() == LbState::Observation {
+                break;
+            }
+        }
+        assert_eq!(lb.state(), LbState::Observation);
+        let best = lb.best_compute();
+        // Report a big regression: must enforce and arm the best reset.
+        let pos = h.pos.clone();
+        let rep = lb.post_step(&mut h.engine, &h.model, &h.node, &pos, best * 3.0, 0.0);
+        assert!(rep.enforced);
+        // Next step's compute becomes the new best, even though it is worse
+        // than the old best.
+        let new_compute = best * 1.5;
+        lb.post_step(&mut h.engine, &h.model, &h.node, &pos, new_compute, 0.0);
+        assert_eq!(lb.best_compute(), new_compute);
+    }
+
+    #[test]
+    fn observation_is_quiet_within_tolerance() {
+        let mut h = Harness::new(2000, HeteroNode::system_a(4, 1), 64);
+        let mut lb = LoadBalancer::new(Strategy::Full, cfg_for_tests());
+        for _ in 0..30 {
+            let (tc, tg) = h.measure();
+            let pos = h.pos.clone();
+            lb.post_step(&mut h.engine, &h.model, &h.node, &pos, tc, tg);
+            if lb.state() == LbState::Observation {
+                break;
+            }
+        }
+        assert_eq!(lb.state(), LbState::Observation);
+        let best = lb.best_compute();
+        let pos = h.pos.clone();
+        let rep = lb.post_step(&mut h.engine, &h.model, &h.node, &pos, best * 1.02, 0.0);
+        assert_eq!(rep.lb_time, 0.0, "within 5%: no action");
+        assert!(!rep.enforced && !rep.rebuilt);
+    }
+
+    #[test]
+    fn cpu_only_s_sweep_finds_interior_optimum() {
+        let mut h = Harness::new(3000, HeteroNode::serial(), 32);
+        let cfg = LbConfig::default();
+        let pos = h.pos.clone();
+        let (s, t) = search_best_s_cpu_only(&mut h.engine, &h.node, &pos, &cfg);
+        assert!(t > 0.0);
+        assert!(
+            s > cfg.s_min && s < cfg.s_max,
+            "serial-optimal S should be interior, got {s}"
+        );
+        // Endpoint trees must be slower.
+        let flops = h.engine.kernel.op_flops(h.engine.expansion_ops());
+        for probe in [cfg.s_min, cfg.s_max] {
+            h.engine.rebuild(&pos, probe);
+            h.engine.refresh_lists();
+            let tp = time_step(h.engine.tree(), h.engine.lists(), &flops, &h.node).compute();
+            assert!(tp >= t, "S={probe} beat the sweep optimum");
+        }
+    }
+}

@@ -1,0 +1,544 @@
+use crate::config::FmmParams;
+use fmm_math::{DerivScratch, ExpansionOps, Kernel};
+use geom::Vec3;
+use octree::{
+    build_adaptive, build_adaptive_in_cube, count_ops, dual_traversal, BuildParams,
+    InteractionLists, NodeId, Octree, OpCounts, NONE,
+};
+use rayon::prelude::*;
+
+/// Result of one FMM solve, in **original body order**: a potential-like
+/// scalar and a vector field per body (acceleration for gravity, velocity
+/// for Stokes flow; G / 1/(8πμ) prefactors are the kernel's business).
+#[derive(Clone, Debug)]
+pub struct FmmSolution {
+    pub pot: Vec<f64>,
+    pub field: Vec<Vec3>,
+}
+
+/// The adaptive-FMM engine: owns the spatial decomposition and all expansion
+/// storage, and runs the paper's six operations (P2M, M2M, M2L, L2L, L2P,
+/// P2P) over it.
+///
+/// The engine separates *physics* from *clock*: [`FmmEngine::solve`]
+/// computes exact (to expansion order) interactions on the host with rayon
+/// data parallelism, while the `exec` module derives the virtual
+/// heterogeneous-node times for the same tree + interaction lists. The
+/// numbers the load balancer reacts to come from the latter.
+///
+/// Far-field execution is level-synchronous: each level's nodes are
+/// processed in parallel (disjoint writes), levels deep→shallow for the
+/// upsweep and shallow→deep for the downsweep. This is numerically identical
+/// to the paper's recursive task version; the *task-DAG shape* of the
+/// recursive version (which determines parallel makespan) is what the
+/// virtual executor models.
+pub struct FmmEngine<K: Kernel> {
+    pub kernel: K,
+    params: FmmParams,
+    ops: ExpansionOps,
+    tree: Octree,
+    /// Fixed simulation cube, if the workload pins one.
+    domain: Option<(Vec3, f64)>,
+    // Tree-ordered buffers (index i = tree-order position i).
+    pos_t: Vec<Vec3>,
+    str_t: Vec<f64>,
+    pot_t: Vec<f64>,
+    out_t: Vec<Vec3>,
+    // Expansion storage, node-major: node id × channel × coefficient.
+    multipoles: Vec<f64>,
+    locals: Vec<f64>,
+    // Artifacts of the last solve, reused by the timing layer and balancer.
+    last_lists: InteractionLists,
+    last_counts: OpCounts,
+}
+
+impl<K: Kernel> FmmEngine<K> {
+    /// Build an engine whose root cube is fitted to the initial positions.
+    pub fn new(kernel: K, params: FmmParams, pos: &[Vec3], s: usize) -> Self {
+        let tree = build_adaptive(pos, Self::build_params(&params, s));
+        Self::from_tree(kernel, params, tree, None)
+    }
+
+    /// Build an engine with a **fixed** simulation cube (the paper's
+    /// time-dependent setups): rebuilds keep the same root cube.
+    pub fn with_domain(
+        kernel: K,
+        params: FmmParams,
+        pos: &[Vec3],
+        s: usize,
+        center: Vec3,
+        half_width: f64,
+    ) -> Self {
+        let tree = build_adaptive_in_cube(pos, Self::build_params(&params, s), center, half_width);
+        Self::from_tree(kernel, params, tree, Some((center, half_width)))
+    }
+
+    /// Build an engine over the classic **uniform** fixed-depth
+    /// decomposition (the original FMM the paper contrasts against). All
+    /// solver machinery is decomposition-agnostic, so this engine computes
+    /// identical physics — it just cannot adapt its leaves.
+    pub fn new_uniform(kernel: K, params: FmmParams, pos: &[Vec3], depth: u16) -> Self {
+        let tree = octree::build_uniform(pos, depth, 1e-6);
+        Self::from_tree(kernel, params, tree, None)
+    }
+
+    fn build_params(params: &FmmParams, s: usize) -> BuildParams {
+        BuildParams { s, max_level: params.max_level, pad: 1e-6 }
+    }
+
+    fn from_tree(kernel: K, params: FmmParams, tree: Octree, domain: Option<(Vec3, f64)>) -> Self {
+        let ops = ExpansionOps::new(params.order);
+        FmmEngine {
+            kernel,
+            params,
+            ops,
+            tree,
+            domain,
+            pos_t: Vec::new(),
+            str_t: Vec::new(),
+            pot_t: Vec::new(),
+            out_t: Vec::new(),
+            multipoles: Vec::new(),
+            locals: Vec::new(),
+            last_lists: InteractionLists::default(),
+            last_counts: OpCounts::default(),
+        }
+    }
+
+    pub fn params(&self) -> &FmmParams {
+        &self.params
+    }
+
+    pub fn expansion_ops(&self) -> &ExpansionOps {
+        &self.ops
+    }
+
+    pub fn tree(&self) -> &Octree {
+        &self.tree
+    }
+
+    pub fn tree_mut(&mut self) -> &mut Octree {
+        &mut self.tree
+    }
+
+    /// Interaction lists of the most recent [`FmmEngine::solve`] /
+    /// [`FmmEngine::refresh_lists`].
+    pub fn lists(&self) -> &InteractionLists {
+        &self.last_lists
+    }
+
+    /// Operation counts of the most recent solve / refresh.
+    pub fn counts(&self) -> OpCounts {
+        self.last_counts
+    }
+
+    /// Rebuild the decomposition from scratch at leaf capacity `s` (the
+    /// paper's Search/Incremental states do this every step).
+    pub fn rebuild(&mut self, pos: &[Vec3], s: usize) {
+        let bp = Self::build_params(&self.params, s);
+        self.tree = match self.domain {
+            Some((c, hw)) => build_adaptive_in_cube(pos, bp, c, hw),
+            None => build_adaptive(pos, bp),
+        };
+    }
+
+    /// Re-sort moved bodies into the unchanged tree structure.
+    pub fn rebin(&mut self, pos: &[Vec3]) {
+        self.tree.rebin(pos);
+    }
+
+    /// Recompute interaction lists and operation counts for the *current*
+    /// tree without doing numerical work — the tree-dependent half of the
+    /// paper's time prediction ("a count for the number of times each
+    /// operation will be performed for the given tree is accumulated").
+    pub fn refresh_lists(&mut self) -> OpCounts {
+        self.last_lists = dual_traversal(&self.tree, self.params.mac);
+        self.last_counts = count_ops(&self.tree, &self.last_lists);
+        self.last_counts
+    }
+
+    /// Run one full FMM solve: gather bodies into tree order, traverse,
+    /// upsweep, downsweep, near field, scatter back.
+    ///
+    /// `strength` is flat with [`Kernel::strength_dim`] values per body, in
+    /// original body order.
+    pub fn solve(&mut self, pos: &[Vec3], strength: &[f64]) -> FmmSolution {
+        let n = pos.len();
+        let sd = self.kernel.strength_dim();
+        let ch = self.kernel.channels();
+        let nt = self.ops.nterms();
+        let stride = ch * nt;
+        assert_eq!(n, self.tree.num_bodies(), "body count changed; rebuild the tree");
+        assert_eq!(strength.len(), sd * n);
+
+        self.refresh_lists();
+
+        // Gather into tree order.
+        let order = self.tree.order();
+        self.pos_t.clear();
+        self.pos_t.extend(order.iter().map(|&b| pos[b as usize]));
+        self.str_t.clear();
+        self.str_t.reserve(sd * n);
+        for &b in order {
+            let b = b as usize;
+            self.str_t.extend_from_slice(&strength[sd * b..sd * (b + 1)]);
+        }
+        self.pot_t.clear();
+        self.pot_t.resize(n, 0.0);
+        self.out_t.clear();
+        self.out_t.resize(n, Vec3::ZERO);
+
+        let n_nodes = self.tree.num_nodes();
+        self.multipoles.clear();
+        self.multipoles.resize(n_nodes * stride, 0.0);
+        self.locals.clear();
+        self.locals.resize(n_nodes * stride, 0.0);
+
+        if n > 0 {
+            self.upsweep(stride);
+            self.downsweep(stride);
+            self.near_field();
+        }
+
+        // Scatter results back to original order.
+        let mut pot = vec![0.0; n];
+        let mut field = vec![Vec3::ZERO; n];
+        for (i, &b) in self.tree.order().iter().enumerate() {
+            pot[b as usize] = self.pot_t[i];
+            field[b as usize] = self.out_t[i];
+        }
+        FmmSolution { pot, field }
+    }
+
+    /// P2M at the leaves, M2M up the levels (deep → shallow).
+    fn upsweep(&mut self, stride: usize) {
+        let levels = self.tree.levels();
+        let kernel = &self.kernel;
+        let ops = &self.ops;
+        let tree = &self.tree;
+        let pos_t = &self.pos_t;
+        let str_t = &self.str_t;
+        let sd = kernel.strength_dim();
+        let ch = kernel.channels();
+        for lv in levels.iter().rev() {
+            // Each node at this level computes its expansion from bodies
+            // (leaf) or already-finished children (deeper level): reads are
+            // disjoint from this level's writes, so collect-then-write.
+            let multipoles = &self.multipoles;
+            let updates: Vec<(NodeId, Vec<f64>)> = lv
+                .par_iter()
+                .filter(|&&id| tree.node(id).count() > 0)
+                .map_init(Vec::new, |pow, &id| {
+                    let node = tree.node(id);
+                    let mut m = vec![0.0; stride];
+                    if node.is_leaf() {
+                        let r = node.range();
+                        kernel.p2m(
+                            ops,
+                            node.center,
+                            &pos_t[r.clone()],
+                            &str_t[sd * r.start..sd * r.end],
+                            &mut m,
+                            pow,
+                        );
+                    } else {
+                        for c in tree.visible_children(id) {
+                            let cn = tree.node(c);
+                            if cn.count() == 0 {
+                                continue;
+                            }
+                            let src = &multipoles[c as usize * stride..(c as usize + 1) * stride];
+                            ops.m2m(src, cn.center - node.center, &mut m, ch, pow);
+                        }
+                    }
+                    (id, m)
+                })
+                .collect();
+            for (id, m) in updates {
+                let base = id as usize * stride;
+                self.multipoles[base..base + stride].copy_from_slice(&m);
+            }
+        }
+    }
+
+    /// L2L from parents + M2L from interaction lists, shallow → deep, then
+    /// L2P at the leaves (folded into [`FmmEngine::near_field`]'s leaf pass).
+    fn downsweep(&mut self, stride: usize) {
+        let levels = self.tree.levels();
+        let ops = &self.ops;
+        let tree = &self.tree;
+        let lists = &self.last_lists;
+        let ch = self.kernel.channels();
+        let multipoles = &self.multipoles;
+        for lv in levels.iter() {
+            let locals = &self.locals;
+            let updates: Vec<(NodeId, Vec<f64>)> = lv
+                .par_iter()
+                .filter(|&&id| tree.node(id).count() > 0)
+                .map_init(
+                    || (Vec::new(), DerivScratch::default(), Vec::new()),
+                    |(pow, ds, tens), &id| {
+                        let node = tree.node(id);
+                        let mut l = vec![0.0; stride];
+                        if node.parent != NONE {
+                            let p = node.parent as usize;
+                            let src = &locals[p * stride..(p + 1) * stride];
+                            ops.l2l(src, node.center - tree.node(node.parent).center, &mut l, ch, pow);
+                        }
+                        for &b in &lists.m2l[id as usize] {
+                            let src = &multipoles[b as usize * stride..(b as usize + 1) * stride];
+                            ops.m2l(src, node.center - tree.node(b).center, &mut l, ch, ds, tens);
+                        }
+                        (id, l)
+                    },
+                )
+                .collect();
+            for (id, l) in updates {
+                let base = id as usize * stride;
+                self.locals[base..base + stride].copy_from_slice(&l);
+            }
+        }
+    }
+
+    /// Per-leaf L2P (far field applied to bodies) and P2P (direct
+    /// interactions with non-separated leaves). Each leaf writes a disjoint
+    /// body range; results are collected per leaf and written back.
+    fn near_field(&mut self) {
+        let tree = &self.tree;
+        let ops = &self.ops;
+        let kernel = &self.kernel;
+        let lists = &self.last_lists;
+        let pos_t = &self.pos_t;
+        let str_t = &self.str_t;
+        let locals = &self.locals;
+        let sd = kernel.strength_dim();
+        let stride = kernel.channels() * ops.nterms();
+
+        let leaves = tree.active_leaves();
+        let updates: Vec<(std::ops::Range<usize>, Vec<f64>, Vec<Vec3>)> = leaves
+            .par_iter()
+            .map_init(Vec::new, |pow, &id| {
+                let node = tree.node(id);
+                let r = node.range();
+                let len = r.len();
+                let mut pot = vec![0.0; len];
+                let mut out = vec![Vec3::ZERO; len];
+                let tpos = &pos_t[r.clone()];
+                // Far field: evaluate the leaf's local expansion.
+                let l = &locals[id as usize * stride..(id as usize + 1) * stride];
+                kernel.l2p(ops, node.center, l, tpos, &mut pot, &mut out, pow);
+                // Near field: direct interaction with every source leaf.
+                for &b in &lists.p2p[id as usize] {
+                    let rb = tree.node(b).range();
+                    kernel.p2p(
+                        tpos,
+                        &mut pot,
+                        &mut out,
+                        &pos_t[rb.clone()],
+                        &str_t[sd * rb.start..sd * rb.end],
+                        b == id,
+                    );
+                }
+                (r, pot, out)
+            })
+            .collect();
+        for (r, pot, out) in updates {
+            self.pot_t[r.clone()].copy_from_slice(&pot);
+            self.out_t[r].copy_from_slice(&out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmm_math::{GravityKernel, StokesletKernel};
+    use nbody::{plummer, random_unit_forces, uniform_cube};
+    use octree::Mac;
+
+    fn rel_field_err(fmm: &[Vec3], direct: &[Vec3]) -> f64 {
+        let num: f64 = fmm.iter().zip(direct).map(|(a, b)| (*a - *b).norm_sq()).sum();
+        let den: f64 = direct.iter().map(|v| v.norm_sq()).sum();
+        (num / den).sqrt()
+    }
+
+    #[test]
+    fn gravity_matches_direct_sum() {
+        let b = plummer(400, 1.0, 1.0, 101);
+        let kernel = GravityKernel::default();
+        let direct = nbody::direct_gravity(&b, 1.0, 0.0);
+        for (order, tol) in [(3usize, 3e-3), (6, 2e-5)] {
+            let params = FmmParams { order, mac: Mac::new(0.5), max_level: 21 };
+            let mut engine = FmmEngine::new(kernel, params, &b.pos, 24);
+            let sol = engine.solve(&b.pos, &b.mass);
+            let err = rel_field_err(&sol.field, &direct);
+            assert!(err < tol, "p={order}: field error {err}");
+        }
+    }
+
+    #[test]
+    fn gravity_error_shrinks_with_order() {
+        let b = plummer(300, 1.0, 1.0, 102);
+        let direct = nbody::direct_gravity(&b, 1.0, 0.0);
+        let mut last = f64::INFINITY;
+        for order in [2usize, 4, 6] {
+            let params = FmmParams { order, mac: Mac::new(0.5), max_level: 21 };
+            let mut engine = FmmEngine::new(GravityKernel::default(), params, &b.pos, 16);
+            let sol = engine.solve(&b.pos, &b.mass);
+            let err = rel_field_err(&sol.field, &direct);
+            assert!(err < last, "p={order}: {err} !< {last}");
+            last = err;
+        }
+    }
+
+    #[test]
+    fn stokeslet_matches_direct_sum() {
+        let b = uniform_cube(300, 1.0, 103);
+        let f = random_unit_forces(300, 104);
+        let kernel = StokesletKernel::new(1e-3, 1.0);
+        // Direct velocities.
+        let mut dpot = vec![0.0; b.len()];
+        let mut du = vec![Vec3::ZERO; b.len()];
+        kernel.p2p(&b.pos, &mut dpot, &mut du, &b.pos, &f, true);
+
+        let params = FmmParams { order: 6, mac: Mac::new(0.5), max_level: 21 };
+        let mut engine = FmmEngine::new(kernel, params, &b.pos, 20);
+        let sol = engine.solve(&b.pos, &f);
+        let err = rel_field_err(&sol.field, &du);
+        assert!(err < 1e-3, "stokeslet field error {err}");
+    }
+
+    #[test]
+    fn solve_is_deterministic() {
+        let b = plummer(500, 1.0, 1.0, 105);
+        let params = FmmParams::default();
+        let mut e1 = FmmEngine::new(GravityKernel::default(), params, &b.pos, 32);
+        let mut e2 = FmmEngine::new(GravityKernel::default(), params, &b.pos, 32);
+        let s1 = e1.solve(&b.pos, &b.mass);
+        let s2 = e2.solve(&b.pos, &b.mass);
+        assert_eq!(s1.field, s2.field);
+        assert_eq!(s1.pot, s2.pot);
+    }
+
+    #[test]
+    fn result_independent_of_s() {
+        // Different decompositions shift work between far and near field but
+        // must agree on the answer to expansion accuracy.
+        let b = plummer(400, 1.0, 1.0, 106);
+        let params = FmmParams { order: 6, mac: Mac::new(0.5), max_level: 21 };
+        let mut coarse = FmmEngine::new(GravityKernel::default(), params, &b.pos, 200);
+        let mut fine = FmmEngine::new(GravityKernel::default(), params, &b.pos, 10);
+        let sc = coarse.solve(&b.pos, &b.mass);
+        let sf = fine.solve(&b.pos, &b.mass);
+        let diff = rel_field_err(&sc.field, &sf.field);
+        assert!(diff < 1e-4, "S-dependence {diff}");
+    }
+
+    #[test]
+    fn result_stable_under_collapse_and_pushdown() {
+        let b = plummer(400, 1.0, 1.0, 107);
+        let params = FmmParams { order: 6, mac: Mac::new(0.5), max_level: 21 };
+        let mut engine = FmmEngine::new(GravityKernel::default(), params, &b.pos, 16);
+        let base = engine.solve(&b.pos, &b.mass);
+        // Collapse a few internal nodes and push down a few leaves.
+        let internals: Vec<NodeId> = engine
+            .tree()
+            .visible_nodes()
+            .into_iter()
+            .filter(|&id| !engine.tree().node(id).is_leaf() && id != Octree::ROOT)
+            .take(4)
+            .collect();
+        for id in internals {
+            engine.tree_mut().collapse(id);
+        }
+        let leaves: Vec<NodeId> = engine
+            .tree()
+            .active_leaves()
+            .into_iter()
+            .filter(|&id| engine.tree().node(id).count() > 4)
+            .take(4)
+            .collect();
+        for id in leaves {
+            engine.tree_mut().push_down(id);
+        }
+        let modified = engine.solve(&b.pos, &b.mass);
+        let diff = rel_field_err(&modified.field, &base.field);
+        assert!(diff < 1e-4, "tree-modification dependence {diff}");
+    }
+
+    #[test]
+    fn momentum_conserved_by_fmm_forces() {
+        let b = plummer(600, 1.0, 1.0, 108);
+        let params = FmmParams { order: 4, mac: Mac::new(0.6), max_level: 21 };
+        let mut engine = FmmEngine::new(GravityKernel::default(), params, &b.pos, 32);
+        let sol = engine.solve(&b.pos, &b.mass);
+        let net: Vec3 = sol.field.iter().zip(&b.mass).map(|(&a, &m)| a * m).sum();
+        let scale: f64 = sol.field.iter().map(|a| a.norm()).sum::<f64>();
+        // FMM forces are not exactly antisymmetric (truncation), but the net
+        // must be far below the force magnitudes.
+        assert!(net.norm() < 1e-3 * scale, "net {net:?} vs scale {scale}");
+    }
+
+    #[test]
+    fn rebin_then_solve_tracks_motion() {
+        let mut b = plummer(400, 1.0, 1.0, 109);
+        let params = FmmParams { order: 5, mac: Mac::new(0.5), max_level: 21 };
+        let mut engine = FmmEngine::with_domain(
+            GravityKernel::default(),
+            params,
+            &b.pos,
+            24,
+            Vec3::ZERO,
+            40.0,
+        );
+        engine.solve(&b.pos, &b.mass);
+        // Move bodies, rebin (structure unchanged), re-solve, compare direct.
+        for p in &mut b.pos {
+            *p = *p * 1.1 + Vec3::new(0.3, -0.2, 0.1);
+        }
+        engine.rebin(&b.pos);
+        let sol = engine.solve(&b.pos, &b.mass);
+        let direct = nbody::direct_gravity(&b, 1.0, 0.0);
+        let err = rel_field_err(&sol.field, &direct);
+        assert!(err < 1e-3, "post-rebin error {err}");
+    }
+
+    #[test]
+    fn counts_available_after_solve() {
+        let b = plummer(300, 1.0, 1.0, 110);
+        let mut engine = FmmEngine::new(GravityKernel::default(), FmmParams::default(), &b.pos, 16);
+        engine.solve(&b.pos, &b.mass);
+        let c = engine.counts();
+        assert_eq!(c.p2m_bodies, 300);
+        assert_eq!(c.l2p_bodies, 300);
+        assert!(c.p2p_interactions > 0);
+        assert!(c.m2l_ops > 0);
+    }
+
+    #[test]
+    fn uniform_engine_matches_adaptive_physics() {
+        let b = uniform_cube(500, 1.0, 111);
+        let params = FmmParams { order: 6, mac: Mac::new(0.5), max_level: 21 };
+        let mut adaptive = FmmEngine::new(GravityKernel::default(), params, &b.pos, 16);
+        let mut uniform = FmmEngine::new_uniform(GravityKernel::default(), params, &b.pos, 3);
+        let sa = adaptive.solve(&b.pos, &b.mass);
+        let su = uniform.solve(&b.pos, &b.mass);
+        let diff = rel_field_err(&su.field, &sa.field);
+        assert!(diff < 1e-4, "uniform vs adaptive field difference {diff}");
+        // The uniform tree really is fixed-depth.
+        assert!(uniform
+            .tree()
+            .visible_leaves()
+            .iter()
+            .all(|&l| uniform.tree().node(l).level == 3));
+    }
+
+    #[test]
+    fn single_body_is_forceless() {
+        let pos = vec![Vec3::new(0.3, 0.2, 0.1)];
+        let mut engine = FmmEngine::new(GravityKernel::default(), FmmParams::default(), &pos, 8);
+        let sol = engine.solve(&pos, &[1.0]);
+        assert_eq!(sol.field[0], Vec3::ZERO);
+        assert_eq!(sol.pot[0], 0.0);
+    }
+}

@@ -1,0 +1,535 @@
+use crate::config::HeteroNode;
+use fmm_math::OpFlops;
+use gpu_sim::{KernelTiming, P2pJob};
+use octree::{InteractionLists, NodeId, Octree, NONE};
+use sched_sim::{simulate, TaskGraph, TaskId};
+
+/// Virtual-node timing of one FMM solve on a heterogeneous node.
+#[derive(Clone, Debug)]
+pub struct TimingReport {
+    /// The paper's **CPU Time**: makespan of the far-field task DAG (plus
+    /// near-field tasks when the node has no GPUs) on the virtual cores —
+    /// "wall clock time between the first call to the upward sweep and the
+    /// completion of the last task spawned during the downward sweep".
+    pub t_cpu: f64,
+    /// The paper's **GPU Time**: the maximum simulated kernel time over all
+    /// GPUs; 0 when the node has none.
+    pub t_gpu: f64,
+    /// Aggregate core-seconds of CPU work (Σ per-core busy time) — the
+    /// numerator of the observed effective parallelism.
+    pub cpu_work_seconds: f64,
+    /// Per-device kernel details, when GPUs are present.
+    pub gpu: Option<KernelTiming>,
+}
+
+impl TimingReport {
+    /// The paper's **Compute Time**: `max(CPU Time, GPU Time)`.
+    pub fn compute(&self) -> f64 {
+        self.t_cpu.max(self.t_gpu)
+    }
+
+    /// Observed effective parallelism (core-equivalents actually engaged).
+    pub fn parallel_rate(&self) -> f64 {
+        if self.t_cpu > 0.0 {
+            (self.cpu_work_seconds / self.t_cpu).max(1.0)
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Direct body-body interactions of leaf `id` (diagonal excluded, matching
+/// `OpCounts::p2p_interactions`).
+fn leaf_pairs(tree: &Octree, lists: &InteractionLists, id: NodeId) -> u64 {
+    let nt = tree.node(id).count() as u64;
+    lists.p2p[id as usize]
+        .iter()
+        .map(|&b| {
+            let nb = tree.node(b).count() as u64;
+            if b == id {
+                nt * (nt - 1)
+            } else {
+                nt * nb
+            }
+        })
+        .sum()
+}
+
+/// Build the GPU work list: one [`P2pJob`] per active leaf with a non-empty
+/// P2P interaction list, in traversal order (the order the paper's partition
+/// walk consumes).
+pub fn build_gpu_jobs(tree: &Octree, lists: &InteractionLists) -> Vec<P2pJob> {
+    tree.active_leaves()
+        .into_iter()
+        .filter(|&id| !lists.p2p[id as usize].is_empty())
+        .map(|id| {
+            let sources = lists.p2p[id as usize]
+                .iter()
+                .map(|&b| tree.node(b).count())
+                .collect();
+            P2pJob::new(tree.node(id).count(), sources)
+        })
+        .collect()
+}
+
+/// What runs where — [`ExecPolicy::default`] is the paper's split (all
+/// expansion work on the CPU); `offload_pl` implements the paper's §VIII.E
+/// proposal: "move additional work to the GPU that can be performed more
+/// efficiently... the P2M expansion formation and L2P expansion
+/// evaluation", which helps CPU-starved configurations like 4C4G.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExecPolicy {
+    /// Move P2M and L2P to the GPUs (no effect on CPU-only nodes).
+    pub offload_pl: bool,
+}
+
+/// Build the far-field task DAG exactly as the paper's recursive OpenMP
+/// version spawns it:
+///
+/// * **UpSweep** is head-recursive: one task per non-empty visible node,
+///   costing P2M (leaf) or one M2M per non-empty child (internal), that can
+///   only run once all child tasks finished.
+/// * **DownSweep** is tail-recursive: one task per node, costing L2L (from
+///   the parent) plus its M2L list plus L2P (leaf), runnable once the
+///   *parent's* task finished. The root's task additionally waits for the
+///   entire upsweep (the paper's `taskwait` between phases).
+///
+/// When `include_p2p` is set (CPU-only nodes, e.g. the paper's serial
+/// baseline where "both the expansion and direct work were run on this
+/// single core"), each leaf task also carries its direct interactions.
+pub fn build_task_graph(
+    tree: &Octree,
+    lists: &InteractionLists,
+    flops: &OpFlops,
+    include_p2p: bool,
+) -> TaskGraph {
+    build_task_graph_with(tree, lists, flops, include_p2p, true)
+}
+
+/// As [`build_task_graph`], with control over whether the per-body P2M/L2P
+/// work stays in the CPU DAG (`include_pl = false` models the §VIII.E
+/// offload).
+pub fn build_task_graph_with(
+    tree: &Octree,
+    lists: &InteractionLists,
+    flops: &OpFlops,
+    include_p2p: bool,
+    include_pl: bool,
+) -> TaskGraph {
+    let mut graph = TaskGraph::with_capacity(2 * tree.num_nodes());
+    if tree.node(Octree::ROOT).count() == 0 {
+        return graph;
+    }
+    let up_root = add_upsweep(&mut graph, tree, flops, include_pl, Octree::ROOT);
+    add_downsweep(&mut graph, tree, lists, flops, include_p2p, include_pl, Octree::ROOT, up_root);
+    graph
+}
+
+/// Post-order: children first, then the node's own task. Returns the task id.
+fn add_upsweep(
+    graph: &mut TaskGraph,
+    tree: &Octree,
+    flops: &OpFlops,
+    include_pl: bool,
+    id: NodeId,
+) -> TaskId {
+    let node = tree.node(id);
+    if node.is_leaf() {
+        let cost = if include_pl { flops.p2m_per_body * node.count() as f64 } else { 0.0 };
+        return graph.add(cost, Vec::new());
+    }
+    let mut deps = Vec::with_capacity(8);
+    let mut m2m = 0usize;
+    for c in tree.visible_children(id) {
+        if tree.node(c).count() == 0 {
+            continue;
+        }
+        deps.push(add_upsweep(graph, tree, flops, include_pl, c));
+        m2m += 1;
+    }
+    graph.add(flops.m2m * m2m as f64, deps)
+}
+
+/// Pre-order: the node's own task first (dep on parent), then children.
+#[allow(clippy::too_many_arguments)]
+fn add_downsweep(
+    graph: &mut TaskGraph,
+    tree: &Octree,
+    lists: &InteractionLists,
+    flops: &OpFlops,
+    include_p2p: bool,
+    include_pl: bool,
+    id: NodeId,
+    parent_task: TaskId,
+) {
+    let node = tree.node(id);
+    if node.count() == 0 {
+        return;
+    }
+    let mut cost = flops.m2l * lists.m2l[id as usize].len() as f64;
+    if node.parent != NONE {
+        cost += flops.l2l;
+    }
+    if node.is_leaf() {
+        if include_pl {
+            cost += flops.l2p_per_body * node.count() as f64;
+        }
+        if include_p2p {
+            cost += flops.p2p_per_pair * leaf_pairs(tree, lists, id) as f64;
+        }
+    }
+    let task = graph.add(cost, vec![parent_task]);
+    for c in tree.visible_children(id) {
+        add_downsweep(graph, tree, lists, flops, include_p2p, include_pl, c, task);
+    }
+}
+
+/// Time one FMM solve of the given tree + interaction lists on `node`:
+/// far-field DAG makespan on the virtual cores, near-field kernels on the
+/// simulated GPUs (or folded into the CPU DAG when there are none).
+pub fn time_step(
+    tree: &Octree,
+    lists: &InteractionLists,
+    flops: &OpFlops,
+    node: &HeteroNode,
+) -> TimingReport {
+    time_step_policy(tree, lists, flops, node, ExecPolicy::default())
+}
+
+/// As [`time_step`], under an explicit execution policy. With
+/// `policy.offload_pl` and GPUs present, P2M/L2P leave the CPU DAG and run
+/// as an additional per-leaf expansion kernel on the devices (modeled at
+/// the GPU's expansion efficiency); expansion kernels are assumed to
+/// overlap the CPU's translation phase, as the paper's proposal implies.
+pub fn time_step_policy(
+    tree: &Octree,
+    lists: &InteractionLists,
+    flops: &OpFlops,
+    node: &HeteroNode,
+    policy: ExecPolicy,
+) -> TimingReport {
+    let has_gpu = node.gpus.is_some();
+    let offload = policy.offload_pl && has_gpu;
+    let graph = build_task_graph_with(tree, lists, flops, !has_gpu, !offload);
+    let sim = simulate(&graph, &node.cpu.to_sim_config());
+    let (t_gpu, gpu) = match &node.gpus {
+        Some(gpus) => {
+            let jobs = build_gpu_jobs(tree, lists);
+            let timing = gpus.execute(&jobs);
+            let mut t = timing.gpu_time();
+            if offload {
+                let cyc = gpus.spec(0).expansion_cycles_per_flop
+                    * (flops.p2m_per_body + flops.l2p_per_body);
+                let ex_jobs: Vec<gpu_sim::ExpansionJob> = tree
+                    .active_leaves()
+                    .into_iter()
+                    .map(|id| gpu_sim::ExpansionJob {
+                        bodies: tree.node(id).count(),
+                        cycles_per_body: cyc,
+                    })
+                    .collect();
+                t += gpus.execute_expansions(&ex_jobs).gpu_time();
+            }
+            (t, Some(timing))
+        }
+        None => (0.0, None),
+    };
+    TimingReport {
+        t_cpu: sim.makespan,
+        t_gpu,
+        cpu_work_seconds: sim.busy.iter().sum(),
+        gpu,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{FmmParams, HeteroNode};
+    use crate::engine::FmmEngine;
+    use fmm_math::{GravityKernel, Kernel};
+    use nbody::plummer;
+
+    fn engine_with_lists(n: usize, s: usize) -> FmmEngine<GravityKernel> {
+        let b = plummer(n, 1.0, 1.0, 201);
+        let mut e = FmmEngine::new(GravityKernel::default(), FmmParams::default(), &b.pos, s);
+        e.refresh_lists();
+        e
+    }
+
+    fn flops_of(e: &FmmEngine<GravityKernel>) -> OpFlops {
+        e.kernel.op_flops(e.expansion_ops())
+    }
+
+    #[test]
+    fn more_cores_reduce_cpu_time() {
+        let e = engine_with_lists(4000, 32);
+        let f = flops_of(&e);
+        let t1 = time_step(e.tree(), e.lists(), &f, &HeteroNode::system_a(1, 1)).t_cpu;
+        let t4 = time_step(e.tree(), e.lists(), &f, &HeteroNode::system_a(4, 1)).t_cpu;
+        let t10 = time_step(e.tree(), e.lists(), &f, &HeteroNode::system_a(10, 1)).t_cpu;
+        assert!(t4 < t1 && t10 < t4, "t1={t1} t4={t4} t10={t10}");
+        let sp10 = t1 / t10;
+        assert!(sp10 > 5.0 && sp10 <= 10.5, "10-core speedup {sp10}");
+    }
+
+    #[test]
+    fn serial_makespan_is_total_work() {
+        let e = engine_with_lists(1000, 16);
+        let f = flops_of(&e);
+        let node = HeteroNode::serial();
+        let graph = build_task_graph(e.tree(), e.lists(), &f, true);
+        let r = time_step(e.tree(), e.lists(), &f, &node);
+        let expect = graph.total_work() / node.cpu.rate_flops
+            + graph.len() as f64 * node.cpu.task_overhead_s;
+        assert!((r.t_cpu - expect).abs() < 1e-12 * expect, "{} vs {}", r.t_cpu, expect);
+        assert_eq!(r.t_gpu, 0.0);
+    }
+
+    #[test]
+    fn gpu_offload_removes_p2p_from_cpu() {
+        let e = engine_with_lists(3000, 48);
+        let f = flops_of(&e);
+        let cpu_only = time_step(e.tree(), e.lists(), &f, &HeteroNode::system_a(4, 0));
+        let hetero = time_step(e.tree(), e.lists(), &f, &HeteroNode::system_a(4, 1));
+        assert!(hetero.t_cpu < cpu_only.t_cpu, "P2P must leave the CPU DAG");
+        assert!(hetero.t_gpu > 0.0);
+        assert!(cpu_only.t_gpu == 0.0);
+        // GPUs crush all-pairs work: the near field must run much faster on
+        // the accelerator than folded into the CPU cores.
+        assert!(hetero.compute() < cpu_only.compute());
+    }
+
+    #[test]
+    fn gpu_jobs_cover_all_interactions() {
+        let e = engine_with_lists(2000, 32);
+        let jobs = build_gpu_jobs(e.tree(), e.lists());
+        let job_pairs: u64 = jobs.iter().map(P2pJob::interactions).sum();
+        // Jobs count the diagonal (p_t × p_t includes self pairs), counts
+        // exclude it.
+        let diag: u64 = e
+            .tree()
+            .active_leaves()
+            .iter()
+            .filter(|&&id| !e.lists().p2p[id as usize].is_empty())
+            .map(|&id| e.tree().node(id).count() as u64)
+            .sum();
+        assert_eq!(job_pairs, e.counts().p2p_interactions + diag);
+    }
+
+    #[test]
+    fn task_graph_mirrors_op_counts() {
+        let e = engine_with_lists(1500, 24);
+        let f = flops_of(&e);
+        let graph = build_task_graph(e.tree(), e.lists(), &f, false);
+        let c = e.counts();
+        let expect_work = f.p2m_per_body * c.p2m_bodies as f64
+            + f.m2m * c.m2m_ops as f64
+            + f.m2l * c.m2l_ops as f64
+            + f.l2l * c.l2l_ops as f64
+            + f.l2p_per_body * c.l2p_bodies as f64;
+        assert!(
+            (graph.total_work() - expect_work).abs() < 1e-9 * expect_work,
+            "graph work {} vs counted {}",
+            graph.total_work(),
+            expect_work
+        );
+    }
+
+    #[test]
+    fn deeper_trees_have_longer_critical_paths() {
+        use sched_sim::critical_path;
+        let shallow = engine_with_lists(3000, 512);
+        let deep = engine_with_lists(3000, 8);
+        let f = flops_of(&shallow);
+        let g_shallow = build_task_graph(shallow.tree(), shallow.lists(), &f, false);
+        let g_deep = build_task_graph(deep.tree(), deep.lists(), &f, false);
+        assert!(g_deep.len() > g_shallow.len());
+        assert!(critical_path(&g_deep) > 0.0 && critical_path(&g_shallow) > 0.0);
+    }
+
+    #[test]
+    fn parallel_rate_bounded_by_cores() {
+        let e = engine_with_lists(4000, 32);
+        let f = flops_of(&e);
+        for cores in [1usize, 4, 10] {
+            let r = time_step(e.tree(), e.lists(), &f, &HeteroNode::system_a(cores, 1));
+            let pr = r.parallel_rate();
+            assert!(pr >= 1.0 && pr <= cores as f64 + 1e-9, "cores={cores}: rate {pr}");
+        }
+    }
+
+    #[test]
+    fn timing_deterministic() {
+        let e = engine_with_lists(2500, 40);
+        let f = flops_of(&e);
+        let node = HeteroNode::system_a(10, 4);
+        let a = time_step(e.tree(), e.lists(), &f, &node);
+        let b = time_step(e.tree(), e.lists(), &f, &node);
+        assert_eq!(a.t_cpu, b.t_cpu);
+        assert_eq!(a.t_gpu, b.t_gpu);
+    }
+
+    #[test]
+    fn empty_tree_times_to_zero() {
+        let mut e = FmmEngine::new(GravityKernel::default(), FmmParams::default(), &[], 8);
+        e.refresh_lists();
+        let f = flops_of(&e);
+        let r = time_step(e.tree(), e.lists(), &f, &HeteroNode::system_a(4, 2));
+        assert_eq!(r.t_cpu, 0.0);
+        assert_eq!(r.t_gpu, 0.0);
+        assert_eq!(r.compute(), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod offload_tests {
+    use super::*;
+    use crate::config::{FmmParams, HeteroNode};
+    use crate::engine::FmmEngine;
+    use fmm_math::{GravityKernel, Kernel};
+    use nbody::plummer;
+
+    #[test]
+    fn offload_moves_pl_work_between_devices() {
+        let b = plummer(20_000, 1.0, 1.0, 211);
+        let mut e = FmmEngine::new(GravityKernel::default(), FmmParams::default(), &b.pos, 128);
+        e.refresh_lists();
+        let flops = e.kernel.op_flops(e.expansion_ops());
+        let node = HeteroNode::system_a(4, 4);
+        let base = time_step(e.tree(), e.lists(), &flops, &node);
+        let off = time_step_policy(
+            e.tree(),
+            e.lists(),
+            &flops,
+            &node,
+            ExecPolicy { offload_pl: true },
+        );
+        assert!(off.t_cpu < base.t_cpu, "P2M/L2P must leave the CPU DAG");
+        assert!(off.t_gpu > base.t_gpu, "...and land on the GPUs");
+    }
+
+    #[test]
+    fn offload_helps_cpu_starved_configs() {
+        // The paper's §VIII.E scenario, at its sharpest: a badly CPU-starved
+        // node (2 cores, 8 GPUs) is pinned by the per-body P2M/L2P floor at
+        // its optimum; moving that work to the GPUs must lower the best
+        // achievable compute time.
+        let b = plummer(50_000, 1.0, 1.0, 212);
+        let mut e = FmmEngine::new(GravityKernel::default(), FmmParams::default(), &b.pos, 128);
+        let flops = e.kernel.op_flops(e.expansion_ops());
+        let node = HeteroNode::system_a(2, 8);
+        let mut best_base = f64::INFINITY;
+        let mut best_off = f64::INFINITY;
+        let mut s = 64usize;
+        while s <= 4096 {
+            e.rebuild(&b.pos, s);
+            e.refresh_lists();
+            let base = time_step(e.tree(), e.lists(), &flops, &node).compute();
+            let off = time_step_policy(
+                e.tree(),
+                e.lists(),
+                &flops,
+                &node,
+                ExecPolicy { offload_pl: true },
+            )
+            .compute();
+            best_base = best_base.min(base);
+            best_off = best_off.min(off);
+            s *= 2;
+        }
+        assert!(
+            best_off < 0.97 * best_base,
+            "offload should help the unbalanced node: {best_off} !< 0.97 * {best_base}"
+        );
+    }
+
+    #[test]
+    fn offload_noop_without_gpus() {
+        let b = plummer(2000, 1.0, 1.0, 213);
+        let mut e = FmmEngine::new(GravityKernel::default(), FmmParams::default(), &b.pos, 32);
+        e.refresh_lists();
+        let flops = e.kernel.op_flops(e.expansion_ops());
+        let node = HeteroNode::serial();
+        let base = time_step(e.tree(), e.lists(), &flops, &node);
+        let off = time_step_policy(
+            e.tree(),
+            e.lists(),
+            &flops,
+            &node,
+            ExecPolicy { offload_pl: true },
+        );
+        assert_eq!(base.t_cpu, off.t_cpu);
+        assert_eq!(base.t_gpu, off.t_gpu);
+    }
+}
+
+/// Makespans of the two far-field phases in isolation — the analysis view
+/// behind the paper's Fig 3 discussion of where CPU time goes as S moves.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimes {
+    /// P2M + M2M (upward sweep) alone on the virtual cores.
+    pub upsweep: f64,
+    /// L2L + M2L + L2P (downward sweep) alone on the virtual cores.
+    pub downsweep: f64,
+}
+
+/// Time the upward and downward sweeps separately (each as its own task
+/// DAG with the paper's dependency structure). The full CPU time of
+/// [`time_step`] is bracketed by `max(upsweep, downsweep)` and their sum.
+pub fn phase_times(
+    tree: &Octree,
+    lists: &InteractionLists,
+    flops: &OpFlops,
+    node: &HeteroNode,
+) -> PhaseTimes {
+    if tree.node(Octree::ROOT).count() == 0 {
+        return PhaseTimes::default();
+    }
+    let cfg = node.cpu.to_sim_config();
+
+    let mut up = TaskGraph::with_capacity(tree.num_nodes());
+    add_upsweep(&mut up, tree, flops, true, Octree::ROOT);
+    let upsweep = simulate(&up, &cfg).makespan;
+
+    let mut down = TaskGraph::with_capacity(tree.num_nodes());
+    let start = down.add(0.0, Vec::new());
+    add_downsweep(&mut down, tree, lists, flops, false, true, Octree::ROOT, start);
+    let downsweep = simulate(&down, &cfg).makespan;
+
+    PhaseTimes { upsweep, downsweep }
+}
+
+#[cfg(test)]
+mod phase_tests {
+    use super::*;
+    use crate::config::{FmmParams, HeteroNode};
+    use crate::engine::FmmEngine;
+    use fmm_math::{GravityKernel, Kernel};
+
+    #[test]
+    fn phases_bracket_full_cpu_time() {
+        let b = nbody::plummer(8000, 1.0, 1.0, 221);
+        let mut e = FmmEngine::new(GravityKernel::default(), FmmParams::default(), &b.pos, 64);
+        e.refresh_lists();
+        let flops = e.kernel.op_flops(e.expansion_ops());
+        let node = HeteroNode::system_a(10, 2);
+        let full = time_step(e.tree(), e.lists(), &flops, &node).t_cpu;
+        let p = phase_times(e.tree(), e.lists(), &flops, &node);
+        assert!(p.upsweep > 0.0 && p.downsweep > 0.0);
+        assert!(full >= p.upsweep.max(p.downsweep) * 0.999, "{full} vs {p:?}");
+        assert!(full <= (p.upsweep + p.downsweep) * 1.001, "{full} vs {p:?}");
+        // The downsweep carries the M2L bulk; it must dominate at small S.
+        assert!(p.downsweep > p.upsweep);
+    }
+
+    #[test]
+    fn empty_tree_has_zero_phases() {
+        let mut e = FmmEngine::new(GravityKernel::default(), FmmParams::default(), &[], 8);
+        e.refresh_lists();
+        let flops = e.kernel.op_flops(e.expansion_ops());
+        let p = phase_times(e.tree(), e.lists(), &flops, &HeteroNode::serial());
+        assert_eq!(p.upsweep, 0.0);
+        assert_eq!(p.downsweep, 0.0);
+    }
+}

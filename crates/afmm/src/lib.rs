@@ -1,0 +1,57 @@
+//! The adaptive fast multipole method of **Overman, Prins, Miller, Minion —
+//! "Dynamic Load Balancing of the Adaptive Fast Multipole Method in
+//! Heterogeneous Systems" (IEEE IPDPSW 2013)**, reproduced on a *virtual*
+//! heterogeneous node.
+//!
+//! The crate wires the workspace's substrates together:
+//!
+//! * [`FmmEngine`] — the AFMM solver (exact physics, rayon data
+//!   parallelism) over the adaptive octree of the `octree` crate and the
+//!   cartesian expansions of `fmm-math`;
+//! * [`exec`] — virtual-node timing: the far-field work becomes the paper's
+//!   recursive task DAG scheduled on `sched-sim`'s cores, and the near-field
+//!   work becomes all-pairs kernels on `gpu-sim`'s devices;
+//! * [`CostModel`] — the observational per-operation cost coefficients and
+//!   the `T = Σ M(op)·C(op)` time prediction (paper §IV.D);
+//! * [`LoadBalancer`] — the Search / Incremental / Observation state
+//!   machine, `Enforce_S`, and `FineGrainedOptimize` (paper §V–VII);
+//! * [`GravitySim`] / [`StokesSim`] / [`StrategyTracker`] — time-stepping
+//!   drivers for the paper's gravitational and immersed-boundary workloads
+//!   and for strategy comparisons.
+//!
+//! ```
+//! use afmm::{FmmEngine, FmmParams};
+//! use fmm_math::GravityKernel;
+//!
+//! // A tiny gravitational solve.
+//! let pos = vec![
+//!     geom::Vec3::new(0.0, 0.0, 0.0),
+//!     geom::Vec3::new(1.0, 0.0, 0.0),
+//!     geom::Vec3::new(0.0, 1.0, 0.0),
+//! ];
+//! let mass = vec![1.0; 3];
+//! let mut engine = FmmEngine::new(GravityKernel::default(), FmmParams::default(), &pos, 8);
+//! let sol = engine.solve(&pos, &mass);
+//! assert!(sol.field.iter().all(|a| a.is_finite()));
+//! ```
+
+mod balance;
+mod config;
+mod cost;
+mod engine;
+pub mod exec;
+mod simulate;
+
+pub use balance::{
+    fine_grained_optimize, search_best_s_cpu_only, FgoOutcome, LbConfig, LbReport, LbState,
+    LoadBalancer, Strategy,
+};
+pub use config::{CpuSpec, FmmParams, HeteroNode};
+pub use cost::{lbtime, CostModel, Prediction};
+pub use engine::{FmmEngine, FmmSolution};
+pub use exec::{
+    build_gpu_jobs, build_task_graph, build_task_graph_with, phase_times, time_step,
+    time_step_policy,
+    ExecPolicy, PhaseTimes, TimingReport,
+};
+pub use simulate::{GravitySim, RunSummary, StepRecord, StokesSim, StrategyTracker};

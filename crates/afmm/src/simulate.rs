@@ -1,0 +1,594 @@
+use crate::balance::{LbConfig, LbState, LoadBalancer, Strategy};
+use crate::config::{FmmParams, HeteroNode};
+use crate::cost::{lbtime, CostModel};
+use crate::engine::FmmEngine;
+use crate::exec::time_step;
+use fmm_math::{GravityKernel, Kernel, OpFlops, StokesletKernel};
+use geom::Vec3;
+use nbody::Bodies;
+
+/// Everything recorded about one simulated time step — the per-step series
+/// behind the paper's Figs 8–10 and Table II.
+#[derive(Clone, Copy, Debug)]
+pub struct StepRecord {
+    pub step: usize,
+    /// Leaf capacity the tree enforced *during* this step (Fig 9's series).
+    pub s: usize,
+    /// Balancer state during the step.
+    pub state: LbState,
+    pub t_cpu: f64,
+    pub t_gpu: f64,
+    /// Modeled time of all load-balancing / maintenance work after the step.
+    pub t_lb: f64,
+    /// Whole-GPU-system SIMT efficiency (1.0 on CPU-only nodes).
+    pub gpu_efficiency: f64,
+    pub p2p_interactions: u64,
+    pub m2l_ops: u64,
+}
+
+impl StepRecord {
+    /// The paper's compute time: `max(CPU, GPU)`.
+    pub fn compute(&self) -> f64 {
+        self.t_cpu.max(self.t_gpu)
+    }
+
+    /// Total step time: compute plus load balancing.
+    pub fn total(&self) -> f64 {
+        self.compute() + self.t_lb
+    }
+}
+
+/// Aggregates over a run — the rows of the paper's Table II.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunSummary {
+    pub steps: usize,
+    /// Σ compute time.
+    pub total_compute: f64,
+    /// Σ LB time.
+    pub total_lb: f64,
+    /// Mean total (compute + LB) per step.
+    pub mean_total_per_step: f64,
+    /// Largest single-step LB time.
+    pub max_lb_step: f64,
+    /// Largest single-step compute time.
+    pub max_compute_step: f64,
+}
+
+impl RunSummary {
+    pub fn from_records(records: &[StepRecord]) -> Self {
+        let steps = records.len();
+        let total_compute: f64 = records.iter().map(StepRecord::compute).sum();
+        let total_lb: f64 = records.iter().map(|r| r.t_lb).sum();
+        RunSummary {
+            steps,
+            total_compute,
+            total_lb,
+            mean_total_per_step: if steps == 0 {
+                0.0
+            } else {
+                (total_compute + total_lb) / steps as f64
+            },
+            max_lb_step: records.iter().map(|r| r.t_lb).fold(0.0, f64::max),
+            max_compute_step: records.iter().map(StepRecord::compute).fold(0.0, f64::max),
+        }
+    }
+
+    /// LB time as a fraction of compute time (Table II's "LB as % of
+    /// Compute" divided by 100).
+    pub fn lb_fraction(&self) -> f64 {
+        if self.total_compute > 0.0 {
+            self.total_lb / self.total_compute
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Replays a shared body trajectory through one load-balancing strategy,
+/// producing that strategy's timing series without re-solving the physics.
+///
+/// The paper runs each strategy as its own simulation; since the three runs
+/// evolve (numerically near-identical) trajectories and differ only in
+/// decomposition bookkeeping, the reproduction computes the trajectory once
+/// and feeds the same positions to one tracker per strategy. Each tracker
+/// owns its own tree, cost model and balancer, so the timing dynamics —
+/// which is what Figs 8/9 and Table II report — are produced by exactly the
+/// paper's machinery.
+pub struct StrategyTracker<K: Kernel> {
+    engine: FmmEngine<K>,
+    flops: OpFlops,
+    model: CostModel,
+    balancer: LoadBalancer,
+    node: HeteroNode,
+    records: Vec<StepRecord>,
+    first: bool,
+}
+
+impl<K: Kernel> StrategyTracker<K> {
+    pub fn new(
+        kernel: K,
+        params: FmmParams,
+        node: HeteroNode,
+        strategy: Strategy,
+        cfg: LbConfig,
+        pos0: &[Vec3],
+        domain: Option<(Vec3, f64)>,
+    ) -> Self {
+        let balancer = LoadBalancer::new(strategy, cfg);
+        let s0 = balancer.s();
+        let engine = match domain {
+            Some((c, hw)) => FmmEngine::with_domain(kernel, params, pos0, s0, c, hw),
+            None => FmmEngine::new(kernel, params, pos0, s0),
+        };
+        let flops = engine.kernel.op_flops(engine.expansion_ops());
+        StrategyTracker {
+            engine,
+            flops,
+            model: CostModel::new(),
+            balancer,
+            node,
+            records: Vec::new(),
+            first: true,
+        }
+    }
+
+    /// Advance one step at the given positions: re-bin moved bodies, time
+    /// the solve on the virtual node, feed the balancer.
+    pub fn step(&mut self, pos: &[Vec3]) -> StepRecord {
+        let mut t_lb = 0.0;
+        if !self.first {
+            self.engine.rebin(pos);
+            t_lb += lbtime::rebin(&self.node, pos.len());
+        }
+        self.first = false;
+        let state = self.balancer.state();
+        let s = self.engine.tree().s_value();
+        let counts = self.engine.refresh_lists();
+        let timing = time_step(self.engine.tree(), self.engine.lists(), &self.flops, &self.node);
+        self.model.observe(&counts, &timing, &self.flops, &self.node);
+        let rep = self.balancer.post_step(
+            &mut self.engine,
+            &self.model,
+            &self.node,
+            pos,
+            timing.t_cpu,
+            timing.t_gpu,
+        );
+        t_lb += rep.lb_time;
+        let rec = StepRecord {
+            step: self.records.len(),
+            s,
+            state,
+            t_cpu: timing.t_cpu,
+            t_gpu: timing.t_gpu,
+            t_lb,
+            gpu_efficiency: timing.gpu.as_ref().map_or(1.0, |g| g.efficiency()),
+            p2p_interactions: counts.p2p_interactions,
+            m2l_ops: counts.m2l_ops,
+        };
+        self.records.push(rec);
+        rec
+    }
+
+    pub fn records(&self) -> &[StepRecord] {
+        &self.records
+    }
+
+    pub fn summary(&self) -> RunSummary {
+        RunSummary::from_records(&self.records)
+    }
+
+    pub fn balancer(&self) -> &LoadBalancer {
+        &self.balancer
+    }
+
+    pub fn engine(&self) -> &FmmEngine<K> {
+        &self.engine
+    }
+}
+
+/// A fully numeric gravitational simulation on the heterogeneous node:
+/// each step solves the AFMM (exact physics), integrates the bodies
+/// (semi-implicit Euler, the per-step-force variant of leapfrog), and runs
+/// the balancer's maintenance — the paper's end-to-end loop.
+pub struct GravitySim {
+    pub bodies: Bodies,
+    pub g: f64,
+    pub dt: f64,
+    engine: FmmEngine<GravityKernel>,
+    flops: OpFlops,
+    model: CostModel,
+    balancer: LoadBalancer,
+    node: HeteroNode,
+    records: Vec<StepRecord>,
+}
+
+impl GravitySim {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        bodies: Bodies,
+        g: f64,
+        dt: f64,
+        softening: f64,
+        params: FmmParams,
+        node: HeteroNode,
+        strategy: Strategy,
+        cfg: LbConfig,
+        domain: Option<(Vec3, f64)>,
+    ) -> Self {
+        bodies.validate().expect("invalid body set");
+        let balancer = LoadBalancer::new(strategy, cfg);
+        let s0 = balancer.s();
+        let kernel = GravityKernel::new(softening);
+        let engine = match domain {
+            Some((c, hw)) => FmmEngine::with_domain(kernel, params, &bodies.pos, s0, c, hw),
+            None => FmmEngine::new(kernel, params, &bodies.pos, s0),
+        };
+        let flops = engine.kernel.op_flops(engine.expansion_ops());
+        GravitySim {
+            bodies,
+            g,
+            dt,
+            engine,
+            flops,
+            model: CostModel::new(),
+            balancer,
+            node,
+            records: Vec::new(),
+        }
+    }
+
+    /// One full time step: solve, integrate, maintain.
+    pub fn step(&mut self) -> StepRecord {
+        let state = self.balancer.state();
+        let s = self.engine.tree().s_value();
+        let sol = self.engine.solve(&self.bodies.pos, &self.bodies.mass);
+        let counts = self.engine.counts();
+        let timing = time_step(self.engine.tree(), self.engine.lists(), &self.flops, &self.node);
+        self.model.observe(&counts, &timing, &self.flops, &self.node);
+
+        // Semi-implicit Euler: kick with the fresh forces, then drift.
+        let (g, dt) = (self.g, self.dt);
+        for i in 0..self.bodies.len() {
+            self.bodies.vel[i] += sol.field[i] * (g * dt);
+            let v = self.bodies.vel[i];
+            self.bodies.pos[i] += v * dt;
+        }
+
+        // Maintenance for the next step (paper: after the position update).
+        let mut t_lb = lbtime::rebin(&self.node, self.bodies.len());
+        self.engine.rebin(&self.bodies.pos);
+        let rep = self.balancer.post_step(
+            &mut self.engine,
+            &self.model,
+            &self.node,
+            &self.bodies.pos,
+            timing.t_cpu,
+            timing.t_gpu,
+        );
+        t_lb += rep.lb_time;
+
+        let rec = StepRecord {
+            step: self.records.len(),
+            s,
+            state,
+            t_cpu: timing.t_cpu,
+            t_gpu: timing.t_gpu,
+            t_lb,
+            gpu_efficiency: timing.gpu.as_ref().map_or(1.0, |g| g.efficiency()),
+            p2p_interactions: counts.p2p_interactions,
+            m2l_ops: counts.m2l_ops,
+        };
+        self.records.push(rec);
+        rec
+    }
+
+    pub fn positions(&self) -> &[Vec3] {
+        &self.bodies.pos
+    }
+
+    pub fn records(&self) -> &[StepRecord] {
+        &self.records
+    }
+
+    pub fn summary(&self) -> RunSummary {
+        RunSummary::from_records(&self.records)
+    }
+
+    pub fn engine(&self) -> &FmmEngine<GravityKernel> {
+        &self.engine
+    }
+
+    pub fn balancer(&self) -> &LoadBalancer {
+        &self.balancer
+    }
+}
+
+/// A numeric Stokes-flow simulation: point forces drive regularized-
+/// Stokeslet velocities, and the force points advect with the flow. Used by
+/// the immersed-boundary example; forces are refreshed by the caller each
+/// step (e.g. from an elastic structure).
+pub struct StokesSim {
+    pub pos: Vec<Vec3>,
+    pub dt: f64,
+    engine: FmmEngine<StokesletKernel>,
+    flops: OpFlops,
+    model: CostModel,
+    balancer: LoadBalancer,
+    node: HeteroNode,
+    records: Vec<StepRecord>,
+}
+
+impl StokesSim {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        pos: Vec<Vec3>,
+        dt: f64,
+        epsilon: f64,
+        mu: f64,
+        params: FmmParams,
+        node: HeteroNode,
+        strategy: Strategy,
+        cfg: LbConfig,
+    ) -> Self {
+        let balancer = LoadBalancer::new(strategy, cfg);
+        let s0 = balancer.s();
+        let kernel = StokesletKernel::new(epsilon, mu);
+        let engine = FmmEngine::new(kernel, params, &pos, s0);
+        let flops = engine.kernel.op_flops(engine.expansion_ops());
+        StokesSim {
+            pos,
+            dt,
+            engine,
+            flops,
+            model: CostModel::new(),
+            balancer,
+            node,
+            records: Vec::new(),
+        }
+    }
+
+    /// One step driven by the given per-point forces (flat, 3 per point).
+    /// Returns the record and leaves the advected positions in `self.pos`.
+    pub fn step(&mut self, forces: &[f64]) -> StepRecord {
+        assert_eq!(forces.len(), 3 * self.pos.len());
+        let state = self.balancer.state();
+        let s = self.engine.tree().s_value();
+        let sol = self.engine.solve(&self.pos, forces);
+        let counts = self.engine.counts();
+        let timing = time_step(self.engine.tree(), self.engine.lists(), &self.flops, &self.node);
+        self.model.observe(&counts, &timing, &self.flops, &self.node);
+
+        for (p, &u) in self.pos.iter_mut().zip(&sol.field) {
+            *p += u * self.dt;
+        }
+
+        let mut t_lb = lbtime::rebin(&self.node, self.pos.len());
+        self.engine.rebin(&self.pos);
+        let rep = self.balancer.post_step(
+            &mut self.engine,
+            &self.model,
+            &self.node,
+            &self.pos,
+            timing.t_cpu,
+            timing.t_gpu,
+        );
+        t_lb += rep.lb_time;
+
+        let rec = StepRecord {
+            step: self.records.len(),
+            s,
+            state,
+            t_cpu: timing.t_cpu,
+            t_gpu: timing.t_gpu,
+            t_lb,
+            gpu_efficiency: timing.gpu.as_ref().map_or(1.0, |g| g.efficiency()),
+            p2p_interactions: counts.p2p_interactions,
+            m2l_ops: counts.m2l_ops,
+        };
+        self.records.push(rec);
+        rec
+    }
+
+    /// The velocities of the most recent solve can be recovered by solving
+    /// again; for workflows needing them, use [`FmmEngine::solve`] directly.
+    pub fn records(&self) -> &[StepRecord] {
+        &self.records
+    }
+
+    pub fn summary(&self) -> RunSummary {
+        RunSummary::from_records(&self.records)
+    }
+
+    pub fn engine(&self) -> &FmmEngine<StokesletKernel> {
+        &self.engine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbody::{collapsing_plummer, plummer, total_energy, total_momentum};
+
+    fn small_cfg() -> LbConfig {
+        LbConfig { eps_switch_s: 2e-3, ..Default::default() }
+    }
+
+    #[test]
+    fn gravity_sim_conserves_reasonably() {
+        let b = plummer(400, 1.0, 1.0, 501);
+        let e0 = total_energy(&b, 1.0, 0.05).total();
+        let p0 = total_momentum(&b);
+        let mut sim = GravitySim::new(
+            b,
+            1.0,
+            0.002,
+            0.05,
+            FmmParams { order: 5, ..Default::default() },
+            HeteroNode::system_a(10, 2),
+            Strategy::Full,
+            small_cfg(),
+            None,
+        );
+        for _ in 0..50 {
+            sim.step();
+        }
+        let e1 = total_energy(&sim.bodies, 1.0, 0.05).total();
+        let p1 = total_momentum(&sim.bodies);
+        assert!(((e1 - e0) / e0).abs() < 0.05, "energy drift {} -> {}", e0, e1);
+        assert!((p1 - p0).norm() < 1e-3, "momentum drift {:?}", p1 - p0);
+    }
+
+    #[test]
+    fn tracker_produces_consistent_records() {
+        let setup = collapsing_plummer(2000, 1.0, 502);
+        let mut tracker = StrategyTracker::new(
+            fmm_math::GravityKernel::default(),
+            FmmParams::default(),
+            HeteroNode::system_a(10, 2),
+            Strategy::Full,
+            small_cfg(),
+            &setup.bodies.pos,
+            Some((setup.domain_center, setup.domain_half_width)),
+        );
+        // Feed a slowly contracting trajectory.
+        let mut pos = setup.bodies.pos.clone();
+        for i in 0..30 {
+            let rec = tracker.step(&pos);
+            assert_eq!(rec.step, i);
+            assert!(rec.t_cpu >= 0.0 && rec.t_gpu >= 0.0 && rec.t_lb >= 0.0);
+            assert!(rec.compute() > 0.0);
+            assert!(rec.s >= 1);
+            for p in &mut pos {
+                *p *= 0.995;
+            }
+        }
+        let summary = tracker.summary();
+        assert_eq!(summary.steps, 30);
+        assert!(summary.total_compute > 0.0);
+        assert!(summary.lb_fraction() >= 0.0);
+    }
+
+    #[test]
+    fn full_strategy_beats_static_on_concentrating_workload() {
+        // The core claim of the paper's §IX.A at reduced scale: when the
+        // dense region migrates out from under the frozen tree's fine cells,
+        // the frozen-S strategy's near-field work blows up while the full
+        // balancer re-decomposes and stays fast.
+        // Timing-only trackers, so a near-experiment scale is affordable;
+        // below ~15k bodies the virtual GPUs are so oversized that even a
+        // fully degenerate (all-pairs) decomposition stays fast and the
+        // strategies cannot separate.
+        let setup = collapsing_plummer(20000, 1.0, 503);
+        let node = HeteroNode::system_a(10, 2);
+        let mk = |strategy| {
+            StrategyTracker::new(
+                fmm_math::GravityKernel::default(),
+                FmmParams::default(),
+                node.clone(),
+                strategy,
+                small_cfg(),
+                &setup.bodies.pos,
+                Some((setup.domain_center, setup.domain_half_width)),
+            )
+        };
+        let mut t1 = mk(Strategy::StaticS);
+        let mut t3 = mk(Strategy::Full);
+        // The cloud contracts toward an off-center point (where the initial
+        // adaptive tree is coarse), stopping while still extended — the
+        // non-self-similar density evolution the paper's collapse produces.
+        let clump = geom::Vec3::new(8.0, 8.0, 8.0);
+        let mut pos = setup.bodies.pos.clone();
+        let mut late_static = 0.0;
+        let mut late_full = 0.0;
+        for step in 0..60 {
+            let r1 = t1.step(&pos);
+            let r3 = t3.step(&pos);
+            if step >= 45 {
+                late_static += r1.compute();
+                late_full += r3.compute();
+            }
+            if step < 28 {
+                for p in &mut pos {
+                    *p = *p + (clump - *p) * 0.05;
+                }
+            }
+        }
+        let s1 = t1.summary();
+        let s3 = t3.summary();
+        assert!(
+            s3.mean_total_per_step < s1.mean_total_per_step,
+            "full {} vs static {}",
+            s3.mean_total_per_step,
+            s1.mean_total_per_step
+        );
+        assert!(
+            late_full * 1.4 < late_static,
+            "settled regime: full {late_full} should be well below static {late_static}"
+        );
+    }
+
+    #[test]
+    fn stokes_sim_steps_and_advects() {
+        let pts = nbody::uniform_cube(500, 1.0, 504);
+        let forces = nbody::random_unit_forces(500, 505);
+        let mut sim = StokesSim::new(
+            pts.pos.clone(),
+            0.01,
+            1e-3,
+            1.0,
+            FmmParams::default(),
+            HeteroNode::system_a(10, 2),
+            Strategy::Full,
+            small_cfg(),
+        );
+        let before = sim.pos.clone();
+        for _ in 0..5 {
+            sim.step(&forces);
+        }
+        let moved = sim
+            .pos
+            .iter()
+            .zip(&before)
+            .filter(|(a, b)| (**a - **b).norm() > 0.0)
+            .count();
+        assert!(moved > 400, "flow should move nearly all points");
+        assert_eq!(sim.records().len(), 5);
+    }
+
+    #[test]
+    fn summary_math() {
+        let recs = vec![
+            StepRecord {
+                step: 0,
+                s: 32,
+                state: LbState::Search,
+                t_cpu: 1.0,
+                t_gpu: 2.0,
+                t_lb: 0.5,
+                gpu_efficiency: 0.9,
+                p2p_interactions: 10,
+                m2l_ops: 5,
+            },
+            StepRecord {
+                step: 1,
+                s: 32,
+                state: LbState::Observation,
+                t_cpu: 3.0,
+                t_gpu: 1.0,
+                t_lb: 0.0,
+                gpu_efficiency: 0.8,
+                p2p_interactions: 10,
+                m2l_ops: 5,
+            },
+        ];
+        let s = RunSummary::from_records(&recs);
+        assert_eq!(s.steps, 2);
+        assert_eq!(s.total_compute, 5.0);
+        assert_eq!(s.total_lb, 0.5);
+        assert_eq!(s.max_lb_step, 0.5);
+        assert_eq!(s.max_compute_step, 3.0);
+        assert!((s.lb_fraction() - 0.1).abs() < 1e-15);
+        assert!((s.mean_total_per_step - 2.75).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,70 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out. Criterion
+//! measures the *host* cost of the machinery; the companion binary
+//! `ablation_report` measures the *virtual-node* consequences (kernel
+//! makespans, prediction accuracy).
+
+use afmm::{CostModel, FmmEngine, FmmParams, HeteroNode};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fmm_math::{GravityKernel, Kernel};
+use gpu_sim::{partition_by_interactions, partition_by_node_count, P2pJob};
+use octree::{build_adaptive, dual_traversal, BuildParams, Mac};
+use std::hint::black_box;
+
+/// Partitioning itself must be cheap: the paper's walk is a single pass.
+fn bench_partition(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gpu_partition");
+    let jobs: Vec<P2pJob> = (0..5000)
+        .map(|i| P2pJob::new(32 + i % 200, vec![64; 20 + i % 10]))
+        .collect();
+    let weights: Vec<u64> = jobs.iter().map(P2pJob::interactions).collect();
+    g.bench_function("interaction_walk_5k", |b| {
+        b.iter(|| black_box(partition_by_interactions(&weights, 4)))
+    });
+    g.bench_function("node_count_5k", |b| {
+        b.iter(|| black_box(partition_by_node_count(weights.len(), 4)))
+    });
+    g.finish();
+}
+
+/// MAC strictness trades traversal size for accuracy: host-side cost of the
+/// dual traversal across theta.
+fn bench_mac_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mac_theta");
+    g.sample_size(15);
+    let pos = nbody::plummer(20_000, 1.0, 1.0, 31).pos;
+    let tree = build_adaptive(&pos, BuildParams::with_s(48));
+    for theta in [0.3f64, 0.6, 0.9] {
+        g.bench_with_input(BenchmarkId::new("dual_traversal", format!("{theta}")), &theta, |b, &t| {
+            b.iter(|| black_box(dual_traversal(&tree, Mac::new(t))))
+        });
+    }
+    g.finish();
+}
+
+/// Cost of one prediction pass (the paper's "without having to perform a
+/// full FMM solve" claim rests on this being much cheaper than a solve).
+fn bench_prediction_pass(c: &mut Criterion) {
+    let mut g = c.benchmark_group("prediction");
+    g.sample_size(15);
+    let b = nbody::plummer(20_000, 1.0, 1.0, 32);
+    let node = HeteroNode::system_a(10, 2);
+    let mut engine = FmmEngine::new(GravityKernel::default(), FmmParams::default(), &b.pos, 64);
+    let counts = engine.refresh_lists();
+    let flops = engine.kernel.op_flops(engine.expansion_ops());
+    let timing = afmm::time_step(engine.tree(), engine.lists(), &flops, &node);
+    let mut model = CostModel::new();
+    model.observe(&counts, &timing, &flops, &node);
+    g.bench_function("refresh_and_predict_20k", |bch| {
+        bch.iter(|| {
+            let c = engine.refresh_lists();
+            black_box(model.predict(&c, &node))
+        })
+    });
+    g.bench_function("full_numeric_solve_20k", |bch| {
+        bch.iter(|| black_box(engine.solve(&b.pos, &b.mass)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_partition, bench_mac_sweep, bench_prediction_pass);
+criterion_main!(benches);

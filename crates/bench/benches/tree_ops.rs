@@ -1,0 +1,127 @@
+//! Real-machine benchmarks of the adaptive-decomposition machinery: build,
+//! re-bin, Enforce_S, Collapse/PushDown, and the dual-tree traversal — the
+//! operations whose *modeled* costs feed the paper's LB-time accounting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use octree::{build_adaptive, count_ops, dual_traversal, BuildParams, Mac, Octree};
+use std::hint::black_box;
+
+fn plummer(n: usize) -> Vec<geom::Vec3> {
+    nbody::plummer(n, 1.0, 1.0, 11).pos
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tree_build");
+    g.sample_size(20);
+    for n in [10_000usize, 50_000] {
+        let pos = plummer(n);
+        g.bench_with_input(BenchmarkId::new("adaptive_s64", n), &n, |b, _| {
+            b.iter(|| black_box(build_adaptive(&pos, BuildParams::with_s(64))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_rebin(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tree_rebin");
+    g.sample_size(20);
+    for n in [10_000usize, 50_000] {
+        let mut pos = plummer(n);
+        let tree = build_adaptive(&pos, BuildParams::with_s(64));
+        for p in &mut pos {
+            *p *= 0.999;
+        }
+        g.bench_with_input(BenchmarkId::new("after_small_motion", n), &n, |b, _| {
+            b.iter_batched(
+                || tree.clone(),
+                |mut t| {
+                    t.rebin(&pos);
+                    black_box(t)
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_enforce_and_modify(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tree_modify");
+    g.sample_size(20);
+    let mut pos = plummer(20_000);
+    let tree = build_adaptive(&pos, BuildParams::with_s(64));
+    // Concentrate bodies so Enforce_S has real work.
+    for p in &mut pos {
+        *p = *p * 0.4 + geom::Vec3::splat(0.5);
+    }
+    let mut moved = tree.clone();
+    moved.rebin(&pos);
+    g.bench_function("enforce_s_after_contraction", |b| {
+        b.iter_batched(
+            || moved.clone(),
+            |mut t| {
+                black_box(t.enforce_s());
+                t
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    // The paper's claim that Collapse is "just a flag": collapse+reclaim of
+    // a batch must be orders of magnitude cheaper than a full rebuild.
+    let internals: Vec<_> = tree
+        .visible_nodes()
+        .into_iter()
+        .filter(|&id| {
+            id != Octree::ROOT
+                && !tree.node(id).is_leaf()
+                && tree.visible_children(id).all(|c| tree.node(c).is_leaf())
+        })
+        .take(32)
+        .collect();
+    g.bench_function("collapse_pushdown_batch32", |b| {
+        b.iter_batched(
+            || tree.clone(),
+            |mut t| {
+                for &id in &internals {
+                    t.collapse(id);
+                }
+                for &id in &internals {
+                    t.push_down(id);
+                }
+                black_box(t)
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    let p0 = plummer(20_000);
+    g.bench_function("full_rebuild_20k", |b| {
+        b.iter(|| black_box(build_adaptive(&p0, BuildParams::with_s(64))))
+    });
+    g.finish();
+}
+
+fn bench_traversal(c: &mut Criterion) {
+    let mut g = c.benchmark_group("traversal");
+    g.sample_size(20);
+    for n in [10_000usize, 50_000] {
+        let pos = plummer(n);
+        let tree = build_adaptive(&pos, BuildParams::with_s(64));
+        g.bench_with_input(BenchmarkId::new("dual_theta06", n), &n, |b, _| {
+            b.iter(|| black_box(dual_traversal(&tree, Mac::new(0.6))))
+        });
+        let lists = dual_traversal(&tree, Mac::new(0.6));
+        g.bench_with_input(BenchmarkId::new("count_ops", n), &n, |b, _| {
+            b.iter(|| black_box(count_ops(&tree, &lists)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_build,
+    bench_rebin,
+    bench_enforce_and_modify,
+    bench_traversal
+);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! **Fig 3** — CPU and GPU cost as a function of S on an *adaptive*
+//! decomposition: both curves vary gradually, so the crossover (the balanced
+//! operating point) can be approached smoothly. Contrast with Fig 4.
+//!
+//! Workload: Plummer sphere (the paper's main distribution), heterogeneous
+//! node with 10 CPU cores and 4 GPUs.
+
+use bench::{default_flops, fmt_s, print_tsv, s_grid, time_tree};
+use fmm_math::GravityKernel;
+use octree::{build_adaptive, BuildParams};
+
+fn main() {
+    let n = 50_000;
+    let bodies = nbody::plummer(n, 1.0, 1.0, 42);
+    let node = afmm::HeteroNode::system_a(10, 4);
+    let flops = default_flops(&GravityKernel::default());
+
+    let mut rows = Vec::new();
+    for s in s_grid(8, 4096, 4) {
+        let tree = build_adaptive(&bodies.pos, BuildParams::with_s(s));
+        let (timing, counts, _) = time_tree(&tree, &flops, &node);
+        rows.push(vec![
+            s.to_string(),
+            fmt_s(timing.t_cpu),
+            fmt_s(timing.t_gpu),
+            fmt_s(timing.compute()),
+            counts.p2p_interactions.to_string(),
+            counts.m2l_ops.to_string(),
+            tree.visible_leaves().len().to_string(),
+        ]);
+    }
+    print_tsv(
+        &format!(
+            "Fig 3: adaptive-decomposition cost vs S (Plummer N={n}, 10 cores, 4 GPUs) — \
+             gradual curves, smooth crossover"
+        ),
+        &["S", "t_cpu_s", "t_gpu_s", "compute_s", "p2p_pairs", "m2l_ops", "leaves"],
+        &rows,
+    );
+}

@@ -1,0 +1,43 @@
+//! **Fig 4** — the *Uniform Gap*: with a fixed-depth (uniform) decomposition
+//! the octree depth is `ceil(log8(N/S))`, so sweeping S produces a small
+//! number of discrete cost regimes with large jumps where a whole level is
+//! added or removed — "small changes in S may yield large discontinuities",
+//! making the uniform FMM hard to load balance. Contrast with Fig 3.
+//!
+//! Workload: uniform distribution (the gap's worst case), 10 cores + 4 GPUs.
+
+use bench::{default_flops, fmt_s, print_tsv, s_grid, time_tree};
+use fmm_math::GravityKernel;
+use octree::build_uniform;
+
+fn main() {
+    let n = 50_000usize;
+    let bodies = nbody::uniform_cube(n, 1.0, 43);
+    let node = afmm::HeteroNode::system_a(10, 4);
+    let flops = default_flops(&GravityKernel::default());
+
+    let mut rows = Vec::new();
+    for s in s_grid(8, 4096, 6) {
+        // The uniform FMM's rule: subdivide until the *expected* leaf
+        // population drops to S.
+        let depth = ((n as f64 / s as f64).log2() / 3.0).ceil().max(0.0) as u16;
+        let tree = build_uniform(&bodies.pos, depth, 1e-6);
+        let (timing, counts, _) = time_tree(&tree, &flops, &node);
+        rows.push(vec![
+            s.to_string(),
+            depth.to_string(),
+            fmt_s(timing.t_cpu),
+            fmt_s(timing.t_gpu),
+            fmt_s(timing.compute()),
+            counts.p2p_interactions.to_string(),
+        ]);
+    }
+    print_tsv(
+        &format!(
+            "Fig 4: uniform-decomposition cost vs S (uniform N={n}, 10 cores, 4 GPUs) — \
+             discrete regimes, jumps at level changes"
+        ),
+        &["S", "depth", "t_cpu_s", "t_gpu_s", "compute_s", "p2p_pairs"],
+        &rows,
+    );
+}

@@ -1,0 +1,73 @@
+//! **Fig 7** — heterogeneous-node speedup as a function of S for six
+//! CPU-core / GPU combinations, relative to the best single-core serial run
+//! (expansion *and* direct work on one core, at the serial-optimal S).
+//!
+//! The paper's headline: ≈98× with 10 cores + 4 GPUs on 1M bodies; it also
+//! highlights the *unbalanced-node* inversion — 10C2G (64×) beats 4C4G
+//! (57×) because a weak CPU side forces work onto the GPUs as
+//! asymptotically inferior direct interactions. This harness runs at the
+//! paper's full 1M-body scale (timing is virtual, so no GPU is needed);
+//! override with `fig7_hetero_speedup [bodies]`.
+
+use afmm::HeteroNode;
+use bench::{default_flops, fmt_s, print_tsv, s_grid, time_tree};
+use fmm_math::GravityKernel;
+use octree::{build_adaptive, BuildParams};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(1_000_000);
+    let bodies = nbody::plummer(n, 1.0, 1.0, 46);
+    let flops = default_flops(&GravityKernel::default());
+    let grid = s_grid(8, 4096, 3);
+
+    // Serial baseline: best S for everything on one core.
+    let serial = HeteroNode::serial();
+    let mut t_serial = f64::INFINITY;
+    let mut s_serial = 0;
+    for &s in &grid {
+        let tree = build_adaptive(&bodies.pos, BuildParams::with_s(s));
+        let t = time_tree(&tree, &flops, &serial).0.compute();
+        if t < t_serial {
+            t_serial = t;
+            s_serial = s;
+        }
+    }
+    println!("# serial baseline: S={s_serial}, t={:.4}s", t_serial);
+
+    let configs: [(usize, usize); 6] = [(4, 1), (10, 1), (4, 2), (10, 2), (4, 4), (10, 4)];
+    let mut rows = Vec::new();
+    let mut peaks = Vec::new();
+    for &(cores, gpus) in &configs {
+        let node = HeteroNode::system_a(cores, gpus);
+        let mut peak = (0usize, 0.0f64);
+        for &s in &grid {
+            let tree = build_adaptive(&bodies.pos, BuildParams::with_s(s));
+            let timing = time_tree(&tree, &flops, &node).0;
+            let speedup = t_serial / timing.compute();
+            rows.push(vec![
+                format!("{cores}C_{gpus}G"),
+                s.to_string(),
+                fmt_s(timing.t_cpu),
+                fmt_s(timing.t_gpu),
+                format!("{speedup:.2}"),
+            ]);
+            if speedup > peak.1 {
+                peak = (s, speedup);
+            }
+        }
+        peaks.push(format!("{cores}C_{gpus}G: peak {:.1}x at S={}", peak.1, peak.0));
+    }
+    print_tsv(
+        &format!(
+            "Fig 7: heterogeneous speedup vs S (Plummer N={n}) relative to 1-core serial; \
+             paper peaks: 10C4G=98x, 10C2G=64x, 4C4G=57x"
+        ),
+        &["config", "S", "t_cpu_s", "t_gpu_s", "speedup"],
+        &rows,
+    );
+    println!("# peaks:");
+    for p in peaks {
+        println!("#   {p}");
+    }
+}

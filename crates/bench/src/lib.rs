@@ -1,0 +1,80 @@
+//! Shared plumbing for the experiment harnesses (`src/bin/fig*.rs`,
+//! `src/bin/table*.rs`), one binary per table/figure of the paper's
+//! evaluation. Each binary prints a self-describing TSV series to stdout;
+//! EXPERIMENTS.md records paper-vs-measured for each.
+
+use afmm::{time_step, FmmParams, HeteroNode, TimingReport};
+use fmm_math::{Kernel, OpFlops};
+use octree::{count_ops, dual_traversal, InteractionLists, Octree, OpCounts};
+
+/// A geometric grid of S values, `per_decade` points per factor of 10.
+pub fn s_grid(lo: usize, hi: usize, per_decade: usize) -> Vec<usize> {
+    assert!(lo >= 1 && lo < hi && per_decade >= 1);
+    let step = 10f64.powf(1.0 / per_decade as f64);
+    let mut out = Vec::new();
+    let mut s = lo as f64;
+    while (s.round() as usize) <= hi {
+        let v = s.round() as usize;
+        if out.last() != Some(&v) {
+            out.push(v);
+        }
+        s *= step;
+    }
+    out
+}
+
+/// Print a TSV header + rows with a `#`-prefixed title block.
+pub fn print_tsv(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("# {title}");
+    println!("{}", header.join("\t"));
+    for r in rows {
+        println!("{}", r.join("\t"));
+    }
+    println!();
+}
+
+/// Format seconds with fixed precision suitable for the tables.
+pub fn fmt_s(t: f64) -> String {
+    format!("{t:.6}")
+}
+
+/// Time one tree (lists are computed here) on a node; convenience for the
+/// sweep harnesses that never need numeric solves.
+pub fn time_tree(
+    tree: &Octree,
+    flops: &OpFlops,
+    node: &HeteroNode,
+) -> (TimingReport, OpCounts, InteractionLists) {
+    let params = FmmParams::default();
+    let lists = dual_traversal(tree, params.mac);
+    let counts = count_ops(tree, &lists);
+    let timing = time_step(tree, &lists, flops, node);
+    (timing, counts, lists)
+}
+
+/// Op-flop table for a kernel at the default expansion order.
+pub fn default_flops<K: Kernel>(kernel: &K) -> OpFlops {
+    let ops = fmm_math::ExpansionOps::new(FmmParams::default().order);
+    kernel.op_flops(&ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn s_grid_is_geometric_and_deduped() {
+        let g = s_grid(8, 4096, 4);
+        assert_eq!(g.first(), Some(&8));
+        assert!(*g.last().unwrap() <= 4096);
+        for w in g.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        assert!(g.len() > 8);
+    }
+
+    #[test]
+    fn fmt_is_stable() {
+        assert_eq!(fmt_s(0.1234567), "0.123457");
+    }
+}

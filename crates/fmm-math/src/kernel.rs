@@ -1,0 +1,99 @@
+use crate::expansion::ExpansionOps;
+use geom::Vec3;
+
+/// Flop weights of the six FMM operations for a kernel/order combination.
+///
+/// These seed the virtual-hardware timing model; the *observational*
+/// coefficients of the paper's cost model are then derived from realized
+/// (simulated or wall-clock) times, not from this table.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OpFlops {
+    /// Per source body (P2M).
+    pub p2m_per_body: f64,
+    /// Per child translation (M2M).
+    pub m2m: f64,
+    /// Per source-target cell pair (M2L).
+    pub m2l: f64,
+    /// Per child translation (L2L).
+    pub l2l: f64,
+    /// Per target body (L2P).
+    pub l2p_per_body: f64,
+    /// Per body-body interaction (P2P).
+    pub p2p_per_pair: f64,
+}
+
+/// An interaction kernel usable by the AFMM.
+///
+/// A kernel defines how point strengths map into multipole channels (P2M),
+/// how local-expansion channels map back to per-body output (L2P), and the
+/// direct interaction (P2P). The M2M/M2L/L2L translations are
+/// kernel-independent (every channel is a harmonic 1/r-type expansion) and
+/// live on [`ExpansionOps`].
+///
+/// Strengths are stored flat with [`Kernel::strength_dim`] values per body;
+/// output is a potential-like scalar plus a [`Vec3`] per body (acceleration
+/// for gravity, velocity for Stokes flow).
+pub trait Kernel: Send + Sync {
+    /// Number of harmonic expansion channels.
+    fn channels(&self) -> usize;
+    /// Scalars of strength per source body (1 = mass, 3 = force vector).
+    fn strength_dim(&self) -> usize;
+    fn name(&self) -> &'static str;
+
+    /// Accumulate the multipole expansion (all channels) of the given
+    /// sources about `center` into `m` (length `channels * nterms`).
+    /// `pow_scratch` is a reusable `nterms` buffer.
+    fn p2m(
+        &self,
+        ops: &ExpansionOps,
+        center: Vec3,
+        pos: &[Vec3],
+        strength: &[f64],
+        m: &mut [f64],
+        pow_scratch: &mut Vec<f64>,
+    );
+
+    /// Evaluate the local expansion `l` about `center` at each target
+    /// position, accumulating into `pot` and `out`.
+    #[allow(clippy::too_many_arguments)]
+    fn l2p(
+        &self,
+        ops: &ExpansionOps,
+        center: Vec3,
+        l: &[f64],
+        pos: &[Vec3],
+        pot: &mut [f64],
+        out: &mut [Vec3],
+        pow_scratch: &mut Vec<f64>,
+    );
+
+    /// Direct interaction of every target with every source, accumulating
+    /// into `pot`/`out`. When `self_interaction` is true the slices describe
+    /// the *same* bodies and the diagonal (i == j) is skipped.
+    #[allow(clippy::too_many_arguments)]
+    fn p2p(
+        &self,
+        tpos: &[Vec3],
+        tpot: &mut [f64],
+        tout: &mut [Vec3],
+        spos: &[Vec3],
+        sstr: &[f64],
+        self_interaction: bool,
+    );
+
+    /// Flop weights for this kernel at the given expansion order.
+    fn op_flops(&self, ops: &ExpansionOps) -> OpFlops {
+        let c = self.channels();
+        OpFlops {
+            p2m_per_body: ops.per_body_flops(c),
+            m2m: ops.translate_flops(c),
+            m2l: ops.m2l_flops(c),
+            l2l: ops.translate_flops(c),
+            l2p_per_body: ops.per_body_flops(c),
+            p2p_per_pair: self.p2p_flops_per_pair(),
+        }
+    }
+
+    /// Flops of one direct body-body interaction.
+    fn p2p_flops_per_pair(&self) -> f64;
+}

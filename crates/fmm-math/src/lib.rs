@@ -1,0 +1,44 @@
+//! Cartesian Taylor-expansion mathematics for the adaptive fast multipole
+//! method.
+//!
+//! The original paper uses spherical-harmonics expansions; this crate
+//! implements the mathematically equivalent *cartesian* Taylor formulation of
+//! order `p` (see DESIGN.md §2 for why the substitution preserves the paper's
+//! behaviour): multipole coefficients are weighted moments
+//! `M_α = Σ_s q_s (y_s − c)^α / α!`, local coefficients are field derivatives
+//! `L_β = ∂^β Φ(c)`, and the M2L translation contracts multipole moments with
+//! the derivative tensor `∂^γ (1/r)` evaluated via McMurchie–Davidson
+//! recurrences.
+//!
+//! The six FMM operations of the paper map onto:
+//!
+//! | op  | function |
+//! |-----|----------|
+//! | P2M | [`Kernel::p2m`] |
+//! | M2M | [`ExpansionOps::m2m`] (kernel-independent) |
+//! | M2L | [`ExpansionOps::m2l`] (kernel-independent, shares one tensor across channels) |
+//! | L2L | [`ExpansionOps::l2l`] (kernel-independent) |
+//! | L2P | [`Kernel::l2p`] |
+//! | P2P | [`Kernel::p2p`] |
+//!
+//! Two kernels are provided: Newtonian [`GravityKernel`] (1 harmonic channel)
+//! and the regularized [`StokesletKernel`] of Cortez et al. (7 harmonic
+//! channels via the classical charge + dipole decomposition), whose M2L cost
+//! is several times the gravity cost — the property the paper exploits in its
+//! Fig. 10 experiment.
+
+mod expansion;
+mod kernel;
+mod laplace;
+mod multiindex;
+mod powers;
+mod stokeslet;
+mod tensor;
+
+pub use expansion::ExpansionOps;
+pub use kernel::{Kernel, OpFlops};
+pub use laplace::GravityKernel;
+pub use multiindex::{nterms, MultiIndexSet};
+pub use powers::power_series;
+pub use stokeslet::{StokesletKernel, STOKESLET_CHANNELS};
+pub use tensor::{deriv_1_over_r, DerivScratch};

@@ -1,0 +1,159 @@
+use crate::Vec3;
+
+/// An axis-aligned bounding box, stored as `min`/`max` corners.
+///
+/// The adaptive octree uses *cubes* (equal extents) for its cells; [`Aabb`]
+/// provides the generic box plus [`Aabb::cube_containing`] which inflates a
+/// box of points into the smallest enclosing cube, the root cell of a
+/// decomposition.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Aabb {
+    pub min: Vec3,
+    pub max: Vec3,
+}
+
+impl Aabb {
+    /// An "empty" box that absorbs any point via [`Aabb::grow`].
+    pub const EMPTY: Aabb = Aabb {
+        min: Vec3::splat(f64::INFINITY),
+        max: Vec3::splat(f64::NEG_INFINITY),
+    };
+
+    #[inline]
+    pub fn new(min: Vec3, max: Vec3) -> Self {
+        Aabb { min, max }
+    }
+
+    /// Box spanning all points in `pts`; `EMPTY` for an empty slice.
+    pub fn from_points(pts: &[Vec3]) -> Self {
+        pts.iter().fold(Aabb::EMPTY, |b, &p| b.grow(p))
+    }
+
+    /// Smallest box containing `self` and `p`.
+    #[inline]
+    pub fn grow(self, p: Vec3) -> Aabb {
+        Aabb::new(self.min.min(p), self.max.max(p))
+    }
+
+    /// Smallest box containing both boxes.
+    #[inline]
+    pub fn union(self, o: Aabb) -> Aabb {
+        Aabb::new(self.min.min(o.min), self.max.max(o.max))
+    }
+
+    #[inline]
+    pub fn center(self) -> Vec3 {
+        (self.min + self.max) * 0.5
+    }
+
+    /// Per-axis extents (`max - min`).
+    #[inline]
+    pub fn extents(self) -> Vec3 {
+        self.max - self.min
+    }
+
+    /// True when `min <= max` on every axis (EMPTY is not valid).
+    #[inline]
+    pub fn is_valid(self) -> bool {
+        self.min.x <= self.max.x && self.min.y <= self.max.y && self.min.z <= self.max.z
+    }
+
+    /// Closed-interval containment test.
+    #[inline]
+    pub fn contains(self, p: Vec3) -> bool {
+        p.x >= self.min.x
+            && p.x <= self.max.x
+            && p.y >= self.min.y
+            && p.y <= self.max.y
+            && p.z >= self.min.z
+            && p.z <= self.max.z
+    }
+
+    /// The smallest axis-aligned *cube* that contains every point, centered
+    /// on the points' bounding-box center and padded by `pad` (relative to
+    /// the half-width) so points sitting exactly on the surface stay strictly
+    /// inside after floating-point subdivision.
+    ///
+    /// Returns `(center, half_width)`. Degenerate inputs (all points equal)
+    /// get a tiny positive half-width so subdivision remains well defined.
+    pub fn cube_containing(pts: &[Vec3], pad: f64) -> (Vec3, f64) {
+        let b = Aabb::from_points(pts);
+        if !b.is_valid() {
+            return (Vec3::ZERO, 1.0);
+        }
+        let c = b.center();
+        let hw = (b.extents() * 0.5).max_component();
+        let hw = if hw > 0.0 { hw * (1.0 + pad) } else { 1e-12 };
+        (c, hw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_points_and_contains() {
+        let pts = [
+            Vec3::new(-1.0, 0.0, 2.0),
+            Vec3::new(3.0, -2.0, 0.5),
+            Vec3::new(0.0, 1.0, 1.0),
+        ];
+        let b = Aabb::from_points(&pts);
+        assert_eq!(b.min, Vec3::new(-1.0, -2.0, 0.5));
+        assert_eq!(b.max, Vec3::new(3.0, 1.0, 2.0));
+        for p in pts {
+            assert!(b.contains(p));
+        }
+        assert!(!b.contains(Vec3::new(10.0, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn empty_is_invalid_and_grows() {
+        assert!(!Aabb::EMPTY.is_valid());
+        let b = Aabb::EMPTY.grow(Vec3::ONE);
+        assert!(b.is_valid());
+        assert_eq!(b.min, Vec3::ONE);
+        assert_eq!(b.max, Vec3::ONE);
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a = Aabb::new(Vec3::ZERO, Vec3::ONE);
+        let b = Aabb::new(Vec3::splat(2.0), Vec3::splat(3.0));
+        let u = a.union(b);
+        assert!(u.contains(Vec3::ZERO));
+        assert!(u.contains(Vec3::splat(3.0)));
+    }
+
+    #[test]
+    fn cube_contains_all_points() {
+        let pts = [
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(4.0, 1.0, 1.0),
+            Vec3::new(2.0, -3.0, 0.0),
+        ];
+        let (c, hw) = Aabb::cube_containing(&pts, 1e-9);
+        for p in pts {
+            let d = p - c;
+            assert!(d.x.abs() <= hw && d.y.abs() <= hw && d.z.abs() <= hw);
+        }
+        // Cube, so half-width is half of the largest extent (padded).
+        assert!(hw >= 2.0);
+    }
+
+    #[test]
+    fn cube_degenerate_point_cloud() {
+        let pts = [Vec3::ONE; 5];
+        let (c, hw) = Aabb::cube_containing(&pts, 0.0);
+        assert_eq!(c, Vec3::ONE);
+        assert!(hw > 0.0);
+    }
+
+    #[test]
+    fn cube_empty_slice_defaults() {
+        let (c, hw) = Aabb::cube_containing(&[], 0.0);
+        assert_eq!(c, Vec3::ZERO);
+        assert_eq!(hw, 1.0);
+    }
+}

@@ -1,0 +1,13 @@
+//! Small 3D geometry primitives shared by the AFMM crates.
+//!
+//! This crate is dependency-free and holds the vocabulary types used across
+//! the workspace: [`Vec3`], [`Aabb`], and Morton (Z-order) encoding used by
+//! the adaptive octree.
+
+mod aabb;
+mod morton;
+mod vec3;
+
+pub use aabb::Aabb;
+pub use morton::{morton_decode, morton_encode, octant_of, MAX_MORTON_LEVEL};
+pub use vec3::Vec3;

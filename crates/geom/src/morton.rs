@@ -1,0 +1,101 @@
+use crate::Vec3;
+
+/// Deepest level representable by a 64-bit Morton code (21 bits per axis).
+pub const MAX_MORTON_LEVEL: u32 = 21;
+
+/// Spread the low 21 bits of `v` so there are two zero bits between
+/// consecutive payload bits (the classic "part by 2" bit trick).
+#[inline]
+fn part_by_2(v: u64) -> u64 {
+    let mut x = v & 0x1f_ffff; // 21 bits
+    x = (x | (x << 32)) & 0x1f00000000ffff;
+    x = (x | (x << 16)) & 0x1f0000ff0000ff;
+    x = (x | (x << 8)) & 0x100f00f00f00f00f;
+    x = (x | (x << 4)) & 0x10c30c30c30c30c3;
+    x = (x | (x << 2)) & 0x1249249249249249;
+    x
+}
+
+/// Inverse of [`part_by_2`].
+#[inline]
+fn compact_by_2(v: u64) -> u64 {
+    let mut x = v & 0x1249249249249249;
+    x = (x | (x >> 2)) & 0x10c30c30c30c30c3;
+    x = (x | (x >> 4)) & 0x100f00f00f00f00f;
+    x = (x | (x >> 8)) & 0x1f0000ff0000ff;
+    x = (x | (x >> 16)) & 0x1f00000000ffff;
+    x = (x | (x >> 32)) & 0x1f_ffff;
+    x
+}
+
+/// Interleave three 21-bit cell coordinates into a 63-bit Morton code
+/// (x lowest). Coordinates beyond 21 bits are truncated.
+#[inline]
+pub fn morton_encode(ix: u64, iy: u64, iz: u64) -> u64 {
+    part_by_2(ix) | (part_by_2(iy) << 1) | (part_by_2(iz) << 2)
+}
+
+/// Recover the three cell coordinates from a Morton code.
+#[inline]
+pub fn morton_decode(code: u64) -> (u64, u64, u64) {
+    (compact_by_2(code), compact_by_2(code >> 1), compact_by_2(code >> 2))
+}
+
+/// Which of the eight child octants of the cube centered at `center` does
+/// point `p` fall into? Bit 0 = x-high, bit 1 = y-high, bit 2 = z-high —
+/// the same convention as Morton interleaving, so a path of octants down
+/// the tree concatenates into a Morton prefix.
+#[inline]
+pub fn octant_of(center: Vec3, p: Vec3) -> usize {
+    ((p.x >= center.x) as usize)
+        | (((p.y >= center.y) as usize) << 1)
+        | (((p.z >= center.z) as usize) << 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip_small() {
+        for x in 0..8u64 {
+            for y in 0..8u64 {
+                for z in 0..8u64 {
+                    let c = morton_encode(x, y, z);
+                    assert_eq!(morton_decode(c), (x, y, z));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_large() {
+        let max = (1u64 << MAX_MORTON_LEVEL) - 1;
+        for &(x, y, z) in &[(max, 0, max), (12345, 991123, max), (max, max, max)] {
+            assert_eq!(morton_decode(morton_encode(x, y, z)), (x, y, z));
+        }
+    }
+
+    #[test]
+    fn morton_orders_by_octant_first() {
+        // The highest interleaved bits come from the highest coordinate bits,
+        // so codes sort by top-level octant before anything else.
+        let lo = morton_encode(0, 0, 0);
+        let hi = morton_encode(1 << 20, 0, 0); // x-high top-level octant
+        let inner = morton_encode((1 << 20) - 1, (1 << 20) - 1, (1 << 20) - 1);
+        assert!(lo < hi);
+        assert!(inner < hi);
+    }
+
+    #[test]
+    fn octant_convention() {
+        let c = Vec3::ZERO;
+        assert_eq!(octant_of(c, Vec3::new(-1.0, -1.0, -1.0)), 0);
+        assert_eq!(octant_of(c, Vec3::new(1.0, -1.0, -1.0)), 1);
+        assert_eq!(octant_of(c, Vec3::new(-1.0, 1.0, -1.0)), 2);
+        assert_eq!(octant_of(c, Vec3::new(-1.0, -1.0, 1.0)), 4);
+        assert_eq!(octant_of(c, Vec3::new(1.0, 1.0, 1.0)), 7);
+        // Boundary points go to the "high" side (>=).
+        assert_eq!(octant_of(c, Vec3::ZERO), 7);
+    }
+}

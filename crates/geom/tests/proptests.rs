@@ -1,0 +1,84 @@
+//! Property tests for the geometry primitives.
+
+use geom::{morton_decode, morton_encode, octant_of, Aabb, Vec3, MAX_MORTON_LEVEL};
+use proptest::prelude::*;
+
+fn arb_vec3() -> impl Strategy<Value = Vec3> {
+    (-1e6f64..1e6, -1e6f64..1e6, -1e6f64..1e6).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+proptest! {
+    #[test]
+    fn morton_roundtrip(x in 0u64..(1 << MAX_MORTON_LEVEL), y in 0u64..(1 << MAX_MORTON_LEVEL), z in 0u64..(1 << MAX_MORTON_LEVEL)) {
+        prop_assert_eq!(morton_decode(morton_encode(x, y, z)), (x, y, z));
+    }
+
+    /// Morton codes sort by top-level octant first: the high octant bits
+    /// dominate the comparison.
+    #[test]
+    fn morton_orders_by_coarse_octant(
+        a in (0u64..(1 << MAX_MORTON_LEVEL), 0u64..(1 << MAX_MORTON_LEVEL), 0u64..(1 << MAX_MORTON_LEVEL)),
+        b in (0u64..(1 << MAX_MORTON_LEVEL), 0u64..(1 << MAX_MORTON_LEVEL), 0u64..(1 << MAX_MORTON_LEVEL)),
+    ) {
+        let top = |v: u64| v >> (MAX_MORTON_LEVEL - 1);
+        let oct_a = top(a.0) | (top(a.1) << 1) | (top(a.2) << 2);
+        let oct_b = top(b.0) | (top(b.1) << 1) | (top(b.2) << 2);
+        let ca = morton_encode(a.0, a.1, a.2);
+        let cb = morton_encode(b.0, b.1, b.2);
+        if oct_a != oct_b {
+            prop_assert_eq!(ca < cb, oct_a < oct_b);
+        }
+    }
+
+    #[test]
+    fn vector_algebra_identities(a in arb_vec3(), b in arb_vec3(), s in -100f64..100.0) {
+        // Distributivity and scaling.
+        let lhs = (a + b) * s;
+        let rhs = a * s + b * s;
+        prop_assert!((lhs - rhs).norm() <= 1e-9 * (lhs.norm() + 1.0));
+        // Cross product is antisymmetric and orthogonal to both arguments.
+        let c = a.cross(b);
+        prop_assert!((c + b.cross(a)).norm() <= 1e-9 * (c.norm() + 1.0));
+        let scale = a.norm() * b.norm();
+        if scale > 1e-6 {
+            prop_assert!(c.dot(a).abs() <= 1e-6 * scale * (a.norm() + 1.0));
+            prop_assert!(c.dot(b).abs() <= 1e-6 * scale * (b.norm() + 1.0));
+        }
+        // Cauchy–Schwarz.
+        prop_assert!(a.dot(b).abs() <= a.norm() * b.norm() * (1.0 + 1e-12) + 1e-12);
+    }
+
+    #[test]
+    fn cube_containing_contains_all(pts in prop::collection::vec(arb_vec3(), 1..100)) {
+        let (c, hw) = Aabb::cube_containing(&pts, 1e-9);
+        for p in &pts {
+            let d = *p - c;
+            prop_assert!(d.x.abs() <= hw * (1.0 + 1e-9));
+            prop_assert!(d.y.abs() <= hw * (1.0 + 1e-9));
+            prop_assert!(d.z.abs() <= hw * (1.0 + 1e-9));
+        }
+        prop_assert!(hw > 0.0);
+    }
+
+    #[test]
+    fn aabb_union_contains_both(pts1 in prop::collection::vec(arb_vec3(), 1..20), pts2 in prop::collection::vec(arb_vec3(), 1..20)) {
+        let a = Aabb::from_points(&pts1);
+        let b = Aabb::from_points(&pts2);
+        let u = a.union(b);
+        for p in pts1.iter().chain(&pts2) {
+            prop_assert!(u.contains(*p));
+        }
+    }
+
+    /// The octant convention is consistent with Morton interleaving: moving
+    /// a point across the center plane flips exactly that octant bit.
+    #[test]
+    fn octant_bit_convention(c in arb_vec3(), off in (1e-3f64..1e3, 1e-3f64..1e3, 1e-3f64..1e3)) {
+        let p = c + Vec3::new(off.0, off.1, off.2);
+        prop_assert_eq!(octant_of(c, p), 7);
+        let q = c - Vec3::new(off.0, off.1, off.2);
+        prop_assert_eq!(octant_of(c, q), 0);
+        let mixed = c + Vec3::new(off.0, -off.1, off.2);
+        prop_assert_eq!(octant_of(c, mixed), 0b101);
+    }
+}

@@ -1,0 +1,32 @@
+//! Simulated CUDA-like accelerators for the AFMM's near-field (P2P) work.
+//!
+//! The paper runs all-pairs P2P kernels on 1–4 Tesla C2050 GPUs; this
+//! machine has none, so the reproduction executes the *physics* on the host
+//! (exactly — see the `afmm` crate) while this crate models the *clock* of
+//! the paper's execution scheme faithfully:
+//!
+//! * one thread per target body, blocks of `block_size` threads
+//!   ([`GpuSpec::block_size`]), as many blocks as needed per target node;
+//! * source bodies loaded cooperatively in tiles, then marched through in
+//!   lock step (the Nyland–Harris–Prins all-pairs scheme the paper adapts);
+//! * threads in a partially filled block idle but still occupy the block —
+//!   the efficiency loss for "small target nodes which have a large number
+//!   of sources" the paper calls out;
+//! * blocks scheduled greedily over SM slots; kernel time is the SM
+//!   makespan (the simulated `cudaEventElapsedTime`);
+//! * a multi-GPU [`GpuSystem`] with the paper's interaction-count walk
+//!   partition, where GPU time is the **maximum** kernel time over devices.
+//!
+//! Everything is deterministic: same jobs + same spec ⇒ same times.
+
+mod device;
+mod partition;
+mod spec;
+mod system;
+
+pub use device::{ExpansionJob, KernelReport, P2pJob, SimGpu};
+pub use partition::{
+    partition_by_interactions, partition_by_interactions_weighted, partition_by_node_count,
+};
+pub use spec::GpuSpec;
+pub use system::{GpuSystem, KernelTiming};

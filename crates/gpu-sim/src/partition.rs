@@ -1,0 +1,163 @@
+/// The paper's multi-GPU work division: walk the target-node list in order,
+/// accumulating `Interactions(t)`; once the running count for the current
+/// GPU meets or exceeds `total / n_gpus`, start filling the next GPU.
+///
+/// Every target node goes to exactly one GPU ("there is no target node whose
+/// calculations are spread out over more than one GPU"). Returns `n_gpus`
+/// groups of indices into `weights`; trailing groups may be empty when there
+/// are fewer nodes than GPUs.
+pub fn partition_by_interactions(weights: &[u64], n_gpus: usize) -> Vec<Vec<usize>> {
+    assert!(n_gpus >= 1);
+    let mut groups = vec![Vec::new(); n_gpus];
+    if weights.is_empty() {
+        return groups;
+    }
+    let total: u64 = weights.iter().sum();
+    let share = total.div_ceil(n_gpus as u64).max(1);
+    let mut g = 0usize;
+    let mut acc = 0u64;
+    for (i, &w) in weights.iter().enumerate() {
+        groups[g].push(i);
+        acc += w;
+        if acc >= share && g + 1 < n_gpus {
+            g += 1;
+            acc = 0;
+        }
+    }
+    groups
+}
+
+/// Extension of the paper's walk to *heterogeneous* device mixes: device
+/// `i` with relative speed `shares[i]` is filled until it holds
+/// `total · shares[i] / Σ shares` interactions, then the walk moves on.
+/// With equal shares this reduces exactly to [`partition_by_interactions`].
+pub fn partition_by_interactions_weighted(weights: &[u64], shares: &[f64]) -> Vec<Vec<usize>> {
+    let n = shares.len();
+    assert!(n >= 1);
+    assert!(shares.iter().all(|&s| s > 0.0 && s.is_finite()));
+    let mut groups = vec![Vec::new(); n];
+    if weights.is_empty() {
+        return groups;
+    }
+    let total: u64 = weights.iter().sum();
+    let share_sum: f64 = shares.iter().sum();
+    let mut g = 0usize;
+    let mut acc = 0u64;
+    let mut quota = (total as f64 * shares[0] / share_sum).ceil().max(1.0) as u64;
+    for (i, &w) in weights.iter().enumerate() {
+        groups[g].push(i);
+        acc += w;
+        if acc >= quota && g + 1 < n {
+            g += 1;
+            acc = 0;
+            quota = (total as f64 * shares[g] / share_sum).ceil().max(1.0) as u64;
+        }
+    }
+    groups
+}
+
+/// Naive baseline for the ablation bench: split the target-node list into
+/// `n_gpus` contiguous groups of (nearly) equal *node count*, ignoring how
+/// much work each node carries.
+pub fn partition_by_node_count(n_items: usize, n_gpus: usize) -> Vec<Vec<usize>> {
+    assert!(n_gpus >= 1);
+    let mut groups = vec![Vec::new(); n_gpus];
+    let base = n_items / n_gpus;
+    let extra = n_items % n_gpus;
+    let mut i = 0usize;
+    for (g, group) in groups.iter_mut().enumerate() {
+        let len = base + usize::from(g < extra);
+        group.extend(i..i + len);
+        i += len;
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn covers_exactly_once(groups: &[Vec<usize>], n: usize) {
+        let mut seen = vec![false; n];
+        for g in groups {
+            for &i in g {
+                assert!(!seen[i], "item {i} assigned twice");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "some item unassigned");
+    }
+
+    #[test]
+    fn interaction_partition_covers_all_items() {
+        let w: Vec<u64> = (0..57).map(|i| (i * 37 % 100 + 1) as u64).collect();
+        for n in [1usize, 2, 3, 4, 8] {
+            let groups = partition_by_interactions(&w, n);
+            assert_eq!(groups.len(), n);
+            covers_exactly_once(&groups, w.len());
+        }
+    }
+
+    #[test]
+    fn uniform_weights_split_evenly() {
+        let w = vec![10u64; 40];
+        let groups = partition_by_interactions(&w, 4);
+        for g in &groups {
+            assert_eq!(g.len(), 10, "{groups:?}");
+        }
+    }
+
+    #[test]
+    fn imbalance_bounded_by_one_item() {
+        // Each group's weight exceeds the ideal share by at most the weight
+        // of its last (straddling) item — the guarantee of the paper's walk.
+        let w: Vec<u64> = (0..200).map(|i| (i * 7919 % 500 + 1) as u64).collect();
+        let n = 4;
+        let total: u64 = w.iter().sum();
+        let share = total.div_ceil(n as u64);
+        let groups = partition_by_interactions(&w, n);
+        for g in &groups {
+            let sum: u64 = g.iter().map(|&i| w[i]).sum();
+            let max_item = g.iter().map(|&i| w[i]).max().unwrap_or(0);
+            assert!(sum <= share + max_item, "group weight {sum} vs share {share}");
+        }
+    }
+
+    #[test]
+    fn order_is_preserved() {
+        let w = vec![5u64; 10];
+        let groups = partition_by_interactions(&w, 3);
+        let flat: Vec<usize> = groups.concat();
+        assert_eq!(flat, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn one_gpu_gets_everything() {
+        let w = vec![1u64, 2, 3];
+        let groups = partition_by_interactions(&w, 1);
+        assert_eq!(groups, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn more_gpus_than_items() {
+        let w = vec![100u64, 100];
+        let groups = partition_by_interactions(&w, 4);
+        assert_eq!(groups.len(), 4);
+        covers_exactly_once(&groups, 2);
+    }
+
+    #[test]
+    fn empty_weights() {
+        let groups = partition_by_interactions(&[], 3);
+        assert_eq!(groups, vec![Vec::<usize>::new(); 3]);
+    }
+
+    #[test]
+    fn node_count_partition_is_even() {
+        let groups = partition_by_node_count(10, 3);
+        assert_eq!(groups[0].len(), 4);
+        assert_eq!(groups[1].len(), 3);
+        assert_eq!(groups[2].len(), 3);
+        covers_exactly_once(&groups, 10);
+    }
+}

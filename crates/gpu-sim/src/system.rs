@@ -1,0 +1,279 @@
+use crate::device::{KernelReport, P2pJob, SimGpu};
+use crate::partition::partition_by_interactions;
+use crate::spec::GpuSpec;
+
+/// Timing of one multi-GPU P2P launch: one kernel per device, as in the
+/// paper ("for a single FMM solve, a single kernel is launched on each
+/// GPU").
+#[derive(Clone, Debug)]
+pub struct KernelTiming {
+    /// Per-device kernel reports, index = device.
+    pub per_gpu: Vec<KernelReport>,
+    /// Which job indices each device executed.
+    pub assignment: Vec<Vec<usize>>,
+}
+
+impl KernelTiming {
+    /// The paper's **GPU Time**: the maximum of all per-device kernel times
+    /// in the step.
+    pub fn gpu_time(&self) -> f64 {
+        self.per_gpu.iter().map(|r| r.elapsed_s).fold(0.0, f64::max)
+    }
+
+    /// Total useful interactions over all devices.
+    pub fn total_pairs(&self) -> u64 {
+        self.per_gpu.iter().map(|r| r.useful_pairs).sum()
+    }
+
+    /// Whole-system SIMT efficiency (useful / occupied thread work).
+    pub fn efficiency(&self) -> f64 {
+        let useful: u64 = self.per_gpu.iter().map(|r| r.useful_pairs).sum();
+        let occ: u64 = self.per_gpu.iter().map(|r| r.occupied_pairs).sum();
+        if occ == 0 {
+            1.0
+        } else {
+            useful as f64 / occ as f64
+        }
+    }
+}
+
+/// A set of simulated GPUs sharing the node, executing the AFMM's direct
+/// work each time step.
+#[derive(Clone, Debug)]
+pub struct GpuSystem {
+    gpus: Vec<SimGpu>,
+}
+
+impl GpuSystem {
+    /// `n` identical devices.
+    pub fn homogeneous(n: usize, spec: GpuSpec) -> Self {
+        assert!(n >= 1, "system needs at least one GPU");
+        GpuSystem { gpus: vec![SimGpu::new(spec); n] }
+    }
+
+    /// A mixed-device system (extension beyond the paper, which assumes
+    /// identical GPUs). [`GpuSystem::execute_weighted`] partitions work in
+    /// proportion to each device's peak throughput.
+    pub fn heterogeneous(specs: Vec<GpuSpec>) -> Self {
+        assert!(!specs.is_empty(), "system needs at least one GPU");
+        GpuSystem { gpus: specs.into_iter().map(SimGpu::new).collect() }
+    }
+
+    /// Partition `jobs` by the speed-weighted walk (each device's share is
+    /// proportional to its peak pair throughput) and run one kernel per
+    /// device. On a homogeneous system this is identical to
+    /// [`GpuSystem::execute`].
+    pub fn execute_weighted(&self, jobs: &[P2pJob]) -> KernelTiming {
+        let weights: Vec<u64> = jobs.iter().map(P2pJob::interactions).collect();
+        let shares: Vec<f64> = self.gpus.iter().map(|g| g.spec.peak_pairs_per_sec()).collect();
+        let assignment =
+            crate::partition::partition_by_interactions_weighted(&weights, &shares);
+        self.execute_with_partition(jobs, assignment)
+    }
+
+    pub fn num_gpus(&self) -> usize {
+        self.gpus.len()
+    }
+
+    pub fn spec(&self, i: usize) -> &GpuSpec {
+        &self.gpus[i].spec
+    }
+
+    /// Partition `jobs` by the paper's interaction-count walk and run one
+    /// kernel per device.
+    pub fn execute(&self, jobs: &[P2pJob]) -> KernelTiming {
+        let weights: Vec<u64> = jobs.iter().map(P2pJob::interactions).collect();
+        let assignment = partition_by_interactions(&weights, self.gpus.len());
+        self.execute_with_partition(jobs, assignment)
+    }
+
+    /// Partition offloaded expansion jobs by body count (the analogue of
+    /// the interaction walk) and run one expansion kernel per device.
+    pub fn execute_expansions(&self, jobs: &[crate::device::ExpansionJob]) -> KernelTiming {
+        let weights: Vec<u64> = jobs.iter().map(|j| j.bodies as u64).collect();
+        let assignment = partition_by_interactions(&weights, self.gpus.len());
+        let per_gpu = self
+            .gpus
+            .iter()
+            .zip(&assignment)
+            .map(|(gpu, idxs)| {
+                let mine: Vec<_> = idxs.iter().map(|&i| jobs[i]).collect();
+                gpu.run_expansion_kernel(&mine)
+            })
+            .collect();
+        KernelTiming { per_gpu, assignment }
+    }
+
+    /// Run one kernel per device with a caller-provided partition (used by
+    /// the partitioning ablation). `assignment.len()` must equal the device
+    /// count.
+    pub fn execute_with_partition(
+        &self,
+        jobs: &[P2pJob],
+        assignment: Vec<Vec<usize>>,
+    ) -> KernelTiming {
+        assert_eq!(assignment.len(), self.gpus.len());
+        let per_gpu = self
+            .gpus
+            .iter()
+            .zip(&assignment)
+            .map(|(gpu, idxs)| {
+                let mine: Vec<P2pJob> = idxs.iter().map(|&i| jobs[i].clone()).collect();
+                gpu.run_kernel(&mine)
+            })
+            .collect();
+        KernelTiming { per_gpu, assignment }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A workload with many similar jobs — the regime of the paper's
+    /// Table I GPU-scaling measurement.
+    fn plummer_like_jobs(n: usize) -> Vec<P2pJob> {
+        (0..n)
+            .map(|i| {
+                let t = 60 + (i * 131) % 80;
+                let srcs = vec![64 + (i * 17) % 70; 20 + i % 9];
+                P2pJob::new(t, srcs)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn gpu_scaling_matches_table1_shape() {
+        // Paper Table I: speedups ≈ 1.00, 1.97, 2.95, 3.92 for 1..4 GPUs on
+        // a fixed workload.
+        let jobs = plummer_like_jobs(4000);
+        let t1 = GpuSystem::homogeneous(1, GpuSpec::default()).execute(&jobs).gpu_time();
+        for (n, expect) in [(2usize, 1.97), (3, 2.95), (4, 3.92)] {
+            let tn = GpuSystem::homogeneous(n, GpuSpec::default()).execute(&jobs).gpu_time();
+            let speedup = t1 / tn;
+            assert!(
+                (speedup - expect).abs() < 0.25,
+                "{n} GPUs: speedup {speedup:.2}, paper {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn gpu_time_is_max_over_devices() {
+        let jobs = plummer_like_jobs(100);
+        let timing = GpuSystem::homogeneous(3, GpuSpec::default()).execute(&jobs);
+        let max = timing.per_gpu.iter().map(|r| r.elapsed_s).fold(0.0, f64::max);
+        assert_eq!(timing.gpu_time(), max);
+    }
+
+    #[test]
+    fn all_jobs_executed_exactly_once() {
+        let jobs = plummer_like_jobs(57);
+        let timing = GpuSystem::homogeneous(4, GpuSpec::default()).execute(&jobs);
+        let mut seen = vec![false; jobs.len()];
+        for g in &timing.assignment {
+            for &i in g {
+                assert!(!seen[i]);
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+        let expect: u64 = jobs.iter().map(P2pJob::interactions).sum();
+        assert_eq!(timing.total_pairs(), expect);
+    }
+
+    #[test]
+    fn interaction_partition_beats_node_count_on_skew() {
+        use crate::partition::partition_by_node_count;
+        // Heavily skewed: early nodes tiny, late nodes huge. Node-count
+        // partition puts all the weight on the last GPU.
+        let mut jobs = vec![P2pJob::new(4, vec![16]); 60];
+        jobs.extend((0..20).map(|_| P2pJob::new(128, vec![512; 30])));
+        let sys = GpuSystem::homogeneous(4, GpuSpec::default());
+        let smart = sys.execute(&jobs).gpu_time();
+        let naive = sys
+            .execute_with_partition(&jobs, partition_by_node_count(jobs.len(), 4))
+            .gpu_time();
+        assert!(
+            naive > 1.5 * smart,
+            "naive {naive} should be much worse than smart {smart}"
+        );
+    }
+
+    #[test]
+    fn efficiency_reflects_leaf_sizes() {
+        let spec = GpuSpec::default();
+        let sys = GpuSystem::homogeneous(2, spec);
+        // Full blocks everywhere.
+        let good: Vec<P2pJob> = (0..50).map(|_| P2pJob::new(spec.block_size, vec![512])).collect();
+        // Tiny targets, huge source streams.
+        let bad: Vec<P2pJob> = (0..50).map(|_| P2pJob::new(3, vec![512; 10])).collect();
+        assert_eq!(sys.execute(&good).efficiency(), 1.0);
+        assert!(sys.execute(&bad).efficiency() < 0.2);
+    }
+
+    #[test]
+    fn deterministic() {
+        let jobs = plummer_like_jobs(333);
+        let sys = GpuSystem::homogeneous(4, GpuSpec::default());
+        let a = sys.execute(&jobs);
+        let b = sys.execute(&jobs);
+        assert_eq!(a.gpu_time(), b.gpu_time());
+        assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    fn empty_workload() {
+        let sys = GpuSystem::homogeneous(2, GpuSpec::default());
+        let timing = sys.execute(&[]);
+        assert_eq!(timing.gpu_time(), 0.0);
+        assert_eq!(timing.total_pairs(), 0);
+    }
+
+    #[test]
+    fn weighted_equals_plain_on_homogeneous_system() {
+        let jobs = plummer_like_jobs(200);
+        let sys = GpuSystem::homogeneous(3, GpuSpec::default());
+        let a = sys.execute(&jobs);
+        let b = sys.execute_weighted(&jobs);
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.gpu_time(), b.gpu_time());
+    }
+
+    #[test]
+    fn weighted_partition_balances_mixed_devices() {
+        // One full-speed C2050 and one half-clock device: the weighted walk
+        // must beat the equal-share walk.
+        let fast = GpuSpec::default();
+        let slow = GpuSpec { clock_hz: fast.clock_hz / 2.0, ..fast };
+        let sys = GpuSystem::heterogeneous(vec![fast, slow]);
+        let jobs = plummer_like_jobs(600);
+        let equal = sys.execute(&jobs).gpu_time();
+        let weighted = sys.execute_weighted(&jobs).gpu_time();
+        assert!(
+            weighted < 0.85 * equal,
+            "weighted {weighted} should clearly beat equal-share {equal}"
+        );
+        // And the fast device must carry roughly 2/3 of the interactions.
+        let t = sys.execute_weighted(&jobs);
+        let w0: u64 = t.per_gpu[0].useful_pairs;
+        let w1: u64 = t.per_gpu[1].useful_pairs;
+        let frac = w0 as f64 / (w0 + w1) as f64;
+        assert!((0.55..0.8).contains(&frac), "fast-device share {frac}");
+    }
+
+    #[test]
+    fn expansion_kernels_scale_with_devices() {
+        use crate::device::ExpansionJob;
+        let jobs: Vec<ExpansionJob> = (0..200)
+            .map(|i| ExpansionJob { bodies: 64 + i % 128, cycles_per_body: 50_000.0 })
+            .collect();
+        let t1 = GpuSystem::homogeneous(1, GpuSpec::default())
+            .execute_expansions(&jobs)
+            .gpu_time();
+        let t4 = GpuSystem::homogeneous(4, GpuSpec::default())
+            .execute_expansions(&jobs)
+            .gpu_time();
+        assert!(t4 < 0.4 * t1, "expansion offload must scale: {t1} -> {t4}");
+    }
+}

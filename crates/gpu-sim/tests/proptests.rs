@@ -1,0 +1,137 @@
+//! Property tests of the simulated GPU system: timing model monotonicity,
+//! efficiency bounds, partition coverage, and device-count scaling.
+
+use gpu_sim::{partition_by_interactions, GpuSpec, GpuSystem, P2pJob, SimGpu};
+use proptest::prelude::*;
+
+fn arb_jobs(max: usize) -> impl Strategy<Value = Vec<P2pJob>> {
+    prop::collection::vec(
+        (1usize..400, prop::collection::vec(1usize..300, 1..12))
+            .prop_map(|(t, s)| P2pJob::new(t, s)),
+        1..max,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Kernel time never decreases when a job is added.
+    #[test]
+    fn kernel_time_monotone_in_jobs(jobs in arb_jobs(40), extra in arb_jobs(4)) {
+        let gpu = SimGpu::new(GpuSpec::default());
+        let t0 = gpu.run_kernel(&jobs).elapsed_s;
+        let mut more = jobs.clone();
+        more.extend(extra);
+        let t1 = gpu.run_kernel(&more).elapsed_s;
+        prop_assert!(t1 + 1e-15 >= t0);
+    }
+
+    /// Efficiency is a proper fraction, and occupied work is at least the
+    /// useful work.
+    #[test]
+    fn efficiency_bounds(jobs in arb_jobs(40)) {
+        let r = SimGpu::new(GpuSpec::default()).run_kernel(&jobs);
+        prop_assert!(r.occupied_pairs >= r.useful_pairs);
+        let e = r.efficiency();
+        prop_assert!(e > 0.0 && e <= 1.0, "efficiency {e}");
+        let expect: u64 = jobs.iter().map(P2pJob::interactions).sum();
+        prop_assert_eq!(r.useful_pairs, expect);
+    }
+
+    /// Kernel time is bounded below by the total useful work over all SM
+    /// thread slots, and above by serializing every block on one SM.
+    #[test]
+    fn kernel_time_bounds(jobs in arb_jobs(30)) {
+        let spec = GpuSpec::default();
+        let gpu = SimGpu::new(spec);
+        let r = gpu.run_kernel(&jobs);
+        if r.blocks == 0 {
+            return Ok(());
+        }
+        let elapsed = r.elapsed_s - spec.launch_overhead_s;
+        // Lower bound: occupied thread-steps spread perfectly over all SMs.
+        let lower = r.occupied_pairs as f64 * spec.pair_cycles
+            / (spec.sms as f64 * spec.block_size as f64)
+            / spec.clock_hz;
+        prop_assert!(elapsed >= lower * 0.999, "elapsed {elapsed} < lower {lower}");
+        // Upper bound: one SM runs everything serially (with tile loads).
+        let serial: f64 = jobs
+            .iter()
+            .filter(|j| j.targets > 0 && j.total_sources() > 0)
+            .map(|j| {
+                let blocks = j.targets.div_ceil(spec.block_size) as f64;
+                let cyc: f64 = j
+                    .source_counts
+                    .iter()
+                    .map(|&n| {
+                        n.div_ceil(spec.block_size) as f64 * spec.tile_load_cycles
+                            + n as f64 * spec.pair_cycles
+                    })
+                    .sum();
+                blocks * cyc
+            })
+            .sum::<f64>()
+            / spec.clock_hz;
+        prop_assert!(elapsed <= serial * 1.001 + 1e-15, "elapsed {elapsed} > serial {serial}");
+    }
+
+    /// Adding GPUs is never a *large* regression. (Strict monotonicity is
+    /// false for the paper's single-pass walk — shifting share boundaries
+    /// can strand one straggler job — but any regression is bounded by the
+    /// scheduling-anomaly factor.)
+    #[test]
+    fn more_gpus_bounded_regression(jobs in arb_jobs(40), n in 1usize..4) {
+        let t_1 = GpuSystem::homogeneous(1, GpuSpec::default()).execute(&jobs).gpu_time();
+        let t_m = GpuSystem::homogeneous(n + 1, GpuSpec::default()).execute(&jobs).gpu_time();
+        prop_assert!(t_m <= 1.5 * t_1 + 1e-12, "1->{} gpus: {t_1} -> {t_m}", n + 1);
+        // And with enough uniform work, scaling genuinely helps.
+        let big: Vec<P2pJob> = (0..256).map(|_| P2pJob::new(128, vec![256; 8])).collect();
+        let b1 = GpuSystem::homogeneous(1, GpuSpec::default()).execute(&big).gpu_time();
+        let b4 = GpuSystem::homogeneous(4, GpuSpec::default()).execute(&big).gpu_time();
+        prop_assert!(b4 < 0.35 * b1, "b1 {b1} b4 {b4}");
+    }
+
+    /// System-level totals are partition-invariant: useful pairs add up the
+    /// same however jobs are split.
+    #[test]
+    fn totals_partition_invariant(jobs in arb_jobs(40), n in 1usize..6) {
+        let sys = GpuSystem::homogeneous(n, GpuSpec::default());
+        let t = sys.execute(&jobs);
+        let expect: u64 = jobs.iter().map(P2pJob::interactions).sum();
+        prop_assert_eq!(t.total_pairs(), expect);
+    }
+
+    /// The partition walk never assigns out of order and never skips.
+    #[test]
+    fn partition_walk_correct(weights in prop::collection::vec(0u64..100_000, 0..300), n in 1usize..9) {
+        let groups = partition_by_interactions(&weights, n);
+        let flat: Vec<usize> = groups.concat();
+        prop_assert_eq!(flat, (0..weights.len()).collect::<Vec<_>>());
+    }
+}
+
+proptest! {
+    /// With equal shares the weighted walk reduces exactly to the paper's.
+    #[test]
+    fn weighted_with_equal_shares_is_plain(
+        weights in prop::collection::vec(0u64..10_000, 0..200),
+        n in 1usize..6,
+    ) {
+        let plain = partition_by_interactions(&weights, n);
+        let weighted =
+            gpu_sim::partition_by_interactions_weighted(&weights, &vec![1.0; n]);
+        prop_assert_eq!(plain, weighted);
+    }
+
+    /// The weighted walk covers every item exactly once in order.
+    #[test]
+    fn weighted_partition_covers(
+        weights in prop::collection::vec(0u64..10_000, 0..200),
+        shares in prop::collection::vec(0.1f64..10.0, 1..6),
+    ) {
+        let groups = gpu_sim::partition_by_interactions_weighted(&weights, &shares);
+        prop_assert_eq!(groups.len(), shares.len());
+        let flat: Vec<usize> = groups.concat();
+        prop_assert_eq!(flat, (0..weights.len()).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,116 @@
+use geom::Vec3;
+
+/// Structure-of-arrays body storage: positions, velocities, masses.
+///
+/// SoA keeps the FMM's hot loops (Morton coding, P2P, expansion evaluation)
+/// streaming over contiguous `Vec3`/`f64` slices, per the workspace's
+/// HPC-layout convention.
+#[derive(Clone, Debug, Default)]
+pub struct Bodies {
+    pub pos: Vec<Vec3>,
+    pub vel: Vec<Vec3>,
+    pub mass: Vec<f64>,
+}
+
+impl Bodies {
+    pub fn with_capacity(n: usize) -> Self {
+        Bodies {
+            pos: Vec::with_capacity(n),
+            vel: Vec::with_capacity(n),
+            mass: Vec::with_capacity(n),
+        }
+    }
+
+    pub fn push(&mut self, pos: Vec3, vel: Vec3, mass: f64) {
+        self.pos.push(pos);
+        self.vel.push(vel);
+        self.mass.push(mass);
+    }
+
+    pub fn len(&self) -> usize {
+        self.pos.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pos.is_empty()
+    }
+
+    /// Total mass.
+    pub fn total_mass(&self) -> f64 {
+        self.mass.iter().sum()
+    }
+
+    /// Mass-weighted center of mass; origin for an empty set.
+    pub fn center_of_mass(&self) -> Vec3 {
+        let m = self.total_mass();
+        if m <= 0.0 {
+            return Vec3::ZERO;
+        }
+        self.pos
+            .iter()
+            .zip(&self.mass)
+            .map(|(&p, &mi)| p * mi)
+            .sum::<Vec3>()
+            / m
+    }
+
+    /// Sanity check used by tests and the simulation driver: equal lengths,
+    /// finite values, positive masses.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.pos.len() != self.vel.len() || self.pos.len() != self.mass.len() {
+            return Err("pos/vel/mass length mismatch".into());
+        }
+        for (i, p) in self.pos.iter().enumerate() {
+            if !p.is_finite() {
+                return Err(format!("non-finite position at body {i}"));
+            }
+        }
+        for (i, v) in self.vel.iter().enumerate() {
+            if !v.is_finite() {
+                return Err(format!("non-finite velocity at body {i}"));
+            }
+        }
+        for (i, &m) in self.mass.iter().enumerate() {
+            if !(m > 0.0 && m.is_finite()) {
+                return Err(format!("non-positive mass at body {i}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_aggregate() {
+        let mut b = Bodies::with_capacity(2);
+        b.push(Vec3::new(1.0, 0.0, 0.0), Vec3::ZERO, 1.0);
+        b.push(Vec3::new(-1.0, 0.0, 0.0), Vec3::ZERO, 3.0);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.total_mass(), 4.0);
+        // com = (1*1 + 3*(-1)) / 4 = -0.5 on x.
+        assert!((b.center_of_mass().x + 0.5).abs() < 1e-15);
+        b.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_catches_bad_data() {
+        let mut b = Bodies::default();
+        b.push(Vec3::ZERO, Vec3::ZERO, 0.0);
+        assert!(b.validate().is_err());
+        let mut b2 = Bodies::default();
+        b2.push(Vec3::new(f64::NAN, 0.0, 0.0), Vec3::ZERO, 1.0);
+        assert!(b2.validate().is_err());
+        let mut b3 = Bodies::default();
+        b3.push(Vec3::ZERO, Vec3::ZERO, 1.0);
+        b3.mass.push(1.0);
+        assert!(b3.validate().is_err());
+    }
+
+    #[test]
+    fn empty_center_of_mass_is_origin() {
+        assert_eq!(Bodies::default().center_of_mass(), Vec3::ZERO);
+    }
+}

@@ -1,0 +1,98 @@
+use crate::bodies::Bodies;
+use geom::Vec3;
+
+/// Kinetic/potential breakdown from [`total_energy`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EnergyReport {
+    pub kinetic: f64,
+    pub potential: f64,
+}
+
+impl EnergyReport {
+    pub fn total(&self) -> f64 {
+        self.kinetic + self.potential
+    }
+}
+
+/// O(n²) direct-sum gravitational accelerations (attractive, with Plummer
+/// softening ε) — the validation oracle the FMM is checked against, and the
+/// "all work on one core" baseline of the paper's serial measurements.
+pub fn direct_gravity(bodies: &Bodies, g: f64, eps: f64) -> Vec<Vec3> {
+    let n = bodies.len();
+    let e2 = eps * eps;
+    let mut acc = vec![Vec3::ZERO; n];
+    for (i, slot) in acc.iter_mut().enumerate() {
+        let xi = bodies.pos[i];
+        let mut a = Vec3::ZERO;
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let d = bodies.pos[j] - xi;
+            let r2 = d.norm_sq() + e2;
+            let inv_r3 = 1.0 / (r2 * r2.sqrt());
+            a += d * (bodies.mass[j] * inv_r3);
+        }
+        *slot = a * g;
+    }
+    acc
+}
+
+/// Total kinetic + (softened) potential energy by direct summation.
+pub fn total_energy(bodies: &Bodies, g: f64, eps: f64) -> EnergyReport {
+    let n = bodies.len();
+    let e2 = eps * eps;
+    let kinetic: f64 = (0..n)
+        .map(|i| 0.5 * bodies.mass[i] * bodies.vel[i].norm_sq())
+        .sum();
+    let mut potential = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let r = (bodies.pos[i] - bodies.pos[j]).norm_sq() + e2;
+            potential -= g * bodies.mass[i] * bodies.mass[j] / r.sqrt();
+        }
+    }
+    EnergyReport { kinetic, potential }
+}
+
+/// Total linear momentum.
+pub fn total_momentum(bodies: &Bodies) -> Vec3 {
+    bodies
+        .vel
+        .iter()
+        .zip(&bodies.mass)
+        .map(|(&v, &m)| v * m)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_body_closed_forms() {
+        let mut b = Bodies::default();
+        b.push(Vec3::ZERO, Vec3::ZERO, 2.0);
+        b.push(Vec3::new(2.0, 0.0, 0.0), Vec3::new(0.0, 1.0, 0.0), 1.0);
+        let acc = direct_gravity(&b, 1.0, 0.0);
+        // a_0 = G m_1 / r² toward +x = 1/4.
+        assert!((acc[0].x - 0.25).abs() < 1e-15);
+        assert!((acc[1].x + 0.5).abs() < 1e-15);
+        let e = total_energy(&b, 1.0, 0.0);
+        assert!((e.kinetic - 0.5).abs() < 1e-15);
+        assert!((e.potential + 1.0).abs() < 1e-15);
+        assert_eq!(total_momentum(&b), Vec3::new(0.0, 1.0, 0.0));
+    }
+
+    #[test]
+    fn internal_forces_conserve_momentum() {
+        let b = crate::distributions::plummer(200, 1.0, 1.0, 55);
+        let acc = direct_gravity(&b, 1.0, 1e-3);
+        let net: Vec3 = acc
+            .iter()
+            .zip(&b.mass)
+            .map(|(&a, &m)| a * m)
+            .sum();
+        assert!(net.norm() < 1e-10, "net internal force {net:?}");
+    }
+}

@@ -1,0 +1,300 @@
+use crate::bodies::Bodies;
+use geom::Vec3;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Sample an isotropic unit vector.
+fn unit_vector(rng: &mut StdRng) -> Vec3 {
+    loop {
+        let v = Vec3::new(
+            rng.random_range(-1.0..1.0),
+            rng.random_range(-1.0..1.0),
+            rng.random_range(-1.0..1.0),
+        );
+        let n2 = v.norm_sq();
+        if n2 > 1e-12 && n2 <= 1.0 {
+            return v / n2.sqrt();
+        }
+    }
+}
+
+/// A Plummer sphere of `n` unit-mass bodies with scale radius `a` and
+/// gravitational constant `g`, in virial equilibrium (Aarseth–Hénon–Wielen
+/// sampling). This is the paper's main test distribution: strongly peaked at
+/// the center with density falling as r⁻⁵, producing the deep, highly
+/// non-uniform octrees of §VIII.C.
+///
+/// The radius is capped at `10 a` (standard practice) so the cloud has a
+/// finite extent. Velocities are sampled from the isotropic distribution
+/// function via von Neumann rejection.
+pub fn plummer(n: usize, a: f64, g: f64, seed: u64) -> Bodies {
+    assert!(n > 0 && a > 0.0 && g > 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = Bodies::with_capacity(n);
+    let total_mass = n as f64;
+    for _ in 0..n {
+        // Radius from the cumulative mass profile M(r) ∝ r³/(r²+a²)^{3/2}.
+        let r = loop {
+            let m: f64 = rng.random_range(0.0..1.0);
+            let r = a / (m.powf(-2.0 / 3.0) - 1.0).sqrt();
+            if r <= 10.0 * a {
+                break r;
+            }
+        };
+        let pos = unit_vector(&mut rng) * r;
+        // Escape velocity at r; speed fraction q sampled from
+        // f(q) ∝ q²(1−q²)^{7/2} by rejection.
+        let v_esc = (2.0 * g * total_mass).sqrt() * (r * r + a * a).powf(-0.25);
+        let q = loop {
+            let q: f64 = rng.random_range(0.0..1.0);
+            let y: f64 = rng.random_range(0.0..0.1);
+            if y < q * q * (1.0 - q * q).powf(3.5) {
+                break q;
+            }
+        };
+        let vel = unit_vector(&mut rng) * (q * v_esc);
+        b.push(pos, vel, 1.0);
+    }
+    // Center the cloud: zero net momentum and center of mass at the origin,
+    // so the sphere neither drifts nor wanders under its own sampling noise.
+    let com = b.center_of_mass();
+    let vmean: Vec3 = b.vel.iter().copied().sum::<Vec3>() / n as f64;
+    for p in &mut b.pos {
+        *p -= com;
+    }
+    for v in &mut b.vel {
+        *v -= vmean;
+    }
+    b
+}
+
+/// `n` unit-mass bodies uniformly random in the cube of the given
+/// `half_width` centered at the origin, at rest. The paper's §IX.B
+/// static/uniform workload.
+pub fn uniform_cube(n: usize, half_width: f64, seed: u64) -> Bodies {
+    assert!(n > 0 && half_width > 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = Bodies::with_capacity(n);
+    for _ in 0..n {
+        let p = Vec3::new(
+            rng.random_range(-half_width..half_width),
+            rng.random_range(-half_width..half_width),
+            rng.random_range(-half_width..half_width),
+        );
+        b.push(p, Vec3::ZERO, 1.0);
+    }
+    b
+}
+
+/// Two Plummer spheres on a collision course — a "colliding galaxies"
+/// workload whose density field merges and separates over time.
+pub fn two_clusters(n: usize, a: f64, g: f64, separation: f64, approach_speed: f64, seed: u64) -> Bodies {
+    let half = n / 2;
+    let c1 = plummer(half.max(1), a, g, seed);
+    let c2 = plummer((n - half).max(1), a, g, seed.wrapping_add(1));
+    let offset = Vec3::new(separation * 0.5, 0.0, 0.0);
+    let kick = Vec3::new(approach_speed * 0.5, 0.0, 0.0);
+    let mut b = Bodies::with_capacity(n);
+    for i in 0..c1.len() {
+        b.push(c1.pos[i] - offset, c1.vel[i] + kick, c1.mass[i]);
+    }
+    for i in 0..c2.len() {
+        b.push(c2.pos[i] + offset, c2.vel[i] - kick, c2.mass[i]);
+    }
+    b
+}
+
+/// The paper's §IX.A dynamic workload plus the fixed simulation cube it
+/// lives in.
+#[derive(Clone, Debug)]
+pub struct CollapsingSetup {
+    pub bodies: Bodies,
+    /// Center of the fixed simulation cube.
+    pub domain_center: Vec3,
+    /// Half-width of the fixed simulation cube.
+    pub domain_half_width: f64,
+}
+
+/// The paper's dynamic-workload setup: a Plummer distribution initially
+/// contained within **1/64th of the simulation space** (¼ of the extent per
+/// axis), so bodies that fly outward have room to turn around and fall back
+/// toward the center of mass. Velocities are scaled *cold* (a fraction of
+/// virial) so the cloud collapses, re-expands, and keeps changing its
+/// density profile over hundreds of steps — the regime that exercises
+/// dynamic load balancing.
+pub fn collapsing_plummer(n: usize, g: f64, seed: u64) -> CollapsingSetup {
+    let a = 1.0;
+    let mut bodies = plummer(n, a, g, seed);
+    // The 10a-capped Plummer cloud spans ~20a; the domain is 4x that extent.
+    let cloud_half = 10.0 * a;
+    let domain_half = 4.0 * cloud_half;
+    // Cool the velocities: sub-virial ⇒ collapse then violent relaxation.
+    for v in &mut bodies.vel {
+        *v *= 0.3;
+    }
+    CollapsingSetup {
+        bodies,
+        domain_center: Vec3::ZERO,
+        domain_half_width: domain_half,
+    }
+}
+
+/// The paper's §IX.A reading with an *expanding* cloud: the Plummer sphere
+/// starts warm (velocities 1.3× virial — bound, but with enough energy to
+/// blow out to several times its radius before falling back toward the
+/// center of mass). Confined to 1/64th of the simulation space initially,
+/// it expands across the domain and recollapses — the density evolution
+/// that makes a frozen decomposition catastrophically stale ("allow
+/// particles that would otherwise have exited the system enough room to
+/// return back towards the center of mass").
+pub fn expanding_plummer(n: usize, g: f64, seed: u64) -> CollapsingSetup {
+    let a = 1.0;
+    let mut bodies = plummer(n, a, g, seed);
+    let cloud_half = 10.0 * a;
+    let domain_half = 4.0 * cloud_half;
+    for v in &mut bodies.vel {
+        *v *= 1.3;
+    }
+    CollapsingSetup {
+        bodies,
+        domain_center: Vec3::ZERO,
+        domain_half_width: domain_half,
+    }
+}
+
+/// `n` random unit force vectors, flat `[f_x, f_y, f_z, ...]` — strengths
+/// for the uniform Stokeslet workload of Fig 10.
+pub fn random_unit_forces(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(3 * n);
+    for _ in 0..n {
+        let f = unit_vector(&mut rng);
+        out.extend_from_slice(&[f.x, f.y, f.z]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plummer_statistics() {
+        let g = 1.0;
+        let b = plummer(4000, 1.0, g, 42);
+        b.validate().unwrap();
+        assert_eq!(b.len(), 4000);
+        // Center of mass near the origin.
+        assert!(b.center_of_mass().norm() < 0.3, "com {:?}", b.center_of_mass());
+        // Half-mass radius of a Plummer sphere is ~1.3 a.
+        let mut radii: Vec<f64> = b.pos.iter().map(|p| p.norm()).collect();
+        radii.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let half_mass = radii[radii.len() / 2];
+        assert!((0.9..1.8).contains(&half_mass), "half-mass radius {half_mass}");
+        // Strong central concentration: inner 10% of the extent holds far
+        // more than 10% of the mass.
+        let rmax = radii[radii.len() - 1];
+        let inner = radii.iter().filter(|&&r| r < 0.1 * rmax).count();
+        assert!(inner > b.len() / 5, "inner count {inner}");
+        assert!(rmax <= 10.0 + 1e-9);
+    }
+
+    #[test]
+    fn plummer_roughly_virialized() {
+        let g = 1.0;
+        let b = plummer(2000, 1.0, g, 7);
+        let e = crate::diagnostics::total_energy(&b, g, 0.0);
+        // Virial: 2K + U ≈ 0 within sampling noise.
+        let virial = 2.0 * e.kinetic + e.potential;
+        assert!(
+            virial.abs() < 0.25 * e.potential.abs(),
+            "virial residual {virial} vs |U| {}",
+            e.potential.abs()
+        );
+    }
+
+    #[test]
+    fn uniform_cube_fills_cube() {
+        let b = uniform_cube(2000, 2.0, 9);
+        b.validate().unwrap();
+        for p in &b.pos {
+            assert!(p.x.abs() <= 2.0 && p.y.abs() <= 2.0 && p.z.abs() <= 2.0);
+        }
+        // Roughly even octant occupancy.
+        let mut oct = [0usize; 8];
+        for p in &b.pos {
+            oct[geom::octant_of(Vec3::ZERO, *p)] += 1;
+        }
+        for &c in &oct {
+            assert!((150..350).contains(&c), "octant counts {oct:?}");
+        }
+    }
+
+    #[test]
+    fn two_clusters_are_separated_and_approaching() {
+        let b = two_clusters(1000, 0.5, 1.0, 20.0, 2.0, 3);
+        assert_eq!(b.len(), 1000);
+        let left = b.pos.iter().filter(|p| p.x < 0.0).count();
+        assert!((300..700).contains(&left));
+        // Net x-momentum cancels.
+        let px: f64 = b.vel.iter().zip(&b.mass).map(|(v, m)| v.x * m).sum();
+        assert!(px.abs() < 1e-9 * b.len() as f64);
+    }
+
+    #[test]
+    fn collapsing_setup_fits_in_its_64th() {
+        let s = collapsing_plummer(3000, 1.0, 11);
+        s.bodies.validate().unwrap();
+        let quarter = s.domain_half_width / 4.0;
+        for p in &s.bodies.pos {
+            let d = *p - s.domain_center;
+            assert!(
+                d.x.abs() <= quarter && d.y.abs() <= quarter && d.z.abs() <= quarter,
+                "body outside the initial 1/64th region"
+            );
+        }
+    }
+
+    #[test]
+    fn collapsing_setup_is_subvirial() {
+        let s = collapsing_plummer(2000, 1.0, 13);
+        let e = total_energy_for(&s.bodies);
+        assert!(2.0 * e.0 < 0.5 * e.1.abs(), "2K = {} should be well below |U| = {}", 2.0 * e.0, e.1.abs());
+    }
+
+    fn total_energy_for(b: &Bodies) -> (f64, f64) {
+        let e = crate::diagnostics::total_energy(b, 1.0, 0.0);
+        (e.kinetic, e.potential)
+    }
+
+    #[test]
+    fn expanding_setup_is_supervirial_but_bound() {
+        let s = expanding_plummer(2000, 1.0, 19);
+        s.bodies.validate().unwrap();
+        let e = crate::diagnostics::total_energy(&s.bodies, 1.0, 0.0);
+        // Super-virial: 2K > |U|, so the cloud expands...
+        assert!(2.0 * e.kinetic > e.potential.abs());
+        // ...but bound: E < 0, so it turns around and comes back.
+        assert!(e.total() < 0.0, "cloud must stay bound (E = {})", e.total());
+    }
+
+    #[test]
+    fn forces_are_unit_vectors() {
+        let f = random_unit_forces(100, 5);
+        assert_eq!(f.len(), 300);
+        for i in 0..100 {
+            let v = Vec3::new(f[3 * i], f[3 * i + 1], f[3 * i + 2]);
+            assert!((v.norm() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = plummer(100, 1.0, 1.0, 77);
+        let b = plummer(100, 1.0, 1.0, 77);
+        let c = plummer(100, 1.0, 1.0, 78);
+        assert_eq!(a.pos, b.pos);
+        assert_eq!(a.vel, b.vel);
+        assert_ne!(a.pos, c.pos);
+    }
+}

@@ -1,0 +1,24 @@
+//! N-body workloads for the AFMM reproduction.
+//!
+//! Provides the test problems of the paper's evaluation: gravitational
+//! Plummer spheres (§VIII.B–C, IX.A), uniform distributions (§IX.B), the
+//! "Plummer in 1/64th of the domain" collapsing workload (§IX.A), a
+//! leapfrog integrator for the gravitational time stepping, direct-sum
+//! energy diagnostics for validation, and an immersed elastic ring supplying
+//! time-dependent Stokeslet strengths for the fluid-dynamics problem
+//! (§IX.B / Fig 10).
+
+mod bodies;
+mod diagnostics;
+mod distributions;
+mod integrator;
+mod stokes;
+
+pub use bodies::Bodies;
+pub use diagnostics::{direct_gravity, total_energy, total_momentum, EnergyReport};
+pub use distributions::{
+    collapsing_plummer, expanding_plummer, plummer, random_unit_forces, two_clusters,
+    uniform_cube, CollapsingSetup,
+};
+pub use integrator::Leapfrog;
+pub use stokes::ElasticRing;

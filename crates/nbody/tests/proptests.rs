@@ -1,0 +1,82 @@
+//! Property tests of the workload generators and integrator.
+
+use geom::Vec3;
+use nbody::{plummer, two_clusters, uniform_cube, ElasticRing, Leapfrog};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Plummer clouds are centered, momentum-free, bounded, and valid for
+    /// any seed and scale.
+    #[test]
+    fn plummer_invariants(seed in any::<u64>(), a in 0.2f64..5.0, n in 100usize..800) {
+        let b = plummer(n, a, 1.0, seed);
+        prop_assert!(b.validate().is_ok());
+        prop_assert_eq!(b.len(), n);
+        prop_assert!(b.center_of_mass().norm() < 1e-9 * n as f64);
+        let p = nbody::total_momentum(&b);
+        prop_assert!(p.norm() < 1e-9 * n as f64, "net momentum {p:?}");
+        // All radii below the 10a cap (plus the tiny re-centering shift).
+        for pos in &b.pos {
+            prop_assert!(pos.norm() <= 11.0 * a);
+        }
+    }
+
+    #[test]
+    fn uniform_cube_bounds(seed in any::<u64>(), hw in 0.1f64..10.0, n in 10usize..500) {
+        let b = uniform_cube(n, hw, seed);
+        prop_assert!(b.validate().is_ok());
+        for p in &b.pos {
+            prop_assert!(p.x.abs() <= hw && p.y.abs() <= hw && p.z.abs() <= hw);
+        }
+    }
+
+    #[test]
+    fn two_clusters_split_and_cancel(seed in any::<u64>(), sep in 4.0f64..20.0) {
+        let b = two_clusters(400, 0.5, 1.0, sep, 2.0, seed);
+        prop_assert_eq!(b.len(), 400);
+        let p = nbody::total_momentum(&b);
+        prop_assert!(p.norm() < 1e-9 * b.len() as f64);
+        // Clusters stay on their own sides of the yz-plane (0.5-scale
+        // clouds capped at radius 5, offset at ±sep/2 ≥ ±2): most bodies on
+        // the matching side.
+        let left = b.pos.iter().filter(|p| p.x < 0.0).count();
+        prop_assert!((100..300).contains(&left));
+    }
+
+    /// Leapfrog drift+kick are exactly linear in dt and additive.
+    #[test]
+    fn leapfrog_linearity(
+        dt in 1e-4f64..0.1,
+        v in (-5.0f64..5.0, -5.0f64..5.0, -5.0f64..5.0),
+        a in (-5.0f64..5.0, -5.0f64..5.0, -5.0f64..5.0),
+    ) {
+        let mut b = nbody::Bodies::default();
+        b.push(Vec3::ZERO, Vec3::new(v.0, v.1, v.2), 1.0);
+        let acc = [Vec3::new(a.0, a.1, a.2)];
+        let lf = Leapfrog::new(dt);
+        lf.kick(&mut b, &acc);
+        let expect_v = Vec3::new(v.0, v.1, v.2) + Vec3::new(a.0, a.1, a.2) * (0.5 * dt);
+        prop_assert!((b.vel[0] - expect_v).norm() < 1e-12);
+        lf.drift(&mut b);
+        prop_assert!((b.pos[0] - expect_v * dt).norm() < 1e-12);
+    }
+
+    /// Ring forces always sum to zero and energy is non-negative,
+    /// whatever the deformation.
+    #[test]
+    fn ring_force_balance(
+        n in 3usize..64,
+        k in 0.1f64..100.0,
+        factor in 0.5f64..2.0,
+        r in 0.2f64..3.0,
+    ) {
+        let mut ring = ElasticRing::new(Vec3::ZERO, r, n, k);
+        ring.perturb_ellipse(factor);
+        prop_assert!(ring.energy() >= 0.0);
+        let f = ring.forces();
+        let net: Vec3 = (0..n).map(|i| Vec3::new(f[3 * i], f[3 * i + 1], f[3 * i + 2])).sum();
+        prop_assert!(net.norm() < 1e-10 * (1.0 + k * r), "net {net:?}");
+    }
+}

@@ -1,0 +1,408 @@
+use crate::node::{Node, NodeId, Octree, NONE};
+use geom::{morton_encode, Aabb, Vec3, MAX_MORTON_LEVEL};
+use rayon::prelude::*;
+
+/// Construction parameters for [`build_adaptive`] / [`build_uniform`].
+#[derive(Clone, Copy, Debug)]
+pub struct BuildParams {
+    /// Leaf capacity S: a node holding more than S bodies is subdivided.
+    pub s: usize,
+    /// Deepest allowed level (root = 0). Clamped to the Morton limit (21).
+    pub max_level: u16,
+    /// Relative padding of the root cube so surface bodies stay interior.
+    pub pad: f64,
+}
+
+impl BuildParams {
+    pub fn with_s(s: usize) -> Self {
+        BuildParams { s, ..Default::default() }
+    }
+}
+
+impl Default for BuildParams {
+    fn default() -> Self {
+        BuildParams { s: 64, max_level: MAX_MORTON_LEVEL as u16, pad: 1e-6 }
+    }
+}
+
+/// Morton digit (octant) of `code` at tree `level` (level 1 = coarsest
+/// split, matching children of the root).
+#[inline]
+fn digit(code: u64, level: u16) -> u64 {
+    (code >> (3 * (MAX_MORTON_LEVEL as u16 - level))) & 7
+}
+
+/// Compute clamped Morton codes for all positions relative to a root cube.
+pub(crate) fn morton_codes(pos: &[Vec3], center: Vec3, half_width: f64) -> Vec<u64> {
+    let n_cells = (1u64 << MAX_MORTON_LEVEL) as f64;
+    let origin = center - Vec3::splat(half_width);
+    let scale = n_cells / (2.0 * half_width);
+    let max_cell = (1u64 << MAX_MORTON_LEVEL) - 1;
+    let cell = |v: f64| -> u64 {
+        // Bodies that drifted outside the fixed root cube clamp to the
+        // boundary cells; rebuilds recenter the cube.
+        (v.max(0.0) as u64).min(max_cell)
+    };
+    pos.iter()
+        .map(|&p| {
+            let u = (p - origin) * scale;
+            morton_encode(cell(u.x), cell(u.y), cell(u.z))
+        })
+        .collect()
+}
+
+/// Sort body ids by (code, id) and return `(order, sorted_codes)`.
+/// Deterministic under duplicate codes.
+fn sorted_order(codes_by_body: &[u64]) -> (Vec<u32>, Vec<u64>) {
+    let mut pairs: Vec<(u64, u32)> = codes_by_body
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (c, i as u32))
+        .collect();
+    pairs.par_sort_unstable();
+    let order = pairs.iter().map(|&(_, i)| i).collect();
+    let codes = pairs.iter().map(|&(c, _)| c).collect();
+    (order, codes)
+}
+
+/// Find the eight child-range boundaries of `range` by binary search on the
+/// sorted Morton codes. Returns `[b0..b8]` with `b0 = range.start`,
+/// `b8 = range.end`.
+fn octant_bounds(codes: &[u64], range: std::ops::Range<usize>, child_level: u16) -> [usize; 9] {
+    let slice = &codes[range.clone()];
+    let mut b = [range.start; 9];
+    b[8] = range.end;
+    for o in 1..8u64 {
+        b[o as usize] = range.start + slice.partition_point(|&c| digit(c, child_level) < o);
+    }
+    b
+}
+
+/// Allocate the eight children of `id` (consecutive arena slots) with the
+/// given range boundaries; returns the first child id.
+fn alloc_children(nodes: &mut Vec<Node>, id: NodeId, bounds: &[usize; 9]) -> NodeId {
+    let first = nodes.len() as NodeId;
+    let parent = nodes[id as usize];
+    for o in 0..8 {
+        let q = parent.half_width * 0.5;
+        let center = Vec3::new(
+            parent.center.x + if o & 1 != 0 { q } else { -q },
+            parent.center.y + if o & 2 != 0 { q } else { -q },
+            parent.center.z + if o & 4 != 0 { q } else { -q },
+        );
+        nodes.push(Node {
+            center,
+            half_width: q,
+            level: parent.level + 1,
+            parent: id,
+            first_child: NONE,
+            begin: bounds[o] as u32,
+            end: bounds[o + 1] as u32,
+            collapsed: false,
+        });
+    }
+    nodes[id as usize].first_child = first;
+    first
+}
+
+/// Build an adaptive octree over `pos` with leaf capacity `params.s`.
+/// The root cube is the smallest padded cube containing all bodies.
+pub fn build_adaptive(pos: &[Vec3], params: BuildParams) -> Octree {
+    let (center, hw) = Aabb::cube_containing(pos, params.pad);
+    build_in_cube(pos, params, center, hw, SplitRule::Adaptive)
+}
+
+/// Build an adaptive octree inside a **fixed** root cube — the paper's
+/// time-dependent experiments pin the simulation space so the decomposition
+/// stays comparable across rebuilds while bodies expand and contract.
+/// Bodies outside the cube clamp to its boundary cells.
+pub fn build_adaptive_in_cube(
+    pos: &[Vec3],
+    params: BuildParams,
+    center: Vec3,
+    half_width: f64,
+) -> Octree {
+    assert!(half_width > 0.0);
+    build_in_cube(pos, params, center, half_width, SplitRule::Adaptive)
+}
+
+/// Build a *uniform* fixed-depth octree (the classic FMM decomposition the
+/// paper contrasts against): every branch subdivides to exactly `depth`,
+/// regardless of body counts.
+pub fn build_uniform(pos: &[Vec3], depth: u16, pad: f64) -> Octree {
+    let (center, hw) = Aabb::cube_containing(pos, pad);
+    let params = BuildParams { s: 1, max_level: depth, pad };
+    build_in_cube(pos, params, center, hw, SplitRule::Uniform)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum SplitRule {
+    /// Split while count > S (leaves at any level).
+    Adaptive,
+    /// Split every node until `max_level` (complete tree).
+    Uniform,
+}
+
+fn build_in_cube(
+    pos: &[Vec3],
+    params: BuildParams,
+    center: Vec3,
+    half_width: f64,
+    rule: SplitRule,
+) -> Octree {
+    assert!(params.s >= 1, "leaf capacity S must be at least 1");
+    let max_level = params.max_level.min(MAX_MORTON_LEVEL as u16);
+    let by_body = morton_codes(pos, center, half_width);
+    let (order, codes) = sorted_order(&by_body);
+
+    let mut nodes = Vec::new();
+    // Reserve the paper's "node buffer" up front: a comfortable multiple of
+    // the expected leaf count to make PushDown allocation-free in steady
+    // state.
+    let expected = pos.len().checked_div(params.s).map_or(64, |l| (l + 1) * 4);
+    nodes.reserve(expected.min(1 << 22));
+    nodes.push(Node {
+        center,
+        half_width,
+        level: 0,
+        parent: NONE,
+        first_child: NONE,
+        begin: 0,
+        end: pos.len() as u32,
+        collapsed: false,
+    });
+
+    // Iterative DFS subdivision.
+    let mut stack: Vec<NodeId> = vec![0];
+    while let Some(id) = stack.pop() {
+        let n = nodes[id as usize];
+        let split = match rule {
+            SplitRule::Adaptive => n.count() > params.s && n.level < max_level,
+            SplitRule::Uniform => n.level < max_level,
+        };
+        if !split {
+            continue;
+        }
+        let bounds = octant_bounds(&codes, n.range(), n.level + 1);
+        let first = alloc_children(&mut nodes, id, &bounds);
+        for o in 0..8 {
+            stack.push(first + o);
+        }
+    }
+
+    Octree {
+        nodes,
+        order,
+        codes,
+        s_value: params.s,
+        root_center: center,
+        root_half_width: half_width,
+        max_level,
+    }
+}
+
+impl Octree {
+    /// Re-sort moved bodies into the **unchanged** tree structure: Morton
+    /// codes are recomputed against the fixed root cube (clamping bodies
+    /// that drifted outside), the tree ordering is re-sorted, and every
+    /// reachable non-collapsed node's range is re-derived. Collapsed
+    /// subtrees keep stale ranges; [`Octree::push_down`] re-partitions on
+    /// reclaim.
+    ///
+    /// This is the maintenance step the paper's strategies 1–3 all perform
+    /// after each position update; only strategies 2–3 additionally modify
+    /// the structure.
+    pub fn rebin(&mut self, pos: &[Vec3]) {
+        assert_eq!(pos.len(), self.num_bodies());
+        let by_body = morton_codes(pos, self.root_center, self.root_half_width);
+        let (order, codes) = sorted_order(&by_body);
+        self.order = order;
+        self.codes = codes;
+
+        let mut stack: Vec<NodeId> = vec![Self::ROOT];
+        while let Some(id) = stack.pop() {
+            let n = self.nodes[id as usize];
+            if n.first_child == NONE || n.collapsed {
+                continue;
+            }
+            let bounds = octant_bounds(&self.codes, n.range(), n.level + 1);
+            for o in 0..8 {
+                let c = n.first_child + o as NodeId;
+                self.nodes[c as usize].begin = bounds[o] as u32;
+                self.nodes[c as usize].end = bounds[o + 1] as u32;
+                stack.push(c);
+            }
+        }
+    }
+
+    /// Partition the body range of `id` among its eight children by Morton
+    /// code. Children must already be allocated.
+    pub(crate) fn repartition_children(&mut self, id: NodeId) {
+        let n = self.nodes[id as usize];
+        debug_assert_ne!(n.first_child, NONE);
+        let bounds = octant_bounds(&self.codes, n.range(), n.level + 1);
+        for o in 0..8 {
+            let c = (n.first_child + o as NodeId) as usize;
+            self.nodes[c].begin = bounds[o] as u32;
+            self.nodes[c].end = bounds[o + 1] as u32;
+        }
+    }
+
+    /// Allocate eight children for leaf `id` (no prior children).
+    pub(crate) fn alloc_children_of(&mut self, id: NodeId) -> NodeId {
+        let n = self.nodes[id as usize];
+        debug_assert_eq!(n.first_child, NONE);
+        let bounds = octant_bounds(&self.codes, n.range(), n.level + 1);
+        alloc_children(&mut self.nodes, id, &bounds)
+    }
+
+    pub(crate) fn max_level(&self) -> u16 {
+        self.max_level
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    fn random_points(n: usize, seed: u64) -> Vec<Vec3> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                Vec3::new(
+                    rng.random_range(-1.0..1.0),
+                    rng.random_range(-1.0..1.0),
+                    rng.random_range(-1.0..1.0),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn build_respects_leaf_capacity() {
+        let pos = random_points(2000, 1);
+        let t = build_adaptive(&pos, BuildParams::with_s(32));
+        t.check_invariants().unwrap();
+        for id in t.visible_leaves() {
+            assert!(t.node(id).count() <= 32, "leaf over capacity");
+        }
+    }
+
+    #[test]
+    fn every_body_in_exactly_one_leaf() {
+        let pos = random_points(500, 2);
+        let t = build_adaptive(&pos, BuildParams::with_s(10));
+        let mut covered = vec![0u32; pos.len()];
+        for id in t.visible_leaves() {
+            for i in t.node(id).range() {
+                covered[t.order()[i] as usize] += 1;
+            }
+        }
+        assert!(covered.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn bodies_inside_their_leaf_cell() {
+        let pos = random_points(800, 3);
+        let t = build_adaptive(&pos, BuildParams::with_s(16));
+        for id in t.visible_leaves() {
+            let n = t.node(id);
+            for i in n.range() {
+                let p = pos[t.order()[i] as usize];
+                let d = p - n.center;
+                let tol = n.half_width * (1.0 + 1e-9);
+                assert!(
+                    d.x.abs() <= tol && d.y.abs() <= tol && d.z.abs() <= tol,
+                    "body outside its leaf cell"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn clustered_points_make_deep_tree() {
+        // A tight cluster plus spread points forces varying leaf depth —
+        // the defining feature of the adaptive decomposition (paper Fig 2).
+        let mut pos = random_points(100, 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..400 {
+            pos.push(Vec3::new(
+                0.5 + rng.random_range(-1e-4..1e-4),
+                0.5 + rng.random_range(-1e-4..1e-4),
+                0.5 + rng.random_range(-1e-4..1e-4),
+            ));
+        }
+        let t = build_adaptive(&pos, BuildParams::with_s(8));
+        t.check_invariants().unwrap();
+        let levels: Vec<usize> = t.visible_leaves().iter().map(|&l| t.node(l).level as usize).collect();
+        let min = *levels.iter().min().unwrap();
+        let max = *levels.iter().max().unwrap();
+        assert!(max >= min + 3, "expected varying leaf depth, got {min}..{max}");
+    }
+
+    #[test]
+    fn uniform_build_is_complete() {
+        let pos = random_points(300, 6);
+        let t = build_uniform(&pos, 3, 1e-6);
+        t.check_invariants().unwrap();
+        let leaves = t.visible_leaves();
+        assert_eq!(leaves.len(), 8usize.pow(3));
+        assert!(leaves.iter().all(|&l| t.node(l).level == 3));
+        let total: usize = leaves.iter().map(|&l| t.node(l).count()).sum();
+        assert_eq!(total, pos.len());
+    }
+
+    #[test]
+    fn rebin_tracks_motion() {
+        let mut pos = random_points(1000, 7);
+        let mut t = build_adaptive(&pos, BuildParams::with_s(20));
+        // Move everything and rebin: structure identical, ranges updated.
+        let nodes_before = t.num_nodes();
+        for p in &mut pos {
+            *p = *p * 0.5 + Vec3::splat(0.1);
+        }
+        t.rebin(&pos);
+        assert_eq!(t.num_nodes(), nodes_before);
+        t.check_invariants().unwrap();
+        // All bodies still inside their (new) leaf cells.
+        for id in t.visible_leaves() {
+            let n = t.node(id);
+            for i in n.range() {
+                let p = pos[t.order()[i] as usize];
+                let d = p - n.center;
+                let tol = n.half_width * (1.0 + 1e-9);
+                assert!(d.x.abs() <= tol && d.y.abs() <= tol && d.z.abs() <= tol);
+            }
+        }
+    }
+
+    #[test]
+    fn rebin_clamps_escaped_bodies() {
+        let mut pos = random_points(200, 8);
+        let mut t = build_adaptive(&pos, BuildParams::with_s(10));
+        pos[0] = Vec3::splat(100.0); // way outside the root cube
+        t.rebin(&pos);
+        t.check_invariants().unwrap(); // still a permutation, ranges tile
+    }
+
+    #[test]
+    fn empty_input_builds_single_leaf() {
+        let t = build_adaptive(&[], BuildParams::with_s(8));
+        assert_eq!(t.num_nodes(), 1);
+        assert_eq!(t.visible_leaves(), vec![0]);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn duplicate_positions_terminate_at_max_level() {
+        let pos = vec![Vec3::splat(0.25); 100];
+        let t = build_adaptive(&pos, BuildParams { s: 4, max_level: 6, pad: 1e-6 });
+        t.check_invariants().unwrap();
+        // Cannot split coincident points: one deep overfull leaf is allowed.
+        let max_leaf = t.visible_leaves().iter().map(|&l| t.node(l).count()).max().unwrap();
+        assert_eq!(max_leaf, 100);
+        assert!(t.depth() <= 6);
+    }
+}

@@ -1,0 +1,32 @@
+//! Adaptive variable-depth octree for the AFMM (Cheng–Greengard–Rokhlin
+//! style spatial decomposition).
+//!
+//! Key design points, mirroring the paper:
+//!
+//! * A node is subdivided while it holds more than `S` bodies; leaves may
+//!   occur at any level, so the tree has varying depth.
+//! * Construction permutes a body-index array so that **every subtree owns a
+//!   contiguous range** of the tree ordering (Morton order). This makes the
+//!   paper's [`Octree::collapse`] literally "just set a flag" — the eight
+//!   children are hidden from the FMM and the parent's range already covers
+//!   their bodies — and makes [`Octree::push_down`] a single in-range
+//!   partition that can reclaim previously hidden children from the node
+//!   buffer before allocating.
+//! * [`Octree::enforce_s`] restores the S invariant after bodies move
+//!   (collapse under-full parents, push down over-full leaves).
+//! * [`Octree::rebin`] re-sorts moved bodies into the *unchanged* tree
+//!   structure — exactly what the paper's strategy 1/2 need between rebuilds.
+//! * [`dual_traversal`] produces the M2L and P2P interaction lists with a
+//!   multipole acceptance criterion, using only the paper's six operations.
+
+mod build;
+mod modify;
+mod node;
+mod stats;
+mod traversal;
+
+pub use build::{build_adaptive, build_adaptive_in_cube, build_uniform, BuildParams};
+pub use modify::EnforceOutcome;
+pub use node::{Node, NodeId, Octree, NONE};
+pub use stats::{count_ops, leaf_interactions, OpCounts, TreeStats};
+pub use traversal::{dual_traversal, InteractionLists, Mac};

@@ -1,0 +1,274 @@
+use geom::Vec3;
+
+/// Index of a node in the tree arena.
+pub type NodeId = u32;
+
+/// Sentinel for "no node".
+pub const NONE: NodeId = u32::MAX;
+
+/// One octree cell.
+///
+/// Children are always allocated as **eight consecutive arena slots**
+/// starting at `first_child`, in Morton octant order, so child `o` of node
+/// `n` is `n.first_child + o`. A node with allocated children can still act
+/// as a leaf when `collapsed` is set — the paper's Collapse operation hides
+/// the subtree from the FMM without freeing it, so a later PushDown can
+/// reclaim it.
+#[derive(Clone, Copy, Debug)]
+pub struct Node {
+    pub center: Vec3,
+    pub half_width: f64,
+    pub level: u16,
+    pub parent: NodeId,
+    pub first_child: NodeId,
+    /// Start of this subtree's body range in [`Octree::order`].
+    pub begin: u32,
+    /// One-past-end of the body range.
+    pub end: u32,
+    /// True when allocated children are hidden from the FMM (Collapse).
+    pub collapsed: bool,
+}
+
+impl Node {
+    /// Number of bodies in this subtree.
+    #[inline]
+    pub fn count(&self) -> usize {
+        (self.end - self.begin) as usize
+    }
+
+    /// Body range in tree order.
+    #[inline]
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.begin as usize..self.end as usize
+    }
+
+    /// Does the FMM treat this node as a leaf?
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.first_child == NONE || self.collapsed
+    }
+
+    /// Radius of the circumscribed sphere (used by the MAC).
+    #[inline]
+    pub fn radius(&self) -> f64 {
+        self.half_width * 3.0_f64.sqrt()
+    }
+}
+
+/// The adaptive octree: a node arena plus the body permutation that gives
+/// every subtree a contiguous range.
+#[derive(Clone, Debug)]
+pub struct Octree {
+    pub(crate) nodes: Vec<Node>,
+    /// `order[i]` = original body id at tree-order position `i`.
+    pub(crate) order: Vec<u32>,
+    /// Morton code of the body at tree-order position `i` (kept for
+    /// re-binning and partitioning).
+    pub(crate) codes: Vec<u64>,
+    /// Leaf-capacity parameter S the tree was last built/enforced with.
+    pub(crate) s_value: usize,
+    /// Root cube fixed at build time; re-binning clamps to it.
+    pub(crate) root_center: Vec3,
+    pub(crate) root_half_width: f64,
+    /// Deepest level subdivision may reach (≤ 21, the Morton limit).
+    pub(crate) max_level: u16,
+}
+
+impl Octree {
+    pub const ROOT: NodeId = 0;
+
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id as usize]
+    }
+
+    #[inline]
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id as usize]
+    }
+
+    /// Total allocated nodes, including hidden ones.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    #[inline]
+    pub fn num_bodies(&self) -> usize {
+        self.order.len()
+    }
+
+    /// The S the tree currently enforces.
+    #[inline]
+    pub fn s_value(&self) -> usize {
+        self.s_value
+    }
+
+    pub fn set_s_value(&mut self, s: usize) {
+        assert!(s >= 1);
+        self.s_value = s;
+    }
+
+    #[inline]
+    pub fn root_center(&self) -> Vec3 {
+        self.root_center
+    }
+
+    #[inline]
+    pub fn root_half_width(&self) -> f64 {
+        self.root_half_width
+    }
+
+    /// Tree-order body permutation: position `i` holds original body id.
+    #[inline]
+    pub fn order(&self) -> &[u32] {
+        &self.order
+    }
+
+    /// Child `octant` of `id`, or `None` when the node has no allocated
+    /// children. Hidden (collapsed-away) children are still returned; use
+    /// [`Octree::visible_children`] for FMM traversals.
+    #[inline]
+    pub fn child(&self, id: NodeId, octant: usize) -> Option<NodeId> {
+        let fc = self.nodes[id as usize].first_child;
+        if fc == NONE {
+            None
+        } else {
+            Some(fc + octant as NodeId)
+        }
+    }
+
+    /// The eight children of `id` as seen by the FMM (empty iterator for
+    /// leaves and collapsed nodes).
+    pub fn visible_children(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let n = &self.nodes[id as usize];
+        let fc = if n.is_leaf() { NONE } else { n.first_child };
+        (0..8u32).filter_map(move |o| if fc == NONE { None } else { Some(fc + o) })
+    }
+
+    /// All node ids visible to the FMM (reachable without entering collapsed
+    /// subtrees), in DFS pre-order.
+    pub fn visible_nodes(&self) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![Self::ROOT];
+        while let Some(id) = stack.pop() {
+            out.push(id);
+            let n = self.node(id);
+            if !n.is_leaf() {
+                for o in (0..8).rev() {
+                    stack.push(n.first_child + o);
+                }
+            }
+        }
+        out
+    }
+
+    /// Visible leaves (FMM leaves), DFS pre-order.
+    pub fn visible_leaves(&self) -> Vec<NodeId> {
+        self.visible_nodes()
+            .into_iter()
+            .filter(|&id| self.node(id).is_leaf())
+            .collect()
+    }
+
+    /// Visible non-empty leaves.
+    pub fn active_leaves(&self) -> Vec<NodeId> {
+        self.visible_leaves()
+            .into_iter()
+            .filter(|&id| self.node(id).count() > 0)
+            .collect()
+    }
+
+    /// Maximum level among visible nodes (root = 0).
+    pub fn depth(&self) -> usize {
+        self.visible_nodes()
+            .into_iter()
+            .map(|id| self.node(id).level as usize)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Group visible node ids by level, index = level. Used by
+    /// level-synchronous executors.
+    pub fn levels(&self) -> Vec<Vec<NodeId>> {
+        let mut lv: Vec<Vec<NodeId>> = Vec::new();
+        for id in self.visible_nodes() {
+            let l = self.node(id).level as usize;
+            if lv.len() <= l {
+                lv.resize_with(l + 1, Vec::new);
+            }
+            lv[l].push(id);
+        }
+        lv
+    }
+
+    /// Center of the child cell `octant` of node `id`.
+    pub(crate) fn child_center(&self, id: NodeId, octant: usize) -> Vec3 {
+        let n = &self.nodes[id as usize];
+        let q = n.half_width * 0.5;
+        Vec3::new(
+            n.center.x + if octant & 1 != 0 { q } else { -q },
+            n.center.y + if octant & 2 != 0 { q } else { -q },
+            n.center.z + if octant & 4 != 0 { q } else { -q },
+        )
+    }
+
+    /// Debug-check structural invariants; used by tests and property tests.
+    /// Returns an error description instead of panicking so proptest can
+    /// shrink on it.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.nodes.is_empty() {
+            return Err("no root".into());
+        }
+        let root = self.node(Self::ROOT);
+        if root.count() != self.order.len() {
+            return Err(format!(
+                "root covers {} of {} bodies",
+                root.count(),
+                self.order.len()
+            ));
+        }
+        // order must be a permutation.
+        let mut seen = vec![false; self.order.len()];
+        for &b in &self.order {
+            let b = b as usize;
+            if b >= seen.len() || seen[b] {
+                return Err(format!("order is not a permutation (body {b})"));
+            }
+            seen[b] = true;
+        }
+        // Visible children of each visible parent tile its range exactly,
+        // and levels/geometry nest.
+        for id in self.visible_nodes() {
+            let n = self.node(id);
+            if n.is_leaf() {
+                continue;
+            }
+            let mut pos = n.begin;
+            for o in 0..8 {
+                let c = self.node(n.first_child + o);
+                if c.parent != id {
+                    return Err(format!("child {} has wrong parent", n.first_child + o));
+                }
+                if c.level != n.level + 1 {
+                    return Err(format!("child level mismatch at {}", n.first_child + o));
+                }
+                if c.begin != pos {
+                    return Err(format!(
+                        "child ranges do not tile parent at node {id} octant {o}: {} != {}",
+                        c.begin, pos
+                    ));
+                }
+                pos = c.end;
+                let expect = self.child_center(id, o as usize);
+                if (c.center - expect).norm() > 1e-9 * n.half_width {
+                    return Err(format!("child center mismatch at {}", n.first_child + o));
+                }
+            }
+            if pos != n.end {
+                return Err(format!("children do not cover parent range at node {id}"));
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,221 @@
+use crate::node::{NodeId, Octree};
+use crate::traversal::InteractionLists;
+
+/// Application counts `M(op)` of the six FMM operations for a tree plus its
+/// interaction lists — the quantities the paper's time-prediction model
+/// multiplies by the observed per-op coefficients.
+///
+/// Body-proportional operations (P2M, L2P) are counted in *bodies*, and P2P
+/// in *body-body interactions*, so that predictions scale correctly when a
+/// tree modification changes leaf populations (this matches the paper's
+/// `Interactions(t) = p_t · Σ_u p_u` accounting for the GPU share).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct OpCounts {
+    /// Bodies expanded into leaf multipoles.
+    pub p2m_bodies: u64,
+    /// Child-to-parent multipole translations.
+    pub m2m_ops: u64,
+    /// Multipole-to-local cell pair translations.
+    pub m2l_ops: u64,
+    /// Parent-to-child local translations.
+    pub l2l_ops: u64,
+    /// Bodies evaluated from leaf locals.
+    pub l2p_bodies: u64,
+    /// Direct body-body interactions (the GPU's work).
+    pub p2p_interactions: u64,
+    /// Non-empty visible nodes — each spawns one upsweep and one downsweep
+    /// task, so this drives the task-overhead share of the CPU cost.
+    pub active_nodes: u64,
+}
+
+impl OpCounts {
+    /// Sum of the five far-field (CPU) op counts, weighted 1:1 — only for
+    /// quick sanity checks; real costing applies per-op coefficients.
+    pub fn far_field_total(&self) -> u64 {
+        self.p2m_bodies + self.m2m_ops + self.m2l_ops + self.l2l_ops + self.l2p_bodies
+    }
+}
+
+/// Aggregate structural statistics of the visible tree.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TreeStats {
+    pub visible_nodes: usize,
+    pub visible_leaves: usize,
+    pub nonempty_leaves: usize,
+    pub depth: usize,
+    pub min_leaf_level: usize,
+    pub max_leaf: usize,
+    pub mean_leaf: f64,
+}
+
+impl TreeStats {
+    pub fn gather(tree: &Octree) -> Self {
+        let nodes = tree.visible_nodes();
+        let leaves: Vec<_> = nodes.iter().copied().filter(|&id| tree.node(id).is_leaf()).collect();
+        let nonempty: Vec<_> = leaves.iter().copied().filter(|&id| tree.node(id).count() > 0).collect();
+        let depth = nodes.iter().map(|&id| tree.node(id).level as usize).max().unwrap_or(0);
+        let min_leaf_level = nonempty
+            .iter()
+            .map(|&id| tree.node(id).level as usize)
+            .min()
+            .unwrap_or(0);
+        let max_leaf = nonempty.iter().map(|&id| tree.node(id).count()).max().unwrap_or(0);
+        let total: usize = nonempty.iter().map(|&id| tree.node(id).count()).sum();
+        TreeStats {
+            visible_nodes: nodes.len(),
+            visible_leaves: leaves.len(),
+            nonempty_leaves: nonempty.len(),
+            depth,
+            min_leaf_level,
+            max_leaf,
+            mean_leaf: if nonempty.is_empty() { 0.0 } else { total as f64 / nonempty.len() as f64 },
+        }
+    }
+}
+
+/// Count every FMM operation the given tree + lists will perform.
+pub fn count_ops(tree: &Octree, lists: &InteractionLists) -> OpCounts {
+    let mut c = OpCounts::default();
+    for id in tree.visible_nodes() {
+        let n = tree.node(id);
+        if n.count() == 0 {
+            continue;
+        }
+        c.active_nodes += 1;
+        if n.is_leaf() {
+            c.p2m_bodies += n.count() as u64;
+            c.l2p_bodies += n.count() as u64;
+        } else {
+            // One M2M per non-empty child, one L2L per non-empty child.
+            for ch in tree.visible_children(id) {
+                if tree.node(ch).count() > 0 {
+                    c.m2m_ops += 1;
+                    c.l2l_ops += 1;
+                }
+            }
+        }
+        c.m2l_ops += lists.m2l[id as usize].len() as u64;
+        for &b in &lists.p2p[id as usize] {
+            let nb = tree.node(b).count() as u64;
+            let nt = n.count() as u64;
+            c.p2p_interactions += if b == id { nt * (nt - 1) } else { nt * nb };
+        }
+    }
+    c
+}
+
+/// The paper's `Interactions(t)` per target leaf: `p_t · Σ_{u ∈ U(t)} p_u`,
+/// the quantity the multi-GPU partitioner balances. Returned as
+/// `(leaf_id, interactions)` in traversal order.
+pub fn leaf_interactions(tree: &Octree, lists: &InteractionLists) -> Vec<(NodeId, u64)> {
+    tree.active_leaves()
+        .into_iter()
+        .map(|id| {
+            let nt = tree.node(id).count() as u64;
+            let srcs: u64 = lists.p2p[id as usize]
+                .iter()
+                .map(|&b| tree.node(b).count() as u64)
+                .sum();
+            (id, nt * srcs)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_adaptive, BuildParams};
+    use crate::traversal::{dual_traversal, Mac};
+    use geom::Vec3;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    fn random_points(n: usize, seed: u64) -> Vec<Vec3> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                Vec3::new(
+                    rng.random_range(-1.0..1.0),
+                    rng.random_range(-1.0..1.0),
+                    rng.random_range(-1.0..1.0),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn body_counts_conserved() {
+        let pos = random_points(1200, 31);
+        let tree = build_adaptive(&pos, BuildParams::with_s(24));
+        let lists = dual_traversal(&tree, Mac::default());
+        let c = count_ops(&tree, &lists);
+        assert_eq!(c.p2m_bodies, 1200);
+        assert_eq!(c.l2p_bodies, 1200);
+        assert_eq!(c.m2m_ops, c.l2l_ops);
+    }
+
+    #[test]
+    fn p2p_interactions_match_brute_count() {
+        let pos = random_points(100, 32);
+        let tree = build_adaptive(&pos, BuildParams::with_s(8));
+        let lists = dual_traversal(&tree, Mac::default());
+        let c = count_ops(&tree, &lists);
+        // Re-count directly from the lists.
+        let mut brute = 0u64;
+        for a in tree.active_leaves() {
+            let na = tree.node(a).count() as u64;
+            for &b in &lists.p2p[a as usize] {
+                let nb = tree.node(b).count() as u64;
+                brute += if a == b { na * (na - 1) } else { na * nb };
+            }
+        }
+        assert_eq!(c.p2p_interactions, brute);
+        assert!(c.p2p_interactions > 0);
+    }
+
+    #[test]
+    fn bigger_s_means_more_p2p_less_m2l() {
+        let pos = random_points(4000, 33);
+        let coarse = build_adaptive(&pos, BuildParams::with_s(256));
+        let fine = build_adaptive(&pos, BuildParams::with_s(16));
+        let lc = dual_traversal(&coarse, Mac::default());
+        let lf = dual_traversal(&fine, Mac::default());
+        let cc = count_ops(&coarse, &lc);
+        let cf = count_ops(&fine, &lf);
+        // This monotone tradeoff is the paper's central load-balance lever
+        // (its Fig 3).
+        assert!(cc.p2p_interactions > cf.p2p_interactions);
+        assert!(cc.m2l_ops < cf.m2l_ops);
+    }
+
+    #[test]
+    fn leaf_interactions_sum_to_total() {
+        let pos = random_points(600, 34);
+        let tree = build_adaptive(&pos, BuildParams::with_s(16));
+        let lists = dual_traversal(&tree, Mac::default());
+        let per_leaf = leaf_interactions(&tree, &lists);
+        let c = count_ops(&tree, &lists);
+        let sum: u64 = per_leaf.iter().map(|&(_, v)| v).sum();
+        // per-leaf counts include self pairs as p_t * p_t (paper's formula
+        // counts p_u for u = t too); count_ops excludes the diagonal.
+        let diag: u64 = tree
+            .active_leaves()
+            .iter()
+            .map(|&id| tree.node(id).count() as u64)
+            .sum();
+        assert_eq!(sum, c.p2p_interactions + diag);
+    }
+
+    #[test]
+    fn tree_stats_reasonable() {
+        let pos = random_points(3000, 35);
+        let tree = build_adaptive(&pos, BuildParams::with_s(32));
+        let st = TreeStats::gather(&tree);
+        assert!(st.visible_leaves > 8);
+        assert!(st.nonempty_leaves <= st.visible_leaves);
+        assert!(st.max_leaf <= 32);
+        assert!(st.mean_leaf > 0.0);
+        assert!(st.depth >= 2);
+        assert!(st.min_leaf_level <= st.depth);
+    }
+}

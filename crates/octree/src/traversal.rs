@@ -1,0 +1,250 @@
+use crate::node::{NodeId, Octree};
+
+/// Multipole acceptance criterion: cells `A`, `B` are *well separated* when
+/// `r_A + r_B < theta * d(c_A, c_B)` with `r` the circumscribed-sphere
+/// radius. Smaller `theta` is stricter (more P2P, higher accuracy).
+#[derive(Clone, Copy, Debug)]
+pub struct Mac {
+    pub theta: f64,
+}
+
+impl Mac {
+    pub fn new(theta: f64) -> Self {
+        assert!(theta > 0.0 && theta <= 1.0, "theta must be in (0, 1]");
+        Mac { theta }
+    }
+
+    #[inline]
+    pub fn accepts(&self, tree: &Octree, a: NodeId, b: NodeId) -> bool {
+        let na = tree.node(a);
+        let nb = tree.node(b);
+        let d2 = na.center.dist_sq(nb.center);
+        let r = na.radius() + nb.radius();
+        r * r < self.theta * self.theta * d2
+    }
+}
+
+impl Default for Mac {
+    fn default() -> Self {
+        Mac { theta: 0.6 }
+    }
+}
+
+/// Interaction lists produced by [`dual_traversal`].
+///
+/// `m2l[a]` holds source node ids whose multipole expansion translates into
+/// `a`'s local expansion; `p2p[a]` (leaves only) holds source *leaf* ids for
+/// direct interaction — including `a` itself for the intra-leaf pairs.
+#[derive(Clone, Debug, Default)]
+pub struct InteractionLists {
+    pub m2l: Vec<Vec<NodeId>>,
+    pub p2p: Vec<Vec<NodeId>>,
+}
+
+impl InteractionLists {
+    pub fn num_m2l(&self) -> usize {
+        self.m2l.iter().map(Vec::len).sum()
+    }
+
+    pub fn num_p2p_pairs(&self) -> usize {
+        self.p2p.iter().map(Vec::len).sum()
+    }
+}
+
+/// Dual-tree traversal (exaFMM style) over the *visible* tree: starting from
+/// `(root, root)`, a well-separated pair becomes an M2L entry, a pair of
+/// non-separated leaves becomes a P2P entry, and otherwise the larger cell
+/// splits. This handles leaves at arbitrary levels — the defining difficulty
+/// of the adaptive FMM — while emitting only the paper's six operations.
+///
+/// Empty cells are skipped entirely.
+pub fn dual_traversal(tree: &Octree, mac: Mac) -> InteractionLists {
+    let n = tree.num_nodes();
+    let mut lists = InteractionLists {
+        m2l: vec![Vec::new(); n],
+        p2p: vec![Vec::new(); n],
+    };
+    if tree.node(Octree::ROOT).count() == 0 {
+        return lists;
+    }
+    let mut stack: Vec<(NodeId, NodeId)> = vec![(Octree::ROOT, Octree::ROOT)];
+    while let Some((a, b)) = stack.pop() {
+        let na = tree.node(a);
+        let nb = tree.node(b);
+        if na.count() == 0 || nb.count() == 0 {
+            continue;
+        }
+        if a != b && mac.accepts(tree, a, b) {
+            lists.m2l[a as usize].push(b);
+            continue;
+        }
+        let a_leaf = na.is_leaf();
+        let b_leaf = nb.is_leaf();
+        if a_leaf && b_leaf {
+            lists.p2p[a as usize].push(b);
+            continue;
+        }
+        // Split the larger cell (tie: split the target side first so local
+        // work sinks toward the leaves).
+        let split_a = !a_leaf && (b_leaf || na.half_width >= nb.half_width);
+        if split_a {
+            for c in tree.visible_children(a) {
+                stack.push((c, b));
+            }
+        } else {
+            for c in tree.visible_children(b) {
+                stack.push((a, c));
+            }
+        }
+    }
+    lists
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_adaptive, BuildParams};
+    use geom::Vec3;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    fn random_points(n: usize, seed: u64) -> Vec<Vec3> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                Vec3::new(
+                    rng.random_range(-1.0..1.0),
+                    rng.random_range(-1.0..1.0),
+                    rng.random_range(-1.0..1.0),
+                )
+            })
+            .collect()
+    }
+
+    /// Every ordered body pair (i, j), i != j, must be covered exactly once:
+    /// either by a P2P leaf pair or by an M2L pair over ancestors. This is
+    /// the fundamental correctness property of the FMM interaction
+    /// decomposition.
+    fn assert_exact_coverage(tree: &Octree, lists: &InteractionLists, n_bodies: usize) {
+        let mut cover = vec![0u8; n_bodies * n_bodies];
+        let ranges: Vec<_> = (0..tree.num_nodes() as NodeId)
+            .map(|id| tree.node(id).range())
+            .collect();
+        let mark = |cover: &mut Vec<u8>, ta: std::ops::Range<usize>, tb: std::ops::Range<usize>, selfi: bool| {
+            for i in ta {
+                let bi = tree.order()[i] as usize;
+                for j in tb.clone() {
+                    let bj = tree.order()[j] as usize;
+                    if selfi && bi == bj {
+                        continue;
+                    }
+                    cover[bi * n_bodies + bj] += 1;
+                }
+            }
+        };
+        for a in 0..tree.num_nodes() {
+            for &b in &lists.m2l[a] {
+                mark(&mut cover, ranges[a].clone(), ranges[b as usize].clone(), false);
+            }
+            for &b in &lists.p2p[a] {
+                mark(&mut cover, ranges[a].clone(), ranges[b as usize].clone(), a as NodeId == b);
+            }
+        }
+        for i in 0..n_bodies {
+            for j in 0..n_bodies {
+                let expect = u8::from(i != j);
+                assert_eq!(
+                    cover[i * n_bodies + j],
+                    expect,
+                    "pair ({i},{j}) covered {} times",
+                    cover[i * n_bodies + j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn traversal_covers_every_pair_exactly_once() {
+        let pos = random_points(120, 21);
+        let tree = build_adaptive(&pos, BuildParams::with_s(8));
+        let lists = dual_traversal(&tree, Mac::default());
+        assert_exact_coverage(&tree, &lists, pos.len());
+    }
+
+    #[test]
+    fn traversal_covers_pairs_after_collapse() {
+        let pos = random_points(150, 22);
+        let mut tree = build_adaptive(&pos, BuildParams::with_s(6));
+        // Collapse a couple of internal nodes, then lists must still cover.
+        let internals: Vec<_> = tree
+            .visible_nodes()
+            .into_iter()
+            .filter(|&id| !tree.node(id).is_leaf() && id != Octree::ROOT)
+            .take(3)
+            .collect();
+        for id in internals {
+            tree.collapse(id);
+        }
+        let lists = dual_traversal(&tree, Mac::default());
+        assert_exact_coverage(&tree, &lists, pos.len());
+    }
+
+    #[test]
+    fn stricter_mac_shifts_work_to_p2p() {
+        let pos = random_points(2000, 23);
+        let tree = build_adaptive(&pos, BuildParams::with_s(16));
+        let loose = dual_traversal(&tree, Mac::new(0.9));
+        let strict = dual_traversal(&tree, Mac::new(0.3));
+        assert!(strict.num_p2p_pairs() > loose.num_p2p_pairs());
+    }
+
+    #[test]
+    fn m2l_pairs_are_well_separated() {
+        let pos = random_points(1000, 24);
+        let tree = build_adaptive(&pos, BuildParams::with_s(16));
+        let mac = Mac::default();
+        let lists = dual_traversal(&tree, mac);
+        for a in 0..tree.num_nodes() as NodeId {
+            for &b in &lists.m2l[a as usize] {
+                assert!(mac.accepts(&tree, a, b), "M2L pair not separated");
+            }
+        }
+    }
+
+    #[test]
+    fn p2p_lists_only_on_leaves_and_include_self() {
+        let pos = random_points(500, 25);
+        let tree = build_adaptive(&pos, BuildParams::with_s(32));
+        let lists = dual_traversal(&tree, Mac::default());
+        for a in 0..tree.num_nodes() as NodeId {
+            if !lists.p2p[a as usize].is_empty() {
+                assert!(tree.node(a).is_leaf());
+                assert!(tree.node(a).count() > 0);
+                assert!(
+                    lists.p2p[a as usize].contains(&a),
+                    "leaf must interact with itself"
+                );
+                for &b in &lists.p2p[a as usize] {
+                    assert!(tree.node(b).is_leaf());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_tree_produces_empty_lists() {
+        let tree = build_adaptive(&[], BuildParams::with_s(8));
+        let lists = dual_traversal(&tree, Mac::default());
+        assert_eq!(lists.num_m2l(), 0);
+        assert_eq!(lists.num_p2p_pairs(), 0);
+    }
+
+    #[test]
+    fn single_leaf_tree_has_only_self_p2p() {
+        let pos = random_points(10, 26);
+        let tree = build_adaptive(&pos, BuildParams::with_s(64));
+        let lists = dual_traversal(&tree, Mac::default());
+        assert_eq!(lists.num_m2l(), 0);
+        assert_eq!(lists.p2p[0], vec![0]);
+    }
+}

@@ -1,0 +1,105 @@
+/// Index of a task within a [`TaskGraph`].
+pub type TaskId = u32;
+
+/// A unit of schedulable work: `cost` units of single-core work that may
+/// only start once all `deps` have completed.
+#[derive(Clone, Debug)]
+pub struct Task {
+    pub cost: f64,
+    pub deps: Vec<TaskId>,
+}
+
+/// A dependency DAG of tasks. Dependencies must point at already-added
+/// tasks, which makes cycles unrepresentable by construction.
+#[derive(Clone, Debug, Default)]
+pub struct TaskGraph {
+    pub(crate) tasks: Vec<Task>,
+}
+
+impl TaskGraph {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_capacity(n: usize) -> Self {
+        TaskGraph { tasks: Vec::with_capacity(n) }
+    }
+
+    /// Add a task; every dependency must be a previously returned id.
+    pub fn add(&mut self, cost: f64, deps: Vec<TaskId>) -> TaskId {
+        let id = self.tasks.len() as TaskId;
+        debug_assert!(cost >= 0.0 && cost.is_finite(), "task cost must be finite and >= 0");
+        debug_assert!(deps.iter().all(|&d| d < id), "deps must precede the task");
+        self.tasks.push(Task { cost, deps });
+        id
+    }
+
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Sum of all task costs (the work term of Graham's bound).
+    pub fn total_work(&self) -> f64 {
+        self.tasks.iter().map(|t| t.cost).sum()
+    }
+}
+
+/// Length of the longest dependency chain weighted by cost (the span term of
+/// Graham's bound): a lower bound on any schedule's makespan, independent of
+/// core count.
+pub fn critical_path(graph: &TaskGraph) -> f64 {
+    let mut finish = vec![0.0f64; graph.tasks.len()];
+    for (i, t) in graph.tasks.iter().enumerate() {
+        let start = t.deps.iter().map(|&d| finish[d as usize]).fold(0.0, f64::max);
+        finish[i] = start + t.cost;
+    }
+    finish.iter().copied().fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn critical_path_of_chain_is_total() {
+        let mut g = TaskGraph::new();
+        let mut prev = None;
+        for _ in 0..10 {
+            let deps = prev.map(|p| vec![p]).unwrap_or_default();
+            prev = Some(g.add(2.0, deps));
+        }
+        assert_eq!(critical_path(&g), 20.0);
+        assert_eq!(g.total_work(), 20.0);
+    }
+
+    #[test]
+    fn critical_path_of_independent_is_max() {
+        let mut g = TaskGraph::new();
+        for c in [1.0, 5.0, 3.0] {
+            g.add(c, vec![]);
+        }
+        assert_eq!(critical_path(&g), 5.0);
+        assert_eq!(g.total_work(), 9.0);
+    }
+
+    #[test]
+    fn diamond_critical_path() {
+        let mut g = TaskGraph::new();
+        let a = g.add(1.0, vec![]);
+        let b = g.add(4.0, vec![a]);
+        let c = g.add(2.0, vec![a]);
+        let _d = g.add(1.0, vec![b, c]);
+        assert_eq!(critical_path(&g), 6.0); // a -> b -> d
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = TaskGraph::new();
+        assert_eq!(critical_path(&g), 0.0);
+        assert_eq!(g.total_work(), 0.0);
+    }
+}

@@ -1,0 +1,89 @@
+/// Second-order scaling effects of a real multi-socket node.
+///
+/// The paper's Fig. 6 shows two departures from ideal scaling on its 4×8-core
+/// Nehalem-EX system: *slightly superlinear* speedup up to 16 cores (each
+/// engaged socket contributes extra L3, letting multipole expansions be
+/// reused) and *diminishing* speedup toward 32 cores (memory-system
+/// saturation). This model captures both with a per-core rate multiplier:
+///
+/// ```text
+/// rate(k) = cache(k) · bandwidth(k)
+/// cache(k)     = 1 + cache_bonus · (sockets(k) − 1)
+/// bandwidth(k) = 1 / (1 + ((k − 1) / bandwidth_cores)^3)
+/// ```
+///
+/// The cubic knee keeps the bandwidth term near 1 through the mid-range
+/// (where the cache bonus makes aggregate scaling superlinear) and bites
+/// hard past `bandwidth_cores`, reproducing the paper's "speedup diminishes;
+/// we conjecture saturation of the memory system" at 32 cores.
+#[derive(Clone, Copy, Debug)]
+pub struct MemoryModel {
+    /// Fractional per-core speed gain per additional engaged socket.
+    pub cache_bonus: f64,
+    /// Cores per socket of the virtual node.
+    pub cores_per_socket: usize,
+    /// Soft knee (in cores) of memory-bandwidth saturation.
+    pub bandwidth_cores: f64,
+}
+
+impl MemoryModel {
+    /// No cache bonus, no bandwidth limit: ideal scaling.
+    pub fn ideal() -> Self {
+        MemoryModel { cache_bonus: 0.0, cores_per_socket: usize::MAX, bandwidth_cores: f64::INFINITY }
+    }
+
+    /// Parameters tuned to the shape of the paper's Test System B
+    /// (4 × Intel X7560, 8 cores each): mildly superlinear through 16 cores,
+    /// ~29× at 32 cores.
+    pub fn nehalem_ex() -> Self {
+        MemoryModel { cache_bonus: 0.07, cores_per_socket: 8, bandwidth_cores: 45.0 }
+    }
+
+    /// Per-core execution-rate multiplier when `k` cores are active.
+    pub fn rate_factor(&self, k: usize) -> f64 {
+        assert!(k >= 1);
+        let sockets = k.div_ceil(self.cores_per_socket.max(1)).max(1);
+        let cache = 1.0 + self.cache_bonus * (sockets - 1) as f64;
+        let x = (k as f64 - 1.0) / self.bandwidth_cores;
+        let bandwidth = 1.0 / (1.0 + x * x * x);
+        cache * bandwidth
+    }
+}
+
+impl Default for MemoryModel {
+    fn default() -> Self {
+        MemoryModel::ideal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_is_flat() {
+        let m = MemoryModel::ideal();
+        for k in [1, 2, 8, 32, 128] {
+            assert!((m.rate_factor(k) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn nehalem_shape_matches_paper() {
+        let m = MemoryModel::nehalem_ex();
+        // Superlinear band: aggregate rate at 16 cores beats 16x one core.
+        let agg16 = 16.0 * m.rate_factor(16);
+        let agg1 = m.rate_factor(1);
+        assert!(agg16 > 16.0 * agg1, "expected superlinear at 16 cores");
+        // Diminishing: 32 cores clearly below 32x, but still above 16 cores.
+        let agg32 = 32.0 * m.rate_factor(32);
+        assert!(agg32 < 30.0 * agg1);
+        assert!(agg32 > agg16);
+    }
+
+    #[test]
+    fn rate_decreases_past_knee() {
+        let m = MemoryModel::nehalem_ex();
+        assert!(m.rate_factor(64) < m.rate_factor(8));
+    }
+}

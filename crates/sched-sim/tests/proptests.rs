@@ -1,0 +1,102 @@
+//! Property tests of the virtual-node scheduler: Graham bounds, work
+//! conservation, monotonicity in cores/rate, and determinism on random DAGs.
+
+use proptest::prelude::*;
+use sched_sim::{critical_path, simulate, MemoryModel, SimConfig, TaskGraph};
+
+/// Random DAG: each task depends on a subset of strictly earlier tasks.
+fn arb_dag() -> impl Strategy<Value = TaskGraph> {
+    prop::collection::vec((0.01f64..20.0, prop::collection::vec(any::<prop::sample::Index>(), 0..3)), 1..150)
+        .prop_map(|specs| {
+            let mut g = TaskGraph::new();
+            let mut ids = Vec::new();
+            for (cost, deps) in specs {
+                let d: Vec<_> = if ids.is_empty() {
+                    Vec::new()
+                } else {
+                    let mut d: Vec<u32> =
+                        deps.iter().map(|ix| ids[ix.index(ids.len())]).collect();
+                    d.sort_unstable();
+                    d.dedup();
+                    d
+                };
+                ids.push(g.add(cost, d));
+            }
+            g
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn graham_bounds_on_random_dags(g in arb_dag(), cores in 1usize..32) {
+        let r = simulate(&g, &SimConfig::ideal(cores, 1.0));
+        let span = critical_path(&g);
+        let work = g.total_work();
+        prop_assert!(r.makespan + 1e-9 >= span);
+        prop_assert!(r.makespan + 1e-9 >= work / cores as f64);
+        prop_assert!(r.makespan <= span + work / cores as f64 + 1e-9);
+        prop_assert_eq!(r.tasks_executed, g.len());
+    }
+
+    /// Total busy time equals total work (nothing lost, nothing invented).
+    #[test]
+    fn busy_time_conserves_work(g in arb_dag(), cores in 1usize..16) {
+        let r = simulate(&g, &SimConfig::ideal(cores, 1.0));
+        let busy: f64 = r.busy.iter().sum();
+        prop_assert!((busy - g.total_work()).abs() <= 1e-9 * g.total_work().max(1.0));
+    }
+
+    /// One core serializes: makespan is exactly the total work.
+    #[test]
+    fn single_core_serializes(g in arb_dag()) {
+        let r = simulate(&g, &SimConfig::ideal(1, 1.0));
+        prop_assert!((r.makespan - g.total_work()).abs() <= 1e-9 * g.total_work().max(1.0));
+    }
+
+    /// Doubling the core rate halves the makespan exactly (ideal memory).
+    #[test]
+    fn rate_scaling_is_exact(g in arb_dag(), cores in 1usize..8, rate in 0.5f64..8.0) {
+        let slow = simulate(&g, &SimConfig::ideal(cores, rate));
+        let fast = simulate(&g, &SimConfig::ideal(cores, 2.0 * rate));
+        prop_assert!((slow.makespan - 2.0 * fast.makespan).abs() <= 1e-9 * slow.makespan.max(1e-12));
+    }
+
+    #[test]
+    fn deterministic_on_random_dags(g in arb_dag(), cores in 1usize..12) {
+        let cfg = SimConfig {
+            cores,
+            rate: 3.0,
+            task_overhead: 1e-6,
+            memory: MemoryModel::nehalem_ex(),
+        };
+        let a = simulate(&g, &cfg);
+        let b = simulate(&g, &cfg);
+        prop_assert_eq!(a.makespan, b.makespan);
+        prop_assert_eq!(a.busy, b.busy);
+    }
+
+    /// Utilization is a proper fraction and hits ~1 for embarrassingly
+    /// parallel work that divides evenly.
+    #[test]
+    fn utilization_bounds(g in arb_dag(), cores in 1usize..16) {
+        let r = simulate(&g, &SimConfig::ideal(cores, 1.0));
+        let u = r.utilization();
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&u), "utilization {u}");
+    }
+
+    /// Memory-model rate factors are positive and the bandwidth term is
+    /// non-increasing in the core count.
+    #[test]
+    fn memory_model_sane(k in 1usize..256) {
+        let m = MemoryModel::nehalem_ex();
+        let f = m.rate_factor(k);
+        prop_assert!(f > 0.0 && f.is_finite());
+        // Past saturation, adding cores never raises the per-core rate
+        // within one socket (cache term only jumps at socket boundaries).
+        if k > 1 && k % 8 != 1 {
+            prop_assert!(m.rate_factor(k) <= m.rate_factor(k - 1) + 1e-12);
+        }
+    }
+}

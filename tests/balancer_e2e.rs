@@ -1,0 +1,171 @@
+//! End-to-end behaviour of the load-balancing machinery across crates:
+//! search convergence, strategy separation, overhead accounting, and
+//! whole-simulation determinism.
+
+use afmm_repro::prelude::*;
+use fmm_math::Kernel;
+
+fn cfg() -> LbConfig {
+    LbConfig { eps_switch_s: 2e-3, ..Default::default() }
+}
+
+/// One timing-only measurement step (no numeric solve).
+fn measure(
+    engine: &mut FmmEngine<GravityKernel>,
+    model: &mut CostModel,
+    node: &HeteroNode,
+) -> (f64, f64) {
+    let counts = engine.refresh_lists();
+    let flops = engine.kernel.op_flops(engine.expansion_ops());
+    let t = afmm::time_step(engine.tree(), engine.lists(), &flops, node);
+    model.observe(&counts, &t, &flops, node);
+    (t.t_cpu, t.t_gpu)
+}
+
+#[test]
+fn full_balancer_reaches_observation_and_stays_quiet_on_static_load() {
+    let b = nbody::plummer(8000, 1.0, 1.0, 2001);
+    let node = HeteroNode::system_a(10, 2);
+    let mut engine = FmmEngine::new(GravityKernel::default(), FmmParams::default(), &b.pos, 64);
+    let mut model = CostModel::new();
+    let mut lb = LoadBalancer::new(Strategy::Full, cfg());
+    let mut lb_total = 0.0;
+    let mut compute_total = 0.0;
+    for _ in 0..40 {
+        let (tc, tg) = measure(&mut engine, &mut model, &node);
+        compute_total += tc.max(tg);
+        let rep = lb.post_step(&mut engine, &model, &node, &b.pos, tc, tg);
+        lb_total += rep.lb_time;
+    }
+    assert_eq!(lb.state(), LbState::Observation, "static load must settle");
+    // Once settled on a static distribution the balancer is nearly free;
+    // over the whole run (including search) overhead stays small.
+    assert!(
+        lb_total < 0.35 * compute_total,
+        "LB overhead {lb_total} vs compute {compute_total}"
+    );
+}
+
+#[test]
+fn settled_s_is_near_the_sweep_optimum() {
+    // The state machine's operating point must be close to the best the
+    // brute-force S sweep can find.
+    let b = nbody::plummer(8000, 1.0, 1.0, 2002);
+    let node = HeteroNode::system_a(10, 2);
+    let mut engine = FmmEngine::new(GravityKernel::default(), FmmParams::default(), &b.pos, 64);
+    let mut model = CostModel::new();
+    let mut lb = LoadBalancer::new(Strategy::Full, cfg());
+    for _ in 0..40 {
+        let (tc, tg) = measure(&mut engine, &mut model, &node);
+        lb.post_step(&mut engine, &model, &node, &b.pos, tc, tg);
+        if lb.state() == LbState::Observation {
+            break;
+        }
+    }
+    let (tc, tg) = measure(&mut engine, &mut model, &node);
+    let settled = tc.max(tg);
+
+    // Brute-force sweep.
+    let flops = engine.kernel.op_flops(engine.expansion_ops());
+    let mut best = f64::INFINITY;
+    let mut s = 8usize;
+    while s <= 4096 {
+        engine.rebuild(&b.pos, s);
+        engine.refresh_lists();
+        let t = afmm::time_step(engine.tree(), engine.lists(), &flops, &node).compute();
+        best = best.min(t);
+        s = (s as f64 * 1.5).ceil() as usize;
+    }
+    assert!(
+        settled <= 1.6 * best,
+        "settled compute {settled} too far from sweep optimum {best}"
+    );
+}
+
+#[test]
+fn serial_sweep_matches_paper_protocol() {
+    // "The S chosen for this serial run was the S that minimized the time
+    // for this single core case."
+    let b = nbody::plummer(3000, 1.0, 1.0, 2003);
+    let node = HeteroNode::serial();
+    let mut engine = FmmEngine::new(GravityKernel::default(), FmmParams::default(), &b.pos, 64);
+    let (s, t) = search_best_s_cpu_only(&mut engine, &node, &b.pos, &cfg());
+    assert!(t > 0.0 && s >= 8);
+    assert_eq!(engine.tree().s_value(), s, "engine left at the optimal S");
+}
+
+#[test]
+fn gravity_sim_full_run_is_deterministic() {
+    let mk = || {
+        let b = nbody::plummer(600, 1.0, 1.0, 2004);
+        let mut sim = GravitySim::new(
+            b,
+            1.0,
+            0.001,
+            0.05,
+            FmmParams { order: 3, ..Default::default() },
+            HeteroNode::system_a(4, 1),
+            Strategy::Full,
+            cfg(),
+            None,
+        );
+        for _ in 0..15 {
+            sim.step();
+        }
+        (
+            sim.positions().to_vec(),
+            sim.records().iter().map(|r| (r.s, r.t_cpu, r.t_gpu)).collect::<Vec<_>>(),
+        )
+    };
+    let (p1, r1) = mk();
+    let (p2, r2) = mk();
+    assert_eq!(p1, p2, "trajectories must be bit-identical");
+    assert_eq!(r1, r2, "timing series must be bit-identical");
+}
+
+#[test]
+fn trackers_under_all_strategies_stay_valid() {
+    let setup = nbody::collapsing_plummer(3000, 1.0, 2005);
+    let node = HeteroNode::system_a(10, 2);
+    for strategy in [Strategy::StaticS, Strategy::EnforceOnly, Strategy::Full] {
+        let mut tracker = StrategyTracker::new(
+            GravityKernel::default(),
+            FmmParams::default(),
+            node.clone(),
+            strategy,
+            cfg(),
+            &setup.bodies.pos,
+            Some((setup.domain_center, setup.domain_half_width)),
+        );
+        let mut pos = setup.bodies.pos.clone();
+        for _ in 0..20 {
+            tracker.step(&pos);
+            // Pull everything toward an off-center clump.
+            for p in &mut pos {
+                *p = *p + (Vec3::new(6.0, -6.0, 6.0) - *p) * 0.04;
+            }
+            tracker.engine().tree().check_invariants().unwrap();
+        }
+        let summary = tracker.summary();
+        assert_eq!(summary.steps, 20);
+        assert!(summary.total_compute > 0.0);
+        assert!(summary.max_lb_step >= 0.0);
+    }
+}
+
+#[test]
+fn fgo_disabled_config_never_runs_fgo() {
+    let b = nbody::plummer(5000, 1.0, 1.0, 2006);
+    let node = HeteroNode::system_a(10, 2);
+    let c = LbConfig { use_fgo: false, ..cfg() };
+    let mut engine = FmmEngine::new(GravityKernel::default(), FmmParams::default(), &b.pos, 64);
+    let mut model = CostModel::new();
+    let mut lb = LoadBalancer::new(Strategy::Full, c);
+    for i in 0..30 {
+        let (tc, tg) = measure(&mut engine, &mut model, &node);
+        // Inject artificial regressions so Observation keeps acting.
+        let inflate = if i % 4 == 3 { 3.0 } else { 1.0 };
+        let rep = lb.post_step(&mut engine, &model, &node, &b.pos, tc * inflate, tg);
+        assert_eq!(rep.fgo_rounds, 0, "FGO must stay off");
+    }
+}

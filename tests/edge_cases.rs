@@ -1,0 +1,182 @@
+//! Edge-case and adversarial tests across the stack: degenerate inputs the
+//! engine must survive, and a fuzz of the load-balancer state machine with
+//! hostile timing sequences.
+
+use afmm_repro::prelude::*;
+use fmm_math::Kernel;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+#[test]
+fn coincident_bodies_full_pipeline() {
+    // 200 coincident points + a probe: the tree bottoms out at max level,
+    // the solver must still terminate and return finite softened forces.
+    let mut pos = vec![Vec3::splat(0.25); 200];
+    pos.push(Vec3::new(2.0, 0.0, 0.0));
+    let mass = vec![1.0; pos.len()];
+    let params = FmmParams { order: 6, mac: Mac::new(0.5), max_level: 8 };
+    let mut engine = FmmEngine::new(GravityKernel::new(0.05), params, &pos, 8);
+    let sol = engine.solve(&pos, &mass);
+    assert!(sol.field.iter().all(|a| a.is_finite()));
+    // The probe feels ~200/d^2 pointing at the clump.
+    let probe = *sol.field.last().unwrap();
+    let d = pos[0] - *pos.last().unwrap();
+    let expect = d * (200.0 / d.norm().powi(3));
+    assert!(
+        (probe - expect).norm() < 0.05 * expect.norm(),
+        "probe force {probe:?} vs expected {expect:?}"
+    );
+}
+
+#[test]
+fn extreme_mass_ratios() {
+    let b = nbody::plummer(200, 1.0, 1.0, 5001);
+    let mut mass = b.mass.clone();
+    mass[0] = 1e9; // a black hole among dust
+    let params = FmmParams { order: 6, mac: Mac::new(0.5), max_level: 21 };
+    let mut engine = FmmEngine::new(GravityKernel::default(), params, &b.pos, 16);
+    let sol = engine.solve(&b.pos, &mass);
+    // Everything points roughly at the massive body.
+    let heavy = b.pos[0];
+    let mut aligned = 0;
+    for i in 1..b.len() {
+        let to_heavy = heavy - b.pos[i];
+        if sol.field[i].dot(to_heavy) > 0.0 {
+            aligned += 1;
+        }
+    }
+    assert!(aligned > b.len() * 9 / 10, "only {aligned} bodies point at the mass");
+}
+
+#[test]
+fn two_bodies_minimal_problem() {
+    let pos = vec![Vec3::ZERO, Vec3::new(3.0, 0.0, 0.0)];
+    let mass = vec![2.0, 1.0];
+    let mut engine =
+        FmmEngine::new(GravityKernel::default(), FmmParams::default(), &pos, 1);
+    let sol = engine.solve(&pos, &mass);
+    assert!((sol.field[0].x - 1.0 / 9.0).abs() < 1e-10);
+    assert!((sol.field[1].x + 2.0 / 9.0).abs() < 1e-10);
+}
+
+#[test]
+fn zero_force_stokes_is_quiescent() {
+    let pts = nbody::uniform_cube(300, 1.0, 5002);
+    let forces = vec![0.0; 3 * 300];
+    let mut engine = FmmEngine::new(
+        StokesletKernel::new(1e-3, 1.0),
+        FmmParams::default(),
+        &pts.pos,
+        32,
+    );
+    let sol = engine.solve(&pts.pos, &forces);
+    assert!(sol.field.iter().all(|u| u.norm() == 0.0));
+}
+
+#[test]
+fn bodies_on_cell_boundaries() {
+    // A perfect lattice puts bodies exactly on subdivision planes; the
+    // Morton convention must bin them consistently.
+    let mut pos = Vec::new();
+    for i in 0..6 {
+        for j in 0..6 {
+            for k in 0..6 {
+                pos.push(Vec3::new(i as f64, j as f64, k as f64) * 0.5 - Vec3::splat(1.25));
+            }
+        }
+    }
+    let mass = vec![1.0; pos.len()];
+    let params = FmmParams { order: 6, mac: Mac::new(0.5), max_level: 21 };
+    let mut engine = FmmEngine::new(GravityKernel::default(), params, &pos, 8);
+    let sol = engine.solve(&pos, &mass);
+    let bodies = nbody::Bodies { pos: pos.clone(), vel: vec![Vec3::ZERO; pos.len()], mass };
+    let direct = nbody::direct_gravity(&bodies, 1.0, 0.0);
+    let num: f64 = sol.field.iter().zip(&direct).map(|(a, b)| (*a - *b).norm_sq()).sum();
+    let den: f64 = direct.iter().map(|v| v.norm_sq()).sum();
+    assert!((num / den).sqrt() < 1e-4);
+}
+
+#[test]
+fn balancer_survives_adversarial_timings() {
+    // Feed the state machine hostile (t_cpu, t_gpu) sequences: spikes,
+    // zeros, flips, NaN-free garbage. It must never panic, always leave the
+    // tree valid, and keep S within its configured bounds.
+    let b = nbody::plummer(3000, 1.0, 1.0, 5003);
+    let node = HeteroNode::system_a(10, 2);
+    let cfg = LbConfig { eps_switch_s: 1e-3, ..Default::default() };
+    let mut rng = StdRng::seed_from_u64(5004);
+    for trial in 0..5 {
+        let mut engine =
+            FmmEngine::new(GravityKernel::default(), FmmParams::default(), &b.pos, 64);
+        let mut model = CostModel::new();
+        let mut lb = LoadBalancer::new(Strategy::Full, cfg);
+        for _ in 0..40 {
+            // Occasionally observe real timings so the model stays usable.
+            let counts = engine.refresh_lists();
+            let flops = engine.kernel.op_flops(engine.expansion_ops());
+            let t = afmm::time_step(engine.tree(), engine.lists(), &flops, &node);
+            model.observe(&counts, &t, &flops, &node);
+            let (tc, tg) = match rng.random_range(0..4u32) {
+                0 => (t.t_cpu, t.t_gpu),
+                1 => (t.t_cpu * rng.random_range(0.0..100.0), t.t_gpu),
+                2 => (t.t_cpu, t.t_gpu * rng.random_range(0.0..100.0)),
+                _ => (rng.random_range(0.0..10.0), rng.random_range(0.0..10.0)),
+            };
+            lb.post_step(&mut engine, &model, &node, &b.pos, tc, tg);
+            engine.tree().check_invariants().unwrap();
+            let s = engine.tree().s_value();
+            assert!(
+                (cfg.s_min..=cfg.s_max).contains(&s),
+                "trial {trial}: S={s} escaped bounds"
+            );
+        }
+    }
+}
+
+#[test]
+fn gravity_sim_survives_tight_binary() {
+    // Two bodies nearly colliding: softening must keep the integration
+    // finite through the close encounter.
+    let mut bodies = nbody::Bodies::default();
+    bodies.push(Vec3::ZERO, Vec3::new(0.0, 0.1, 0.0), 10.0);
+    bodies.push(Vec3::new(0.05, 0.0, 0.0), Vec3::new(0.0, -0.1, 0.0), 10.0);
+    for i in 0..50 {
+        bodies.push(
+            Vec3::new((i as f64).cos() * 5.0, (i as f64).sin() * 5.0, i as f64 * 0.1 - 2.5),
+            Vec3::ZERO,
+            0.01,
+        );
+    }
+    let mut sim = GravitySim::new(
+        bodies,
+        1.0,
+        1e-4,
+        0.1,
+        FmmParams { order: 3, ..Default::default() },
+        HeteroNode::system_a(4, 1),
+        Strategy::Full,
+        LbConfig { eps_switch_s: 1e-3, ..Default::default() },
+        None,
+    );
+    for _ in 0..100 {
+        sim.step();
+    }
+    assert!(sim.positions().iter().all(|p| p.is_finite()));
+    assert!(sim.bodies.vel.iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn s_equals_one_tree_works() {
+    // The finest possible decomposition: every leaf holds at most one body.
+    let b = nbody::uniform_cube(100, 1.0, 5005);
+    let params = FmmParams { order: 4, mac: Mac::new(0.6), max_level: 21 };
+    let mut engine = FmmEngine::new(GravityKernel::default(), params, &b.pos, 1);
+    for id in engine.tree().visible_leaves() {
+        assert!(engine.tree().node(id).count() <= 1);
+    }
+    let sol = engine.solve(&b.pos, &b.mass);
+    let direct = nbody::direct_gravity(&b, 1.0, 0.0);
+    let num: f64 = sol.field.iter().zip(&direct).map(|(a, d)| (*a - *d).norm_sq()).sum();
+    let den: f64 = direct.iter().map(|v| v.norm_sq()).sum();
+    assert!((num / den).sqrt() < 1e-3);
+}
