@@ -27,6 +27,9 @@ pub enum LbState {
     Incremental,
     Observation,
     Frozen,
+    /// A device dropped out or came back: re-bisect S over a warm-started
+    /// bracket around the last settled value (Strategy 3 only).
+    Recovery,
 }
 
 impl LbState {
@@ -36,6 +39,7 @@ impl LbState {
             LbState::Incremental => "incremental",
             LbState::Observation => "observation",
             LbState::Frozen => "frozen",
+            LbState::Recovery => "recovery",
         }
     }
 }
@@ -61,6 +65,15 @@ pub struct LbConfig {
     pub fgo_max_rounds: usize,
     /// Multiplicative S step of the Incremental state.
     pub incr_factor: f64,
+    /// Incremental keeps walking while compute stays within this fraction
+    /// of the walk's best — one 1.15× step often lands on a local bump
+    /// (block-quantization effects) that a strict per-step comparison would
+    /// mistake for the optimum.
+    pub incr_tol: f64,
+    /// Observation only acts after this many *consecutive* regressing steps
+    /// (1 = the paper's immediate trigger). Raising it makes the balancer
+    /// ignore one-off measurement spikes at the cost of reacting later.
+    pub regression_hysteresis: usize,
 }
 
 impl Default for LbConfig {
@@ -74,6 +87,8 @@ impl Default for LbConfig {
             fgo_batch_frac: 0.03,
             fgo_max_rounds: 12,
             incr_factor: 1.15,
+            incr_tol: 0.05,
+            regression_hysteresis: 1,
         }
     }
 }
@@ -101,8 +116,16 @@ pub struct LoadBalancer {
     lo: usize,
     hi: usize,
     best_compute: f64,
-    /// Dominant side (CPU?) recorded when entering Incremental.
-    incr_dominant: Option<bool>,
+    /// Best (S, measured compute) of the current Incremental walk.
+    incr_best: Option<(usize, f64)>,
+    /// Walk direction (`true` = grow S); seeded from dominance on entry.
+    incr_dir_up: Option<bool>,
+    /// The one allowed direction reversal has been spent.
+    incr_flipped: bool,
+    /// Consecutive Observation steps past the regression limit.
+    regress_count: usize,
+    /// Online device count seen last step (None until a GPU node is seen).
+    last_online: Option<usize>,
     /// Strategy 2: the next step's compute time becomes the new best.
     reset_best_next: bool,
 }
@@ -123,7 +146,11 @@ impl LoadBalancer {
             lo: cfg.s_min,
             hi: cfg.s_max,
             best_compute: f64::INFINITY,
-            incr_dominant: None,
+            incr_best: None,
+            incr_dir_up: None,
+            incr_flipped: false,
+            regress_count: 0,
+            last_online: None,
             reset_best_next: false,
         }
     }
@@ -165,9 +192,27 @@ impl LoadBalancer {
             self.best_compute = compute;
             self.reset_best_next = false;
         }
+        // Resilience: a device dropping out (or coming back) invalidates the
+        // settled balance point outright — the measurement that just arrived
+        // describes a machine that no longer exists. Only the full strategy
+        // reacts; StaticS/EnforceOnly are the paper's less adaptive
+        // baselines and keep their decomposition.
+        if let Some(gpus) = node.gpus.as_ref() {
+            let now = gpus.num_online();
+            let before = self.last_online.replace(now);
+            if matches!(before, Some(b) if b != now)
+                && self.strategy == Strategy::Full
+                && self.state != LbState::Frozen
+            {
+                self.enter_recovery(engine, node, pos, now, &mut rep);
+                return rep;
+            }
+        }
         match self.state {
             LbState::Frozen => {}
-            LbState::Search => self.search_step(engine, node, pos, t_cpu, t_gpu, &mut rep),
+            LbState::Search | LbState::Recovery => {
+                self.search_step(engine, node, pos, t_cpu, t_gpu, &mut rep)
+            }
             LbState::Incremental => {
                 self.incremental_step(engine, model, node, pos, t_cpu, t_gpu, &mut rep)
             }
@@ -178,14 +223,67 @@ impl LoadBalancer {
         rep
     }
 
+    /// React to a changed online-device count: with survivors, re-bisect S
+    /// over a warm bracket around the settled value (the [`LbState::Recovery`]
+    /// state, which runs the Search bisection); with none, fall back to the
+    /// CPU-only plan — sweep S as the paper does for CPU-only runs and keep
+    /// stepping on the cores alone.
+    fn enter_recovery<K: Kernel>(
+        &mut self,
+        engine: &mut FmmEngine<K>,
+        node: &HeteroNode,
+        pos: &[geom::Vec3],
+        now_online: usize,
+        rep: &mut LbReport,
+    ) {
+        self.regress_count = 0;
+        self.incr_best = None;
+        self.incr_dir_up = None;
+        self.incr_flipped = false;
+        self.best_compute = f64::INFINITY;
+        self.reset_best_next = true;
+        if now_online == 0 {
+            // Graceful CPU-only fallback. The sweep rebuilds the tree once
+            // per probe; charge each rebuild as LB time.
+            let (s, _t) = search_best_s_cpu_only(engine, node, pos, &self.cfg);
+            self.s = s;
+            let mut probes = 0usize;
+            let mut sp = self.cfg.s_min;
+            while sp <= self.cfg.s_max {
+                probes += 1;
+                sp = ((sp as f64 * 1.6).ceil() as usize).max(sp + 1);
+            }
+            rep.lb_time += probes as f64 * lbtime::rebuild(node, pos.len());
+            rep.rebuilt = true;
+            self.state = LbState::Observation;
+            return;
+        }
+        // Survivors remain: warm-start the bisection on a bracket spanning
+        // both sides of the settled S (the crossover may move either way
+        // depending on which resource the lost/gained device relieves).
+        self.lo = (self.s / 8).max(self.cfg.s_min);
+        self.hi = self
+            .s
+            .saturating_mul(8)
+            .min(self.cfg.s_max)
+            .max(self.lo + 1);
+        self.state = LbState::Recovery;
+    }
+
     fn leave_search(&mut self, compute: f64) {
         self.best_compute = compute;
         self.state = match self.strategy {
             Strategy::StaticS => LbState::Frozen,
             Strategy::EnforceOnly => LbState::Observation,
+            // Recovery exits the same way a cold search does: the bisection
+            // only localizes the crossover, and the compute-guided walk is
+            // what finds the surviving hardware's actual optimum.
             Strategy::Full => LbState::Incremental,
         };
-        self.incr_dominant = None;
+        self.incr_best = None;
+        self.incr_dir_up = None;
+        self.incr_flipped = false;
+        self.regress_count = 0;
     }
 
     fn search_step<K: Kernel>(
@@ -200,10 +298,10 @@ impl LoadBalancer {
         let compute = t_cpu.max(t_gpu);
         let diff = (t_cpu - t_gpu).abs();
         let bracket_done = self.hi <= self.lo + self.lo / 4;
-        // A CPU-only node has nothing to balance *between*: any S trades CPU
-        // work against CPU work, so the state machine defers to an external
-        // S sweep (see `search_best_s_cpu_only`) and freezes.
-        if node.gpus.is_none() || diff <= self.cfg.eps_switch_s || bracket_done {
+        // A node with no (online) GPUs has nothing to balance *between*: any
+        // S trades CPU work against CPU work, so the state machine defers to
+        // an external S sweep (see `search_best_s_cpu_only`) and freezes.
+        if node.num_online_gpus() == 0 || diff <= self.cfg.eps_switch_s || bracket_done {
             self.leave_search(compute);
             return;
         }
@@ -224,6 +322,14 @@ impl LoadBalancer {
         rep.rebuilt = true;
     }
 
+    /// The Incremental walk, steered by the *measured compute time* rather
+    /// than by which side dominates. Dominance only seeds the initial
+    /// direction; after that each 1.15× probe keeps walking while compute
+    /// stays within `incr_tol` of the walk's best (riding over local
+    /// bumps from block quantization). When a direction is exhausted —
+    /// compute climbs out of the tolerance band or S pins at a bound —
+    /// the walk reverses once from its best S so both sides of the start
+    /// are explored, then settles at the walk's best.
     #[allow(clippy::too_many_arguments)]
     fn incremental_step<K: Kernel>(
         &mut self,
@@ -236,42 +342,118 @@ impl LoadBalancer {
         rep: &mut LbReport,
     ) {
         let compute = t_cpu.max(t_gpu);
-        let dom_cpu = t_cpu >= t_gpu;
-        let flipped = matches!(self.incr_dominant, Some(d0) if d0 != dom_cpu);
-        if flipped {
-            // Transitional S found. If the times still differ materially,
-            // bridge the gap locally with FGO, then observe.
-            let diff = (t_cpu - t_gpu).abs();
-            self.best_compute = compute;
-            if diff > self.cfg.eps_switch_s && self.cfg.use_fgo && self.strategy == Strategy::Full
-            {
-                let out = fine_grained_optimize(engine, model, node, &self.cfg);
-                rep.lb_time += out.lb_time;
-                rep.fgo_rounds = out.rounds;
-                self.best_compute = self.best_compute.min(out.prediction.compute());
-            }
-            self.state = LbState::Observation;
-            return;
+        if self.incr_dir_up.is_none() {
+            // CPU dominant: shift near-field work to the GPUs with larger S.
+            self.incr_dir_up = Some(t_cpu >= t_gpu);
         }
-        if self.incr_dominant.is_none() {
-            self.incr_dominant = Some(dom_cpu);
+        let mut exhausted = false;
+        match self.incr_best {
+            None => self.incr_best = Some((self.s, compute)),
+            Some((_, c_best)) if compute < c_best => {
+                self.incr_best = Some((self.s, compute));
+            }
+            Some((_, c_best)) if compute > c_best * (1.0 + self.cfg.incr_tol) => {
+                // Walked off the basin in this direction.
+                exhausted = true;
+            }
+            // Within the tolerance band of the best: keep walking through
+            // the local bump.
+            Some(_) => {}
         }
         let f = self.cfg.incr_factor;
-        let next = if dom_cpu {
-            ((self.s as f64 * f).ceil() as usize).min(self.cfg.s_max)
-        } else {
-            ((self.s as f64 / f).floor() as usize).max(self.cfg.s_min)
+        let step_from = |s: usize, up: bool| {
+            if up {
+                ((s as f64 * f).ceil() as usize).min(self.cfg.s_max)
+            } else {
+                ((s as f64 / f).floor() as usize).max(self.cfg.s_min)
+            }
         };
+        let mut next = step_from(self.s, self.incr_dir_up == Some(true));
         if next == self.s {
-            // Pinned at a bound; stop pushing and observe.
-            self.best_compute = compute;
-            self.state = LbState::Observation;
-            return;
+            // Pinned at a bound: this direction is exhausted too.
+            exhausted = true;
+        }
+        if exhausted {
+            if self.incr_flipped {
+                // Both directions explored: settle at the walk's best.
+                self.finish_incremental(engine, model, node, pos, rep);
+                return;
+            }
+            // Reverse once, restarting the probes from the walk's best S.
+            self.incr_flipped = true;
+            self.incr_dir_up = self.incr_dir_up.map(|d| !d);
+            let base = self.incr_best.map_or(self.s, |(s, _)| s);
+            next = step_from(base, self.incr_dir_up == Some(true));
+            if next == base || next == self.s {
+                self.finish_incremental(engine, model, node, pos, rep);
+                return;
+            }
         }
         self.s = next;
         engine.rebuild(pos, self.s);
         rep.lb_time += lbtime::rebuild(node, pos.len());
         rep.rebuilt = true;
+    }
+
+    /// Exit Incremental → Observation: restore the walk's best S if the
+    /// walk drifted past it, then — if CPU and GPU times still differ
+    /// materially — bridge the residual gap locally with FGO. The walk's
+    /// best measured compute becomes Observation's regression baseline, so
+    /// the baseline is in the same (possibly disturbed) units as the
+    /// measurements Observation will compare against it.
+    fn finish_incremental<K: Kernel>(
+        &mut self,
+        engine: &mut FmmEngine<K>,
+        model: &CostModel,
+        node: &HeteroNode,
+        pos: &[geom::Vec3],
+        rep: &mut LbReport,
+    ) {
+        if let Some((s_best, c_best)) = self.incr_best {
+            if self.s != s_best {
+                self.s = s_best;
+                engine.rebuild(pos, self.s);
+                engine.refresh_lists();
+                rep.lb_time += lbtime::rebuild(node, pos.len());
+                rep.rebuilt = true;
+            }
+            self.best_compute = c_best;
+        }
+        if self.cfg.use_fgo && self.strategy == Strategy::Full {
+            // Gate and verify FGO on the undisturbed virtual timing so the
+            // before/after comparison is apples-to-apples even when the
+            // balancer's fed measurements carry noise or external load.
+            let flops = engine.kernel.op_flops(engine.expansion_ops());
+            let before = crate::exec::time_step(engine.tree(), engine.lists(), &flops, node).ok();
+            rep.lb_time += lbtime::predict(node, list_entries(engine));
+            if let Some(before) = before {
+                if (before.t_cpu - before.t_gpu).abs() > self.cfg.eps_switch_s {
+                    let out = fine_grained_optimize(engine, model, node, &self.cfg);
+                    rep.lb_time += out.lb_time;
+                    rep.fgo_rounds = out.rounds;
+                    if out.rounds > 0 {
+                        // The model's predicted win can be spurious away
+                        // from the uniform-gap boundary; roll the edits
+                        // back if they don't realize.
+                        let realized =
+                            crate::exec::time_step(engine.tree(), engine.lists(), &flops, node)
+                                .ok()
+                                .map(|t| t.compute());
+                        rep.lb_time += lbtime::predict(node, list_entries(engine));
+                        if matches!(realized, Some(r) if r > before.compute()) {
+                            engine.rebuild(pos, self.s);
+                            engine.refresh_lists();
+                            rep.lb_time += lbtime::rebuild(node, pos.len());
+                            rep.rebuilt = true;
+                        }
+                    }
+                }
+            }
+        }
+        self.incr_best = None;
+        self.incr_dir_up = None;
+        self.incr_flipped = false;
+        self.state = LbState::Observation;
     }
 
     fn observation_step<K: Kernel>(
@@ -284,9 +466,18 @@ impl LoadBalancer {
     ) {
         let limit = self.best_compute * (1.0 + self.cfg.regression_frac);
         if compute <= limit {
+            self.regress_count = 0;
             self.best_compute = self.best_compute.min(compute);
             return;
         }
+        // Hysteresis: demand the regression persist before paying for a
+        // repair — a single spiked measurement (OS jitter, transient load)
+        // must not cost an Enforce_S pass.
+        self.regress_count += 1;
+        if self.regress_count < self.cfg.regression_hysteresis {
+            return;
+        }
+        self.regress_count = 0;
         // Regression: first line of defense is Enforce_S.
         let nodes_before = engine.tree().visible_nodes().len();
         let outcome = engine.tree_mut().enforce_s();
@@ -310,8 +501,10 @@ impl LoadBalancer {
                 if pred.compute() > limit {
                     // Local repair failed: re-run the global adjustment.
                     self.state = LbState::Incremental;
-                    self.incr_dominant = None;
-                }
+                    self.incr_best = None;
+                    self.incr_dir_up = None;
+                    self.incr_flipped = false;
+                            }
             }
         }
     }
@@ -447,7 +640,11 @@ pub fn search_best_s_cpu_only<K: Kernel>(
     while s <= cfg.s_max {
         engine.rebuild(pos, s);
         engine.refresh_lists();
-        let t = crate::exec::time_step(engine.tree(), engine.lists(), &flops, node).compute();
+        // With zero online GPUs the near field folds into the CPU DAG, so
+        // this timing never takes a fallible GPU path.
+        let t = crate::exec::time_step(engine.tree(), engine.lists(), &flops, node)
+            .expect("CPU-side timing cannot fail")
+            .compute();
         if t < best.1 {
             best = (s, t);
         }
@@ -485,7 +682,8 @@ mod tests {
         fn measure(&mut self) -> (f64, f64) {
             let counts = self.engine.refresh_lists();
             let flops = self.engine.kernel.op_flops(self.engine.expansion_ops());
-            let t = time_step(self.engine.tree(), self.engine.lists(), &flops, &self.node);
+            let t = time_step(self.engine.tree(), self.engine.lists(), &flops, &self.node)
+                .unwrap();
             self.model.observe(&counts, &t, &flops, &self.node);
             (t.t_cpu, t.t_gpu)
         }
@@ -663,6 +861,100 @@ mod tests {
     }
 
     #[test]
+    fn device_dropout_enters_recovery_then_settles() {
+        let mut h = Harness::new(4000, HeteroNode::system_a(10, 2), 64);
+        let mut lb = LoadBalancer::new(Strategy::Full, cfg_for_tests());
+        h.engine.rebuild(&h.pos.clone(), lb.s());
+        for _ in 0..40 {
+            let (tc, tg) = h.measure();
+            let pos = h.pos.clone();
+            lb.post_step(&mut h.engine, &h.model, &h.node, &pos, tc, tg);
+            if lb.state() == LbState::Observation {
+                break;
+            }
+        }
+        assert_eq!(lb.state(), LbState::Observation);
+        // GPU 1 drops out.
+        h.node
+            .gpus
+            .as_mut()
+            .unwrap()
+            .apply_event(&gpu_sim::FaultEvent::GpuDropout { device: 1 })
+            .unwrap();
+        let (tc, tg) = h.measure();
+        let pos = h.pos.clone();
+        lb.post_step(&mut h.engine, &h.model, &h.node, &pos, tc, tg);
+        assert_eq!(lb.state(), LbState::Recovery, "dropout must trigger recovery");
+        // The warm bisection plus the bidirectional Incremental walk must
+        // terminate back in Observation.
+        for _ in 0..60 {
+            let (tc, tg) = h.measure();
+            let pos = h.pos.clone();
+            lb.post_step(&mut h.engine, &h.model, &h.node, &pos, tc, tg);
+            if lb.state() == LbState::Observation {
+                break;
+            }
+        }
+        assert_eq!(lb.state(), LbState::Observation);
+    }
+
+    #[test]
+    fn all_devices_lost_falls_back_to_cpu_only_plan() {
+        let mut h = Harness::new(2000, HeteroNode::system_a(4, 1), 64);
+        let mut lb = LoadBalancer::new(Strategy::Full, cfg_for_tests());
+        h.engine.rebuild(&h.pos.clone(), lb.s());
+        for _ in 0..40 {
+            let (tc, tg) = h.measure();
+            let pos = h.pos.clone();
+            lb.post_step(&mut h.engine, &h.model, &h.node, &pos, tc, tg);
+            if lb.state() == LbState::Observation {
+                break;
+            }
+        }
+        h.node
+            .gpus
+            .as_mut()
+            .unwrap()
+            .apply_event(&gpu_sim::FaultEvent::GpuDropout { device: 0 })
+            .unwrap();
+        let (tc, tg) = h.measure();
+        assert_eq!(tg, 0.0, "no online devices: all work on the CPU");
+        let pos = h.pos.clone();
+        let rep = lb.post_step(&mut h.engine, &h.model, &h.node, &pos, tc, tg);
+        assert!(rep.rebuilt, "CPU fallback re-plans the tree");
+        assert!(rep.lb_time > 0.0, "the fallback sweep is not free");
+        assert_eq!(lb.state(), LbState::Observation);
+        // Further CPU-only steps run quietly.
+        let (tc, tg) = h.measure();
+        lb.post_step(&mut h.engine, &h.model, &h.node, &pos, tc, tg);
+        assert_eq!(lb.state(), LbState::Observation);
+    }
+
+    #[test]
+    fn hysteresis_ignores_a_single_spike() {
+        let mut h = Harness::new(2000, HeteroNode::system_a(4, 1), 64);
+        let cfg = LbConfig { regression_hysteresis: 2, ..cfg_for_tests() };
+        let mut lb = LoadBalancer::new(Strategy::Full, cfg);
+        for _ in 0..40 {
+            let (tc, tg) = h.measure();
+            let pos = h.pos.clone();
+            lb.post_step(&mut h.engine, &h.model, &h.node, &pos, tc, tg);
+            if lb.state() == LbState::Observation {
+                break;
+            }
+        }
+        assert_eq!(lb.state(), LbState::Observation);
+        let best = lb.best_compute();
+        let pos = h.pos.clone();
+        // One spiked step: tolerated.
+        let rep = lb.post_step(&mut h.engine, &h.model, &h.node, &pos, best * 3.0, 0.0);
+        assert!(!rep.enforced && rep.lb_time == 0.0, "first spike must be ignored");
+        // A second consecutive regression acts.
+        let rep = lb.post_step(&mut h.engine, &h.model, &h.node, &pos, best * 3.0, 0.0);
+        assert!(rep.enforced, "persistent regression must repair");
+    }
+
+    #[test]
     fn cpu_only_s_sweep_finds_interior_optimum() {
         let mut h = Harness::new(3000, HeteroNode::serial(), 32);
         let cfg = LbConfig::default();
@@ -678,7 +970,9 @@ mod tests {
         for probe in [cfg.s_min, cfg.s_max] {
             h.engine.rebuild(&pos, probe);
             h.engine.refresh_lists();
-            let tp = time_step(h.engine.tree(), h.engine.lists(), &flops, &h.node).compute();
+            let tp = time_step(h.engine.tree(), h.engine.lists(), &flops, &h.node)
+                .unwrap()
+                .compute();
             assert!(tp >= t, "S={probe} beat the sweep optimum");
         }
     }

@@ -96,7 +96,10 @@ impl HeteroNode {
         let gpus = if n_gpus == 0 {
             None
         } else {
-            Some(GpuSystem::homogeneous(n_gpus, GpuSpec::tesla_c2050()))
+            Some(
+                GpuSystem::homogeneous(n_gpus, GpuSpec::tesla_c2050())
+                    .expect("n_gpus > 0 here"),
+            )
         };
         HeteroNode { cpu: CpuSpec::xeon_x5670(cores), gpus }
     }
@@ -113,6 +116,12 @@ impl HeteroNode {
 
     pub fn num_gpus(&self) -> usize {
         self.gpus.as_ref().map_or(0, GpuSystem::num_gpus)
+    }
+
+    /// Devices currently online (installed minus dropped-out). Work is only
+    /// offloaded when this is positive; see [`crate::exec::time_step`].
+    pub fn num_online_gpus(&self) -> usize {
+        self.gpus.as_ref().map_or(0, GpuSystem::num_online)
     }
 }
 

@@ -208,7 +208,7 @@ mod tests {
         let mut e = FmmEngine::new(GravityKernel::default(), FmmParams::default(), &b.pos, s);
         let counts = e.refresh_lists();
         let flops = e.kernel.op_flops(e.expansion_ops());
-        let timing = time_step(e.tree(), e.lists(), &flops, node);
+        let timing = time_step(e.tree(), e.lists(), &flops, node).unwrap();
         let mut model = CostModel::new();
         model.observe(&counts, &timing, &flops, node);
         (model, counts, timing, e)
@@ -243,7 +243,7 @@ mod tests {
         }
         let counts = e.refresh_lists();
         let flops = e.kernel.op_flops(e.expansion_ops());
-        let real = time_step(e.tree(), e.lists(), &flops, &node);
+        let real = time_step(e.tree(), e.lists(), &flops, &node).unwrap();
         let pred = model.predict(&counts, &node);
         let cpu_rel = (pred.t_cpu - real.t_cpu).abs() / real.t_cpu;
         let gpu_rel = (pred.t_gpu - real.t_gpu).abs() / real.t_gpu;

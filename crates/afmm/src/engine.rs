@@ -163,13 +163,34 @@ impl<K: Kernel> FmmEngine<K> {
     /// `strength` is flat with [`Kernel::strength_dim`] values per body, in
     /// original body order.
     pub fn solve(&mut self, pos: &[Vec3], strength: &[f64]) -> FmmSolution {
+        self.try_solve(pos, strength).expect("inconsistent solve inputs")
+    }
+
+    /// As [`FmmEngine::solve`], but reporting caller mistakes (body count
+    /// or strength length out of sync with the tree) as [`crate::Error`]
+    /// instead of panicking.
+    pub fn try_solve(
+        &mut self,
+        pos: &[Vec3],
+        strength: &[f64],
+    ) -> Result<FmmSolution, crate::Error> {
         let n = pos.len();
         let sd = self.kernel.strength_dim();
         let ch = self.kernel.channels();
         let nt = self.ops.nterms();
         let stride = ch * nt;
-        assert_eq!(n, self.tree.num_bodies(), "body count changed; rebuild the tree");
-        assert_eq!(strength.len(), sd * n);
+        if n != self.tree.num_bodies() {
+            return Err(crate::Error::BodyCountChanged {
+                expected: self.tree.num_bodies(),
+                got: n,
+            });
+        }
+        if strength.len() != sd * n {
+            return Err(crate::Error::StrengthLengthMismatch {
+                expected: sd * n,
+                got: strength.len(),
+            });
+        }
 
         self.refresh_lists();
 
@@ -207,7 +228,7 @@ impl<K: Kernel> FmmEngine<K> {
             pot[b as usize] = self.pot_t[i];
             field[b as usize] = self.out_t[i];
         }
-        FmmSolution { pot, field }
+        Ok(FmmSolution { pot, field })
     }
 
     /// P2M at the leaves, M2M up the levels (deep → shallow).

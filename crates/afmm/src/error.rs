@@ -1,0 +1,55 @@
+use std::fmt;
+
+/// Structured failures of the AFMM timing/balancing layer. The physics
+/// solve itself is deterministic host arithmetic and cannot fail; errors
+/// arise from the *virtual node* — devices dropping out mid-run, invalid
+/// fault parameters, or disturbed measurements going non-finite — and from
+/// caller mistakes previously reported by `assert!`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Error {
+    /// The simulated GPU system refused the work (see [`gpu_sim::Error`]).
+    Gpu(gpu_sim::Error),
+    /// A kernel launch produced a timing covering no devices.
+    MissingGpuTiming,
+    /// A measured (possibly noise-disturbed) step time was NaN or infinite.
+    NonFiniteTiming { t_cpu: f64, t_gpu: f64 },
+    /// `solve` was called with a different body count than the tree holds.
+    BodyCountChanged { expected: usize, got: usize },
+    /// `solve` was called with a strength slice of the wrong length.
+    StrengthLengthMismatch { expected: usize, got: usize },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Gpu(e) => write!(f, "GPU system error: {e}"),
+            Error::MissingGpuTiming => {
+                write!(f, "kernel launch reported timing for no devices")
+            }
+            Error::NonFiniteTiming { t_cpu, t_gpu } => {
+                write!(f, "non-finite step timing (cpu {t_cpu}, gpu {t_gpu})")
+            }
+            Error::BodyCountChanged { expected, got } => {
+                write!(f, "body count changed without rebuild: tree has {expected}, got {got}")
+            }
+            Error::StrengthLengthMismatch { expected, got } => {
+                write!(f, "strength slice has {got} values, solve needs {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Gpu(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<gpu_sim::Error> for Error {
+    fn from(e: gpu_sim::Error) -> Self {
+        Error::Gpu(e)
+    }
+}

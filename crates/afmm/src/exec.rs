@@ -1,4 +1,5 @@
 use crate::config::HeteroNode;
+use crate::error::Error;
 use fmm_math::OpFlops;
 use gpu_sim::{KernelTiming, P2pJob};
 use octree::{InteractionLists, NodeId, Octree, NONE};
@@ -187,36 +188,43 @@ fn add_downsweep(
 /// Time one FMM solve of the given tree + interaction lists on `node`:
 /// far-field DAG makespan on the virtual cores, near-field kernels on the
 /// simulated GPUs (or folded into the CPU DAG when there are none).
+///
+/// A node whose GPUs have all dropped offline (see [`gpu_sim::FaultEvent`])
+/// is timed like a CPU-only node: the near field folds back into the CPU
+/// DAG instead of erroring — the resilience fallback. `Err` means the GPU
+/// system itself rejected a valid-looking launch (a device dropped between
+/// the check and the launch, or an internal contract broke).
 pub fn time_step(
     tree: &Octree,
     lists: &InteractionLists,
     flops: &OpFlops,
     node: &HeteroNode,
-) -> TimingReport {
+) -> Result<TimingReport, Error> {
     time_step_policy(tree, lists, flops, node, ExecPolicy::default())
 }
 
 /// As [`time_step`], under an explicit execution policy. With
-/// `policy.offload_pl` and GPUs present, P2M/L2P leave the CPU DAG and run
-/// as an additional per-leaf expansion kernel on the devices (modeled at
-/// the GPU's expansion efficiency); expansion kernels are assumed to
-/// overlap the CPU's translation phase, as the paper's proposal implies.
+/// `policy.offload_pl` and online GPUs present, P2M/L2P leave the CPU DAG
+/// and run as an additional per-leaf expansion kernel on the devices
+/// (modeled at the GPU's expansion efficiency); expansion kernels are
+/// assumed to overlap the CPU's translation phase, as the paper's proposal
+/// implies.
 pub fn time_step_policy(
     tree: &Octree,
     lists: &InteractionLists,
     flops: &OpFlops,
     node: &HeteroNode,
     policy: ExecPolicy,
-) -> TimingReport {
-    let has_gpu = node.gpus.is_some();
-    let offload = policy.offload_pl && has_gpu;
-    let graph = build_task_graph_with(tree, lists, flops, !has_gpu, !offload);
+) -> Result<TimingReport, Error> {
+    let gpu_active = node.num_online_gpus() > 0;
+    let offload = policy.offload_pl && gpu_active;
+    let graph = build_task_graph_with(tree, lists, flops, !gpu_active, !offload);
     let sim = simulate(&graph, &node.cpu.to_sim_config());
     let (t_gpu, gpu) = match &node.gpus {
-        Some(gpus) => {
+        Some(gpus) if gpu_active => {
             let jobs = build_gpu_jobs(tree, lists);
-            let timing = gpus.execute(&jobs);
-            let mut t = timing.gpu_time();
+            let timing = gpus.execute(&jobs)?;
+            let mut t = timing.gpu_time().ok_or(Error::MissingGpuTiming)?;
             if offload {
                 let cyc = gpus.spec(0).expansion_cycles_per_flop
                     * (flops.p2m_per_body + flops.l2p_per_body);
@@ -228,18 +236,21 @@ pub fn time_step_policy(
                         cycles_per_body: cyc,
                     })
                     .collect();
-                t += gpus.execute_expansions(&ex_jobs).gpu_time();
+                t += gpus
+                    .execute_expansions(&ex_jobs)?
+                    .gpu_time()
+                    .ok_or(Error::MissingGpuTiming)?;
             }
             (t, Some(timing))
         }
-        None => (0.0, None),
+        _ => (0.0, None),
     };
-    TimingReport {
+    Ok(TimingReport {
         t_cpu: sim.makespan,
         t_gpu,
         cpu_work_seconds: sim.busy.iter().sum(),
         gpu,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -265,9 +276,9 @@ mod tests {
     fn more_cores_reduce_cpu_time() {
         let e = engine_with_lists(4000, 32);
         let f = flops_of(&e);
-        let t1 = time_step(e.tree(), e.lists(), &f, &HeteroNode::system_a(1, 1)).t_cpu;
-        let t4 = time_step(e.tree(), e.lists(), &f, &HeteroNode::system_a(4, 1)).t_cpu;
-        let t10 = time_step(e.tree(), e.lists(), &f, &HeteroNode::system_a(10, 1)).t_cpu;
+        let t1 = time_step(e.tree(), e.lists(), &f, &HeteroNode::system_a(1, 1)).unwrap().t_cpu;
+        let t4 = time_step(e.tree(), e.lists(), &f, &HeteroNode::system_a(4, 1)).unwrap().t_cpu;
+        let t10 = time_step(e.tree(), e.lists(), &f, &HeteroNode::system_a(10, 1)).unwrap().t_cpu;
         assert!(t4 < t1 && t10 < t4, "t1={t1} t4={t4} t10={t10}");
         let sp10 = t1 / t10;
         assert!(sp10 > 5.0 && sp10 <= 10.5, "10-core speedup {sp10}");
@@ -279,7 +290,7 @@ mod tests {
         let f = flops_of(&e);
         let node = HeteroNode::serial();
         let graph = build_task_graph(e.tree(), e.lists(), &f, true);
-        let r = time_step(e.tree(), e.lists(), &f, &node);
+        let r = time_step(e.tree(), e.lists(), &f, &node).unwrap();
         let expect = graph.total_work() / node.cpu.rate_flops
             + graph.len() as f64 * node.cpu.task_overhead_s;
         assert!((r.t_cpu - expect).abs() < 1e-12 * expect, "{} vs {}", r.t_cpu, expect);
@@ -290,8 +301,8 @@ mod tests {
     fn gpu_offload_removes_p2p_from_cpu() {
         let e = engine_with_lists(3000, 48);
         let f = flops_of(&e);
-        let cpu_only = time_step(e.tree(), e.lists(), &f, &HeteroNode::system_a(4, 0));
-        let hetero = time_step(e.tree(), e.lists(), &f, &HeteroNode::system_a(4, 1));
+        let cpu_only = time_step(e.tree(), e.lists(), &f, &HeteroNode::system_a(4, 0)).unwrap();
+        let hetero = time_step(e.tree(), e.lists(), &f, &HeteroNode::system_a(4, 1)).unwrap();
         assert!(hetero.t_cpu < cpu_only.t_cpu, "P2P must leave the CPU DAG");
         assert!(hetero.t_gpu > 0.0);
         assert!(cpu_only.t_gpu == 0.0);
@@ -353,7 +364,7 @@ mod tests {
         let e = engine_with_lists(4000, 32);
         let f = flops_of(&e);
         for cores in [1usize, 4, 10] {
-            let r = time_step(e.tree(), e.lists(), &f, &HeteroNode::system_a(cores, 1));
+            let r = time_step(e.tree(), e.lists(), &f, &HeteroNode::system_a(cores, 1)).unwrap();
             let pr = r.parallel_rate();
             assert!(pr >= 1.0 && pr <= cores as f64 + 1e-9, "cores={cores}: rate {pr}");
         }
@@ -364,8 +375,8 @@ mod tests {
         let e = engine_with_lists(2500, 40);
         let f = flops_of(&e);
         let node = HeteroNode::system_a(10, 4);
-        let a = time_step(e.tree(), e.lists(), &f, &node);
-        let b = time_step(e.tree(), e.lists(), &f, &node);
+        let a = time_step(e.tree(), e.lists(), &f, &node).unwrap();
+        let b = time_step(e.tree(), e.lists(), &f, &node).unwrap();
         assert_eq!(a.t_cpu, b.t_cpu);
         assert_eq!(a.t_gpu, b.t_gpu);
     }
@@ -375,7 +386,7 @@ mod tests {
         let mut e = FmmEngine::new(GravityKernel::default(), FmmParams::default(), &[], 8);
         e.refresh_lists();
         let f = flops_of(&e);
-        let r = time_step(e.tree(), e.lists(), &f, &HeteroNode::system_a(4, 2));
+        let r = time_step(e.tree(), e.lists(), &f, &HeteroNode::system_a(4, 2)).unwrap();
         assert_eq!(r.t_cpu, 0.0);
         assert_eq!(r.t_gpu, 0.0);
         assert_eq!(r.compute(), 0.0);
@@ -397,14 +408,15 @@ mod offload_tests {
         e.refresh_lists();
         let flops = e.kernel.op_flops(e.expansion_ops());
         let node = HeteroNode::system_a(4, 4);
-        let base = time_step(e.tree(), e.lists(), &flops, &node);
+        let base = time_step(e.tree(), e.lists(), &flops, &node).unwrap();
         let off = time_step_policy(
             e.tree(),
             e.lists(),
             &flops,
             &node,
             ExecPolicy { offload_pl: true },
-        );
+        )
+        .unwrap();
         assert!(off.t_cpu < base.t_cpu, "P2M/L2P must leave the CPU DAG");
         assert!(off.t_gpu > base.t_gpu, "...and land on the GPUs");
     }
@@ -425,7 +437,7 @@ mod offload_tests {
         while s <= 4096 {
             e.rebuild(&b.pos, s);
             e.refresh_lists();
-            let base = time_step(e.tree(), e.lists(), &flops, &node).compute();
+            let base = time_step(e.tree(), e.lists(), &flops, &node).unwrap().compute();
             let off = time_step_policy(
                 e.tree(),
                 e.lists(),
@@ -433,6 +445,7 @@ mod offload_tests {
                 &node,
                 ExecPolicy { offload_pl: true },
             )
+            .unwrap()
             .compute();
             best_base = best_base.min(base);
             best_off = best_off.min(off);
@@ -451,14 +464,15 @@ mod offload_tests {
         e.refresh_lists();
         let flops = e.kernel.op_flops(e.expansion_ops());
         let node = HeteroNode::serial();
-        let base = time_step(e.tree(), e.lists(), &flops, &node);
+        let base = time_step(e.tree(), e.lists(), &flops, &node).unwrap();
         let off = time_step_policy(
             e.tree(),
             e.lists(),
             &flops,
             &node,
             ExecPolicy { offload_pl: true },
-        );
+        )
+        .unwrap();
         assert_eq!(base.t_cpu, off.t_cpu);
         assert_eq!(base.t_gpu, off.t_gpu);
     }
@@ -514,7 +528,7 @@ mod phase_tests {
         e.refresh_lists();
         let flops = e.kernel.op_flops(e.expansion_ops());
         let node = HeteroNode::system_a(10, 2);
-        let full = time_step(e.tree(), e.lists(), &flops, &node).t_cpu;
+        let full = time_step(e.tree(), e.lists(), &flops, &node).unwrap().t_cpu;
         let p = phase_times(e.tree(), e.lists(), &flops, &node);
         assert!(p.upsweep > 0.0 && p.downsweep > 0.0);
         assert!(full >= p.upsweep.max(p.downsweep) * 0.999, "{full} vs {p:?}");

@@ -1,0 +1,149 @@
+//! Outlier-robust conditioning of measured step times.
+//!
+//! The balancer's state machine reacts to *every* measured time: a single
+//! OS-scheduling spike in Observation can fire the 5% regression trigger
+//! and cost an `Enforce_S` pass for nothing. [`TimingFilter`] sits between
+//! the raw measurement and the balancer: a median over the last `k`
+//! samples once enough history exists, an EWMA while history is short, and
+//! outright rejection of non-finite or negative samples (the estimate
+//! simply holds). Both estimators are positively homogeneous — scaling all
+//! inputs by `c > 0` scales the output by `c` — so the filter never biases
+//! the CPU/GPU *ratio* the balancer steers by.
+//!
+//! Whenever the balancer changes the decomposition (rebuild, enforce,
+//! FGO), past samples describe a tree that no longer exists; callers must
+//! [`TimingFilter::reset`] then.
+
+/// Median-of-k filter with EWMA warm-up. Never panics, for any input.
+#[derive(Clone, Debug)]
+pub struct TimingFilter {
+    window: Vec<f64>,
+    k: usize,
+    alpha: f64,
+    ewma: Option<f64>,
+}
+
+impl Default for TimingFilter {
+    /// Median over 5 samples, EWMA α = 0.5 during warm-up.
+    fn default() -> Self {
+        TimingFilter::new(5, 0.5)
+    }
+}
+
+impl TimingFilter {
+    /// `k` = median window length (min 1); `alpha` = EWMA weight of the
+    /// newest sample, clamped into (0, 1].
+    pub fn new(k: usize, alpha: f64) -> Self {
+        let alpha = if alpha.is_finite() { alpha.clamp(1e-3, 1.0) } else { 0.5 };
+        TimingFilter { window: Vec::new(), k: k.max(1), alpha, ewma: None }
+    }
+
+    /// Ingest one raw measurement and return the filtered estimate.
+    /// Non-finite or negative samples are rejected: the previous estimate
+    /// (or 0.0 before any valid sample) is returned unchanged.
+    pub fn push(&mut self, raw: f64) -> f64 {
+        if !raw.is_finite() || raw < 0.0 {
+            return self.estimate().unwrap_or(0.0);
+        }
+        self.ewma = Some(match self.ewma {
+            None => raw,
+            Some(e) => self.alpha * raw + (1.0 - self.alpha) * e,
+        });
+        self.window.push(raw);
+        if self.window.len() > self.k {
+            self.window.remove(0);
+        }
+        self.estimate().unwrap_or(0.0)
+    }
+
+    /// Current estimate without ingesting anything: the window median once
+    /// at least 3 valid samples exist, the EWMA before that, `None` before
+    /// any valid sample.
+    pub fn estimate(&self) -> Option<f64> {
+        if self.window.len() >= 3 {
+            let mut sorted = self.window.clone();
+            sorted.sort_by(f64::total_cmp);
+            let n = sorted.len();
+            return Some(if n % 2 == 1 {
+                sorted[n / 2]
+            } else {
+                0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+            });
+        }
+        self.ewma
+    }
+
+    /// Number of valid samples currently in the median window.
+    pub fn samples(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Drop all history (the decomposition changed; old times are stale).
+    pub fn reset(&mut self) {
+        self.window.clear();
+        self.ewma = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warm_up_uses_ewma_then_median_takes_over() {
+        let mut f = TimingFilter::new(5, 0.5);
+        assert_eq!(f.push(1.0), 1.0);
+        assert_eq!(f.push(3.0), 2.0); // EWMA: 0.5·3 + 0.5·1
+        assert_eq!(f.push(2.0), 2.0); // median of [1, 3, 2]
+        assert_eq!(f.samples(), 3);
+    }
+
+    #[test]
+    fn median_suppresses_a_spike() {
+        let mut f = TimingFilter::default();
+        for _ in 0..4 {
+            f.push(1.0);
+        }
+        // A 100× spike barely moves the estimate...
+        assert_eq!(f.push(100.0), 1.0);
+        // ...and the estimate recovers completely as the spike ages out.
+        for _ in 0..5 {
+            f.push(1.0);
+        }
+        assert_eq!(f.estimate(), Some(1.0));
+    }
+
+    #[test]
+    fn rejects_invalid_samples_without_panicking() {
+        let mut f = TimingFilter::default();
+        assert_eq!(f.push(f64::NAN), 0.0);
+        assert_eq!(f.push(-1.0), 0.0);
+        assert_eq!(f.push(f64::INFINITY), 0.0);
+        f.push(2.0);
+        assert_eq!(f.push(f64::NAN), 2.0);
+        assert_eq!(f.samples(), 1);
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut f = TimingFilter::default();
+        f.push(5.0);
+        f.push(5.0);
+        f.reset();
+        assert_eq!(f.estimate(), None);
+        assert_eq!(f.push(1.0), 1.0);
+    }
+
+    #[test]
+    fn scale_equivariant() {
+        let xs = [0.2, 0.5, 0.1, 0.9, 0.4, 0.3, 0.8];
+        let c = 37.5;
+        let mut a = TimingFilter::default();
+        let mut b = TimingFilter::default();
+        for &x in &xs {
+            let ya = a.push(x);
+            let yb = b.push(c * x);
+            assert!((yb - c * ya).abs() <= 1e-12 * yb.abs().max(1.0));
+        }
+    }
+}

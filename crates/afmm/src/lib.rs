@@ -39,7 +39,9 @@ mod balance;
 mod config;
 mod cost;
 mod engine;
+mod error;
 pub mod exec;
+mod filter;
 mod simulate;
 
 pub use balance::{
@@ -49,6 +51,10 @@ pub use balance::{
 pub use config::{CpuSpec, FmmParams, HeteroNode};
 pub use cost::{lbtime, CostModel, Prediction};
 pub use engine::{FmmEngine, FmmSolution};
+pub use error::Error;
+pub use filter::TimingFilter;
+// Fault-injection vocabulary, re-exported so drivers need only `afmm`.
+pub use gpu_sim::{DeviceStatus, FaultEvent, FaultSchedule, TimedFault};
 pub use exec::{
     build_gpu_jobs, build_task_graph, build_task_graph_with, phase_times, time_step,
     time_step_policy,

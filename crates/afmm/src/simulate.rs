@@ -2,10 +2,35 @@ use crate::balance::{LbConfig, LbState, LoadBalancer, Strategy};
 use crate::config::{FmmParams, HeteroNode};
 use crate::cost::{lbtime, CostModel};
 use crate::engine::FmmEngine;
+use crate::error::Error;
 use crate::exec::time_step;
+use crate::filter::TimingFilter;
 use fmm_math::{GravityKernel, Kernel, OpFlops, StokesletKernel};
 use geom::Vec3;
+use gpu_sim::{FaultEvent, FaultSchedule};
 use nbody::Bodies;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform in the open interval (0, 1).
+fn unit_open(state: &mut u64) -> f64 {
+    ((splitmix64(state) >> 11) as f64 + 0.5) / (1u64 << 53) as f64
+}
+
+/// Deterministic lognormal multiplier `exp(σ·Z)`, `Z ~ N(0,1)` via
+/// Box–Muller — the multiplicative timing jitter of real measurements.
+fn lognormal(state: &mut u64, sigma: f64) -> f64 {
+    let u1 = unit_open(state);
+    let u2 = unit_open(state);
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    (sigma * z).exp()
+}
 
 /// Everything recorded about one simulated time step — the per-step series
 /// behind the paper's Figs 8–10 and Table II.
@@ -102,6 +127,15 @@ pub struct StrategyTracker<K: Kernel> {
     node: HeteroNode,
     records: Vec<StepRecord>,
     first: bool,
+    /// Injected disturbances, keyed by step index (see [`FaultSchedule`]).
+    faults: FaultSchedule,
+    /// Current external-CPU-load multiplier on measured CPU time.
+    cpu_load: f64,
+    /// Lognormal σ of the measurement jitter (0 = exact measurements).
+    noise_sigma: f64,
+    noise_state: u64,
+    filter_cpu: TimingFilter,
+    filter_gpu: TimingFilter,
 }
 
 impl<K: Kernel> StrategyTracker<K> {
@@ -129,12 +163,58 @@ impl<K: Kernel> StrategyTracker<K> {
             node,
             records: Vec::new(),
             first: true,
+            faults: FaultSchedule::new(),
+            cpu_load: 1.0,
+            noise_sigma: 0.0,
+            noise_state: 0x5DEE_CE66_D158_1F86,
+            filter_cpu: TimingFilter::default(),
+            filter_gpu: TimingFilter::default(),
         }
     }
 
-    /// Advance one step at the given positions: re-bin moved bodies, time
-    /// the solve on the virtual node, feed the balancer.
-    pub fn step(&mut self, pos: &[Vec3]) -> StepRecord {
+    /// Install the fault schedule; events fire at the start of the step
+    /// whose index matches their `step` field.
+    pub fn set_fault_schedule(&mut self, faults: FaultSchedule) {
+        self.faults = faults;
+    }
+
+    /// The virtual node as disturbed so far (device status included).
+    pub fn node(&self) -> &HeteroNode {
+        &self.node
+    }
+
+    /// Apply every fault event scheduled for `step_idx` to the tracked node.
+    fn apply_faults(&mut self, step_idx: usize) -> Result<(), Error> {
+        let due: Vec<FaultEvent> = self.faults.events_at(step_idx).copied().collect();
+        for ev in due {
+            match ev {
+                FaultEvent::ExternalCpuLoad { factor } => {
+                    if !factor.is_finite() || factor <= 0.0 {
+                        return Err(gpu_sim::Error::BadFactor { factor }.into());
+                    }
+                    self.cpu_load = factor;
+                }
+                FaultEvent::TimingNoise { sigma } => {
+                    if !sigma.is_finite() || sigma < 0.0 {
+                        return Err(gpu_sim::Error::BadFactor { factor: sigma }.into());
+                    }
+                    self.noise_sigma = sigma;
+                }
+                _ => {
+                    let gpus =
+                        self.node.gpus.as_mut().ok_or(Error::Gpu(gpu_sim::Error::NoGpus))?;
+                    gpus.apply_event(&ev)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Advance one step at the given positions: fire scheduled faults,
+    /// re-bin moved bodies, time the solve on the (possibly degraded)
+    /// virtual node, and feed the balancer *filtered* measurements.
+    pub fn step(&mut self, pos: &[Vec3]) -> Result<StepRecord, Error> {
+        self.apply_faults(self.records.len())?;
         let mut t_lb = 0.0;
         if !self.first {
             self.engine.rebin(pos);
@@ -144,30 +224,52 @@ impl<K: Kernel> StrategyTracker<K> {
         let state = self.balancer.state();
         let s = self.engine.tree().s_value();
         let counts = self.engine.refresh_lists();
-        let timing = time_step(self.engine.tree(), self.engine.lists(), &self.flops, &self.node);
+        let timing =
+            time_step(self.engine.tree(), self.engine.lists(), &self.flops, &self.node)?;
         self.model.observe(&counts, &timing, &self.flops, &self.node);
+        // Disturb the *measurements* (not the model's view of the machine):
+        // external CPU load stretches wall-clock CPU time; timing noise
+        // jitters both sides multiplicatively.
+        let mut t_cpu = timing.t_cpu * self.cpu_load;
+        let mut t_gpu = timing.t_gpu;
+        if self.noise_sigma > 0.0 {
+            t_cpu *= lognormal(&mut self.noise_state, self.noise_sigma);
+            t_gpu *= lognormal(&mut self.noise_state, self.noise_sigma);
+        }
+        if !t_cpu.is_finite() || !t_gpu.is_finite() {
+            return Err(Error::NonFiniteTiming { t_cpu, t_gpu });
+        }
+        // The balancer steers by outlier-filtered times so a lone spike
+        // cannot fire its regression trigger.
+        let f_cpu = self.filter_cpu.push(t_cpu);
+        let f_gpu = self.filter_gpu.push(t_gpu);
         let rep = self.balancer.post_step(
             &mut self.engine,
             &self.model,
             &self.node,
             pos,
-            timing.t_cpu,
-            timing.t_gpu,
+            f_cpu,
+            f_gpu,
         );
+        if rep.rebuilt || rep.enforced || rep.fgo_rounds > 0 {
+            // The decomposition changed: historic samples time a dead tree.
+            self.filter_cpu.reset();
+            self.filter_gpu.reset();
+        }
         t_lb += rep.lb_time;
         let rec = StepRecord {
             step: self.records.len(),
             s,
             state,
-            t_cpu: timing.t_cpu,
-            t_gpu: timing.t_gpu,
+            t_cpu,
+            t_gpu,
             t_lb,
-            gpu_efficiency: timing.gpu.as_ref().map_or(1.0, |g| g.efficiency()),
+            gpu_efficiency: timing.gpu.as_ref().and_then(|g| g.efficiency()).unwrap_or(1.0),
             p2p_interactions: counts.p2p_interactions,
             m2l_ops: counts.m2l_ops,
         };
         self.records.push(rec);
-        rec
+        Ok(rec)
     }
 
     pub fn records(&self) -> &[StepRecord] {
@@ -239,12 +341,13 @@ impl GravitySim {
     }
 
     /// One full time step: solve, integrate, maintain.
-    pub fn step(&mut self) -> StepRecord {
+    pub fn step(&mut self) -> Result<StepRecord, Error> {
         let state = self.balancer.state();
         let s = self.engine.tree().s_value();
-        let sol = self.engine.solve(&self.bodies.pos, &self.bodies.mass);
+        let sol = self.engine.try_solve(&self.bodies.pos, &self.bodies.mass)?;
         let counts = self.engine.counts();
-        let timing = time_step(self.engine.tree(), self.engine.lists(), &self.flops, &self.node);
+        let timing =
+            time_step(self.engine.tree(), self.engine.lists(), &self.flops, &self.node)?;
         self.model.observe(&counts, &timing, &self.flops, &self.node);
 
         // Semi-implicit Euler: kick with the fresh forces, then drift.
@@ -275,12 +378,12 @@ impl GravitySim {
             t_cpu: timing.t_cpu,
             t_gpu: timing.t_gpu,
             t_lb,
-            gpu_efficiency: timing.gpu.as_ref().map_or(1.0, |g| g.efficiency()),
+            gpu_efficiency: timing.gpu.as_ref().and_then(|g| g.efficiency()).unwrap_or(1.0),
             p2p_interactions: counts.p2p_interactions,
             m2l_ops: counts.m2l_ops,
         };
         self.records.push(rec);
-        rec
+        Ok(rec)
     }
 
     pub fn positions(&self) -> &[Vec3] {
@@ -350,13 +453,13 @@ impl StokesSim {
 
     /// One step driven by the given per-point forces (flat, 3 per point).
     /// Returns the record and leaves the advected positions in `self.pos`.
-    pub fn step(&mut self, forces: &[f64]) -> StepRecord {
-        assert_eq!(forces.len(), 3 * self.pos.len());
+    pub fn step(&mut self, forces: &[f64]) -> Result<StepRecord, Error> {
         let state = self.balancer.state();
         let s = self.engine.tree().s_value();
-        let sol = self.engine.solve(&self.pos, forces);
+        let sol = self.engine.try_solve(&self.pos, forces)?;
         let counts = self.engine.counts();
-        let timing = time_step(self.engine.tree(), self.engine.lists(), &self.flops, &self.node);
+        let timing =
+            time_step(self.engine.tree(), self.engine.lists(), &self.flops, &self.node)?;
         self.model.observe(&counts, &timing, &self.flops, &self.node);
 
         for (p, &u) in self.pos.iter_mut().zip(&sol.field) {
@@ -382,12 +485,12 @@ impl StokesSim {
             t_cpu: timing.t_cpu,
             t_gpu: timing.t_gpu,
             t_lb,
-            gpu_efficiency: timing.gpu.as_ref().map_or(1.0, |g| g.efficiency()),
+            gpu_efficiency: timing.gpu.as_ref().and_then(|g| g.efficiency()).unwrap_or(1.0),
             p2p_interactions: counts.p2p_interactions,
             m2l_ops: counts.m2l_ops,
         };
         self.records.push(rec);
-        rec
+        Ok(rec)
     }
 
     /// The velocities of the most recent solve can be recovered by solving
@@ -431,7 +534,7 @@ mod tests {
             None,
         );
         for _ in 0..50 {
-            sim.step();
+            sim.step().unwrap();
         }
         let e1 = total_energy(&sim.bodies, 1.0, 0.05).total();
         let p1 = total_momentum(&sim.bodies);
@@ -454,7 +557,7 @@ mod tests {
         // Feed a slowly contracting trajectory.
         let mut pos = setup.bodies.pos.clone();
         for i in 0..30 {
-            let rec = tracker.step(&pos);
+            let rec = tracker.step(&pos).unwrap();
             assert_eq!(rec.step, i);
             assert!(rec.t_cpu >= 0.0 && rec.t_gpu >= 0.0 && rec.t_lb >= 0.0);
             assert!(rec.compute() > 0.0);
@@ -467,6 +570,54 @@ mod tests {
         assert_eq!(summary.steps, 30);
         assert!(summary.total_compute > 0.0);
         assert!(summary.lb_fraction() >= 0.0);
+    }
+
+    #[test]
+    fn tracker_applies_scheduled_faults() {
+        let b = plummer(1500, 1.0, 1.0, 506);
+        let mut tracker = StrategyTracker::new(
+            fmm_math::GravityKernel::default(),
+            FmmParams::default(),
+            HeteroNode::system_a(10, 2),
+            Strategy::Full,
+            small_cfg(),
+            &b.pos,
+            None,
+        );
+        let faults = FaultSchedule::new()
+            .with(2, FaultEvent::TimingNoise { sigma: 0.05 })
+            .with(3, FaultEvent::ExternalCpuLoad { factor: 2.0 })
+            .with(5, FaultEvent::GpuDropout { device: 1 })
+            .with(8, FaultEvent::GpuRecover { device: 1 });
+        tracker.set_fault_schedule(faults);
+        for i in 0..10 {
+            let rec = tracker.step(&b.pos).unwrap();
+            assert!(rec.t_cpu.is_finite() && rec.t_gpu.is_finite());
+            let online = tracker.node().num_online_gpus();
+            if (5..8).contains(&i) {
+                assert_eq!(online, 1, "device 1 offline during steps 5..8");
+            } else {
+                assert_eq!(online, 2, "both devices online at step {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn tracker_rejects_invalid_fault_parameters() {
+        let b = plummer(500, 1.0, 1.0, 507);
+        let mut tracker = StrategyTracker::new(
+            fmm_math::GravityKernel::default(),
+            FmmParams::default(),
+            HeteroNode::system_a(4, 1),
+            Strategy::Full,
+            small_cfg(),
+            &b.pos,
+            None,
+        );
+        tracker.set_fault_schedule(
+            FaultSchedule::new().with(0, FaultEvent::ExternalCpuLoad { factor: -1.0 }),
+        );
+        assert!(tracker.step(&b.pos).is_err(), "negative load factor must error");
     }
 
     #[test]
@@ -502,8 +653,8 @@ mod tests {
         let mut late_static = 0.0;
         let mut late_full = 0.0;
         for step in 0..60 {
-            let r1 = t1.step(&pos);
-            let r3 = t3.step(&pos);
+            let r1 = t1.step(&pos).unwrap();
+            let r3 = t3.step(&pos).unwrap();
             if step >= 45 {
                 late_static += r1.compute();
                 late_full += r3.compute();
@@ -544,7 +695,7 @@ mod tests {
         );
         let before = sim.pos.clone();
         for _ in 0..5 {
-            sim.step(&forces);
+            sim.step(&forces).unwrap();
         }
         let moved = sim
             .pos

@@ -51,7 +51,7 @@ fn bench_prediction_pass(c: &mut Criterion) {
     let mut engine = FmmEngine::new(GravityKernel::default(), FmmParams::default(), &b.pos, 64);
     let counts = engine.refresh_lists();
     let flops = engine.kernel.op_flops(engine.expansion_ops());
-    let timing = afmm::time_step(engine.tree(), engine.lists(), &flops, &node);
+    let timing = afmm::time_step(engine.tree(), engine.lists(), &flops, &node).unwrap();
     let mut model = CostModel::new();
     model.observe(&counts, &timing, &flops, &node);
     g.bench_function("refresh_and_predict_20k", |bch| {

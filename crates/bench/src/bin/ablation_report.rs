@@ -44,11 +44,14 @@ fn partition_ablation() {
         let lists = octree::dual_traversal(&tree, Mac::default());
         let jobs = afmm::build_gpu_jobs(&tree, &lists);
         for gpus in [2usize, 4] {
-            let sys = gpu_sim::GpuSystem::homogeneous(gpus, gpu_sim::GpuSpec::default());
-            let smart = sys.execute(&jobs).gpu_time();
+            let sys = gpu_sim::GpuSystem::homogeneous(gpus, gpu_sim::GpuSpec::default())
+                .expect("positive device count");
+            let smart = sys.execute(&jobs).unwrap().gpu_time().unwrap();
             let naive = sys
                 .execute_with_partition(&jobs, partition_by_node_count(jobs.len(), gpus))
-                .gpu_time();
+                .unwrap()
+                .gpu_time()
+                .unwrap();
             rows.push(vec![
                 name.to_string(),
                 gpus.to_string(),
@@ -75,7 +78,7 @@ fn mac_ablation() {
     for theta in [0.3f64, 0.45, 0.6, 0.75, 0.9] {
         let lists = octree::dual_traversal(&tree, Mac::new(theta));
         let counts = octree::count_ops(&tree, &lists);
-        let timing = afmm::time_step(&tree, &lists, &flops, &node);
+        let timing = afmm::time_step(&tree, &lists, &flops, &node).unwrap();
         rows.push(vec![
             format!("{theta}"),
             counts.m2l_ops.to_string(),
@@ -100,14 +103,14 @@ fn prediction_ablation() {
     // Observe once at S=128, then predict trees at other S without
     // re-observing — the regime the paper's FGO relies on.
     let counts = engine.refresh_lists();
-    let timing = afmm::time_step(engine.tree(), engine.lists(), &flops, &node);
+    let timing = afmm::time_step(engine.tree(), engine.lists(), &flops, &node).unwrap();
     let mut model = CostModel::new();
     model.observe(&counts, &timing, &flops, &node);
     let mut rows = Vec::new();
     for s in [64usize, 96, 128, 192, 256, 512] {
         engine.rebuild(&bodies.pos, s);
         let c = engine.refresh_lists();
-        let real = afmm::time_step(engine.tree(), engine.lists(), &flops, &node);
+        let real = afmm::time_step(engine.tree(), engine.lists(), &flops, &node).unwrap();
         let pred = model.predict(&c, &node);
         rows.push(vec![
             s.to_string(),

@@ -30,7 +30,9 @@ fn main() {
         for &s in &grid {
             engine.rebuild(&bodies.pos, s);
             engine.refresh_lists();
-            let base = time_step(engine.tree(), engine.lists(), &flops, &node).compute();
+            let base = time_step(engine.tree(), engine.lists(), &flops, &node)
+                .unwrap()
+                .compute();
             let off = time_step_policy(
                 engine.tree(),
                 engine.lists(),
@@ -38,6 +40,7 @@ fn main() {
                 &node,
                 ExecPolicy { offload_pl: true },
             )
+            .unwrap()
             .compute();
             if base < best_base.1 {
                 best_base = (s, base);

@@ -35,7 +35,7 @@ fn main() {
             &bodies.pos,
             None,
         );
-        t.step(&bodies.pos).compute()
+        t.step(&bodies.pos).expect("probe step failed").compute()
     };
     let base = LbConfig { eps_switch_s: 0.15 * probe, ..Default::default() };
     let cfg_fgo = LbConfig { use_fgo: true, ..base };
@@ -54,8 +54,8 @@ fn main() {
     let mut rows = Vec::new();
     let (mut sum_fgo, mut sum_nofgo) = (0.0, 0.0);
     for step in 0..steps {
-        let a = with_fgo.step(&pos);
-        let b = without_fgo.step(&pos);
+        let a = with_fgo.step(&pos).expect("FGO tracker step failed");
+        let b = without_fgo.step(&pos).expect("no-FGO tracker step failed");
         if step >= 15 {
             sum_fgo += a.total();
             sum_nofgo += b.total();

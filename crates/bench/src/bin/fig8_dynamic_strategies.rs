@@ -52,7 +52,7 @@ fn main() {
             &setup.bodies.pos,
             domain,
         );
-        t.step(&setup.bodies.pos).compute()
+        t.step(&setup.bodies.pos).expect("probe step failed").compute()
     };
     let cfg = LbConfig { eps_switch_s: 0.15 * probe, ..Default::default() };
 
@@ -95,9 +95,9 @@ fn main() {
 
     let mut rows = Vec::new();
     for step in 0..steps {
-        let r1 = t1.step(dynamics.positions());
-        let r2 = t2.step(dynamics.positions());
-        let r3 = t3.step(dynamics.positions());
+        let r1 = t1.step(dynamics.positions()).expect("strategy-1 step failed");
+        let r2 = t2.step(dynamics.positions()).expect("strategy-2 step failed");
+        let r3 = t3.step(dynamics.positions()).expect("strategy-3 step failed");
         // Half-mass radius: tracks the collapse/rebound of the cloud.
         let mut radii: Vec<f64> = dynamics
             .positions()
@@ -119,7 +119,7 @@ fn main() {
             r1.p2p_interactions.to_string(),
             r3.p2p_interactions.to_string(),
         ]);
-        dynamics.step();
+        dynamics.step().expect("trajectory step failed");
     }
     print_tsv(
         &format!(

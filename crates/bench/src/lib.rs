@@ -48,7 +48,7 @@ pub fn time_tree(
     let params = FmmParams::default();
     let lists = dual_traversal(tree, params.mac);
     let counts = count_ops(tree, &lists);
-    let timing = time_step(tree, &lists, flops, node);
+    let timing = time_step(tree, &lists, flops, node).expect("healthy node cannot fail");
     (timing, counts, lists)
 }
 

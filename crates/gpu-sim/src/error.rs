@@ -1,0 +1,46 @@
+use std::fmt;
+
+/// Structured failures of the simulated GPU system. These replace the
+/// `assert!`-style panics of the original seed so that a driver (the AFMM
+/// balancer) can observe device loss and react instead of aborting.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Error {
+    /// A system was requested with zero devices.
+    NoGpus,
+    /// Work was submitted but every device is offline.
+    NoOnlineGpus,
+    /// A fault event referenced a device index outside the system.
+    DeviceOutOfRange { device: usize, count: usize },
+    /// A slowdown / load factor was non-finite or below 1.0, or a noise
+    /// sigma was negative or non-finite.
+    BadFactor { factor: f64 },
+    /// An explicit partition had the wrong number of device groups.
+    PartitionMismatch { expected: usize, got: usize },
+    /// An explicit partition assigned work to an offline device.
+    OfflineDeviceAssigned { device: usize },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::NoGpus => write!(f, "GPU system needs at least one device"),
+            Error::NoOnlineGpus => {
+                write!(f, "work submitted but no GPU is online")
+            }
+            Error::DeviceOutOfRange { device, count } => {
+                write!(f, "device {device} out of range (system has {count})")
+            }
+            Error::BadFactor { factor } => {
+                write!(f, "fault factor {factor} is not a finite value in its valid range")
+            }
+            Error::PartitionMismatch { expected, got } => {
+                write!(f, "partition has {got} groups, system has {expected} devices")
+            }
+            Error::OfflineDeviceAssigned { device } => {
+                write!(f, "partition assigns work to offline device {device}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}

@@ -1,0 +1,137 @@
+//! Fault injection for the virtual heterogeneous node.
+//!
+//! The paper motivates *dynamic* load balancing with exactly these
+//! disturbances: "the GPUs may be shared by other processes", clock
+//! throttling, and external CPU load that shifts the CPU/GPU crossover.
+//! A [`FaultSchedule`] scripts such disturbances at specific time steps so
+//! the balancer's recovery behaviour can be measured deterministically.
+//!
+//! GPU-side events ([`FaultEvent::GpuSlowdown`], [`FaultEvent::GpuDropout`],
+//! [`FaultEvent::GpuRecover`]) are applied to the
+//! [`GpuSystem`](crate::GpuSystem) via
+//! [`GpuSystem::apply_event`](crate::GpuSystem::apply_event); host-side
+//! events ([`FaultEvent::ExternalCpuLoad`], [`FaultEvent::TimingNoise`])
+//! are interpreted by the driver that owns the CPU timing model.
+
+/// One disturbance to the virtual node.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultEvent {
+    /// Device `device` runs `factor`× slower than nominal from now on
+    /// (e.g. a co-tenant process or thermal throttling). `factor >= 1.0`;
+    /// `1.0` restores nominal speed.
+    GpuSlowdown { device: usize, factor: f64 },
+    /// Device `device` stops accepting work (driver crash, ECC retirement,
+    /// preemption by another job).
+    GpuDropout { device: usize },
+    /// Device `device` comes back online at nominal speed.
+    GpuRecover { device: usize },
+    /// The host CPU is shared with an external process: measured CPU time
+    /// is multiplied by `factor` (`>= 1.0`; `1.0` clears the load).
+    ExternalCpuLoad { factor: f64 },
+    /// Multiplicative measurement jitter: each observed time is scaled by
+    /// `exp(sigma * z)` with `z` standard normal (`sigma >= 0.0`; `0.0`
+    /// turns noise off). Models timer granularity and OS scheduling noise.
+    TimingNoise { sigma: f64 },
+}
+
+impl FaultEvent {
+    /// Whether the event targets the GPU system (as opposed to the host).
+    pub fn is_gpu_event(&self) -> bool {
+        matches!(
+            self,
+            FaultEvent::GpuSlowdown { .. }
+                | FaultEvent::GpuDropout { .. }
+                | FaultEvent::GpuRecover { .. }
+        )
+    }
+}
+
+/// A [`FaultEvent`] scheduled for a specific simulation step.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TimedFault {
+    pub step: usize,
+    pub event: FaultEvent,
+}
+
+/// A script of timed disturbances, kept sorted by step (stable within a
+/// step, so events added for the same step fire in insertion order).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultSchedule {
+    events: Vec<TimedFault>,
+}
+
+impl FaultSchedule {
+    pub fn new() -> Self {
+        FaultSchedule::default()
+    }
+
+    /// Add an event at `step`.
+    pub fn push(&mut self, step: usize, event: FaultEvent) {
+        let at = self.events.partition_point(|e| e.step <= step);
+        self.events.insert(at, TimedFault { step, event });
+    }
+
+    /// Builder-style [`FaultSchedule::push`].
+    pub fn with(mut self, step: usize, event: FaultEvent) -> Self {
+        self.push(step, event);
+        self
+    }
+
+    /// All events scheduled for exactly `step`, in insertion order.
+    pub fn events_at(&self, step: usize) -> impl Iterator<Item = &FaultEvent> {
+        let lo = self.events.partition_point(|e| e.step < step);
+        let hi = self.events.partition_point(|e| e.step <= step);
+        self.events[lo..hi].iter().map(|e| &e.event)
+    }
+
+    /// The full sorted script.
+    pub fn events(&self) -> &[TimedFault] {
+        &self.events
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Last scheduled step, if any.
+    pub fn max_step(&self) -> Option<usize> {
+        self.events.last().map(|e| e.step)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_sorts_by_step_and_keeps_insertion_order_within_a_step() {
+        let s = FaultSchedule::new()
+            .with(10, FaultEvent::GpuDropout { device: 1 })
+            .with(3, FaultEvent::TimingNoise { sigma: 0.05 })
+            .with(10, FaultEvent::ExternalCpuLoad { factor: 2.0 });
+        let steps: Vec<usize> = s.events().iter().map(|e| e.step).collect();
+        assert_eq!(steps, vec![3, 10, 10]);
+        let at10: Vec<&FaultEvent> = s.events_at(10).collect();
+        assert_eq!(
+            at10,
+            vec![
+                &FaultEvent::GpuDropout { device: 1 },
+                &FaultEvent::ExternalCpuLoad { factor: 2.0 }
+            ]
+        );
+        assert_eq!(s.events_at(4).count(), 0);
+        assert_eq!(s.max_step(), Some(10));
+    }
+
+    #[test]
+    fn gpu_event_classification() {
+        assert!(FaultEvent::GpuSlowdown { device: 0, factor: 2.0 }.is_gpu_event());
+        assert!(FaultEvent::GpuRecover { device: 0 }.is_gpu_event());
+        assert!(!FaultEvent::ExternalCpuLoad { factor: 2.0 }.is_gpu_event());
+        assert!(!FaultEvent::TimingNoise { sigma: 0.1 }.is_gpu_event());
+    }
+}

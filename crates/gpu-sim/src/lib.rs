@@ -20,13 +20,17 @@
 //! Everything is deterministic: same jobs + same spec ⇒ same times.
 
 mod device;
+mod error;
+mod faults;
 mod partition;
 mod spec;
 mod system;
 
 pub use device::{ExpansionJob, KernelReport, P2pJob, SimGpu};
+pub use error::Error;
+pub use faults::{FaultEvent, FaultSchedule, TimedFault};
 pub use partition::{
     partition_by_interactions, partition_by_interactions_weighted, partition_by_node_count,
 };
 pub use spec::GpuSpec;
-pub use system::{GpuSystem, KernelTiming};
+pub use system::{DeviceStatus, GpuSystem, KernelTiming};

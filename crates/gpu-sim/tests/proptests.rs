@@ -81,13 +81,21 @@ proptest! {
     /// scheduling-anomaly factor.)
     #[test]
     fn more_gpus_bounded_regression(jobs in arb_jobs(40), n in 1usize..4) {
-        let t_1 = GpuSystem::homogeneous(1, GpuSpec::default()).execute(&jobs).gpu_time();
-        let t_m = GpuSystem::homogeneous(n + 1, GpuSpec::default()).execute(&jobs).gpu_time();
+        let time = |gpus: usize, jobs: &[P2pJob]| {
+            GpuSystem::homogeneous(gpus, GpuSpec::default())
+                .unwrap()
+                .execute(jobs)
+                .unwrap()
+                .gpu_time()
+                .unwrap()
+        };
+        let t_1 = time(1, &jobs);
+        let t_m = time(n + 1, &jobs);
         prop_assert!(t_m <= 1.5 * t_1 + 1e-12, "1->{} gpus: {t_1} -> {t_m}", n + 1);
         // And with enough uniform work, scaling genuinely helps.
         let big: Vec<P2pJob> = (0..256).map(|_| P2pJob::new(128, vec![256; 8])).collect();
-        let b1 = GpuSystem::homogeneous(1, GpuSpec::default()).execute(&big).gpu_time();
-        let b4 = GpuSystem::homogeneous(4, GpuSpec::default()).execute(&big).gpu_time();
+        let b1 = time(1, &big);
+        let b4 = time(4, &big);
         prop_assert!(b4 < 0.35 * b1, "b1 {b1} b4 {b4}");
     }
 
@@ -95,8 +103,8 @@ proptest! {
     /// same however jobs are split.
     #[test]
     fn totals_partition_invariant(jobs in arb_jobs(40), n in 1usize..6) {
-        let sys = GpuSystem::homogeneous(n, GpuSpec::default());
-        let t = sys.execute(&jobs);
+        let sys = GpuSystem::homogeneous(n, GpuSpec::default()).unwrap();
+        let t = sys.execute(&jobs).unwrap();
         let expect: u64 = jobs.iter().map(P2pJob::interactions).sum();
         prop_assert_eq!(t.total_pairs(), expect);
     }

@@ -26,7 +26,7 @@ fn main() {
     let mut pos = bodies.pos.clone();
     for step in 0..20 {
         let counts = engine.refresh_lists();
-        let timing = afmm::time_step(engine.tree(), engine.lists(), &flops, &node);
+        let timing = afmm::time_step(engine.tree(), engine.lists(), &flops, &node).unwrap();
         model.observe(&counts, &timing, &flops, &node);
         println!(
             "{step:4}  {:12} {:5}  {:.5} s {:.5} s",
@@ -51,7 +51,7 @@ fn main() {
     }
     engine.rebin(&pos);
     let counts = engine.refresh_lists();
-    let timing = afmm::time_step(engine.tree(), engine.lists(), &flops, &node);
+    let timing = afmm::time_step(engine.tree(), engine.lists(), &flops, &node).unwrap();
     println!(
         "after disturbance: compute {:.5} s (best was {:.5} s)",
         timing.compute(),
@@ -67,7 +67,7 @@ fn main() {
         before_nodes,
         engine.tree().visible_nodes().len()
     );
-    let after = afmm::time_step(engine.tree(), engine.lists(), &flops, &node);
+    let after = afmm::time_step(engine.tree(), engine.lists(), &flops, &node).unwrap();
     println!("compute after repair: {:.5} s\n", after.compute());
     let _ = counts;
 
@@ -75,7 +75,7 @@ fn main() {
     // Deliberately over-coarse tree: the GPU drowns in direct work.
     engine.rebuild(&pos, 1024);
     let counts = engine.refresh_lists();
-    let timing = afmm::time_step(engine.tree(), engine.lists(), &flops, &node);
+    let timing = afmm::time_step(engine.tree(), engine.lists(), &flops, &node).unwrap();
     model.observe(&counts, &timing, &flops, &node);
     let before = model.predict(&counts, &node);
     println!(
@@ -87,7 +87,7 @@ fn main() {
         "FGO ran {} batch(es) in {:.5} s of LB time; predicted cpu {:.5} s, gpu {:.5} s",
         out.rounds, out.lb_time, out.prediction.t_cpu, out.prediction.t_gpu
     );
-    let realized = afmm::time_step(engine.tree(), engine.lists(), &flops, &node);
+    let realized = afmm::time_step(engine.tree(), engine.lists(), &flops, &node).unwrap();
     println!(
         "realized after FGO: cpu {:.5} s, gpu {:.5} s (prediction error {:.1}%)",
         realized.t_cpu,

@@ -41,7 +41,7 @@ fn main() {
     println!("step   sep      S     state         t_cpu     t_gpu     t_lb    depth leaves");
     let mut last_state = None;
     for step in 0..steps {
-        let rec = sim.step();
+        let rec = sim.step().unwrap();
         // Separation of the two cluster centroids (split by body index).
         let pos = sim.positions();
         let c1: Vec3 = pos[..n / 2].iter().copied().sum::<Vec3>() / (n / 2) as f64;

@@ -49,9 +49,9 @@ pub use sched_sim;
 /// The workhorse types, importable in one line.
 pub mod prelude {
     pub use afmm::{
-        fine_grained_optimize, search_best_s_cpu_only, CostModel, FmmEngine, FmmParams,
-        GravitySim, HeteroNode, LbConfig, LbState, LoadBalancer, Prediction, StokesSim,
-        Strategy, StrategyTracker,
+        fine_grained_optimize, search_best_s_cpu_only, CostModel, FaultEvent, FaultSchedule,
+        FmmEngine, FmmParams, GravitySim, HeteroNode, LbConfig, LbState, LoadBalancer,
+        Prediction, StokesSim, Strategy, StrategyTracker, TimedFault, TimingFilter,
     };
     pub use fmm_math::{ExpansionOps, GravityKernel, Kernel, StokesletKernel};
     pub use geom::{Aabb, Vec3};

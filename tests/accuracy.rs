@@ -1,5 +1,5 @@
-//! Cross-crate accuracy tests: the full AFMM pipeline (octree + expansions
-//! + interaction lists + near field) against direct summation, for both of
+//! Cross-crate accuracy tests: the full AFMM pipeline (octree, expansions,
+//! interaction lists, near field) against direct summation, for both of
 //! the paper's kernels, across expansion orders, MAC strictness, and
 //! decomposition shapes.
 

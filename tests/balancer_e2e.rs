@@ -17,7 +17,7 @@ fn measure(
 ) -> (f64, f64) {
     let counts = engine.refresh_lists();
     let flops = engine.kernel.op_flops(engine.expansion_ops());
-    let t = afmm::time_step(engine.tree(), engine.lists(), &flops, node);
+    let t = afmm::time_step(engine.tree(), engine.lists(), &flops, node).unwrap();
     model.observe(&counts, &t, &flops, node);
     (t.t_cpu, t.t_gpu)
 }
@@ -72,7 +72,7 @@ fn settled_s_is_near_the_sweep_optimum() {
     while s <= 4096 {
         engine.rebuild(&b.pos, s);
         engine.refresh_lists();
-        let t = afmm::time_step(engine.tree(), engine.lists(), &flops, &node).compute();
+        let t = afmm::time_step(engine.tree(), engine.lists(), &flops, &node).unwrap().compute();
         best = best.min(t);
         s = (s as f64 * 1.5).ceil() as usize;
     }
@@ -110,7 +110,7 @@ fn gravity_sim_full_run_is_deterministic() {
             None,
         );
         for _ in 0..15 {
-            sim.step();
+            sim.step().unwrap();
         }
         (
             sim.positions().to_vec(),
@@ -139,7 +139,7 @@ fn trackers_under_all_strategies_stay_valid() {
         );
         let mut pos = setup.bodies.pos.clone();
         for _ in 0..20 {
-            tracker.step(&pos);
+            tracker.step(&pos).unwrap();
             // Pull everything toward an off-center clump.
             for p in &mut pos {
                 *p = *p + (Vec3::new(6.0, -6.0, 6.0) - *p) * 0.04;

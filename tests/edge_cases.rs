@@ -114,7 +114,7 @@ fn balancer_survives_adversarial_timings() {
             // Occasionally observe real timings so the model stays usable.
             let counts = engine.refresh_lists();
             let flops = engine.kernel.op_flops(engine.expansion_ops());
-            let t = afmm::time_step(engine.tree(), engine.lists(), &flops, &node);
+            let t = afmm::time_step(engine.tree(), engine.lists(), &flops, &node).unwrap();
             model.observe(&counts, &t, &flops, &node);
             let (tc, tg) = match rng.random_range(0..4u32) {
                 0 => (t.t_cpu, t.t_gpu),
@@ -159,7 +159,7 @@ fn gravity_sim_survives_tight_binary() {
         None,
     );
     for _ in 0..100 {
-        sim.step();
+        sim.step().unwrap();
     }
     assert!(sim.positions().iter().all(|p| p.is_finite()));
     assert!(sim.bodies.vel.iter().all(|v| v.is_finite()));
@@ -169,7 +169,10 @@ fn gravity_sim_survives_tight_binary() {
 fn s_equals_one_tree_works() {
     // The finest possible decomposition: every leaf holds at most one body.
     let b = nbody::uniform_cube(100, 1.0, 5005);
-    let params = FmmParams { order: 4, mac: Mac::new(0.6), max_level: 21 };
+    // At S=1 the tree is deep and every interaction is far-field, so the
+    // expansion truncation dominates the error; order 4 lands just above the
+    // 1e-3 budget on this draw while order 5 is comfortably inside it.
+    let params = FmmParams { order: 5, mac: Mac::new(0.6), max_level: 21 };
     let mut engine = FmmEngine::new(GravityKernel::default(), params, &b.pos, 1);
     for id in engine.tree().visible_leaves() {
         assert!(engine.tree().node(id).count() <= 1);

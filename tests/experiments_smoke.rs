@@ -12,7 +12,7 @@ fn flops() -> fmm_math::OpFlops {
 
 fn time_tree(tree: &Octree, node: &HeteroNode) -> afmm::TimingReport {
     let lists = dual_traversal(tree, Mac::default());
-    afmm::time_step(tree, &lists, &flops(), node)
+    afmm::time_step(tree, &lists, &flops(), node).unwrap()
 }
 
 /// Fig 3's essence: on an adaptive tree, CPU cost falls and GPU cost rises
@@ -123,7 +123,7 @@ fn fig10_shape_fgo_bridges_the_gap() {
     );
     let counts = engine.refresh_lists();
     let f = StokesletKernel::new(1e-3, 1.0).op_flops(&ExpansionOps::new(FmmParams::default().order));
-    let timing = afmm::time_step(engine.tree(), engine.lists(), &f, &node);
+    let timing = afmm::time_step(engine.tree(), engine.lists(), &f, &node).unwrap();
     let mut model = CostModel::new();
     model.observe(&counts, &timing, &f, &node);
     let before = model.predict(&counts, &node);
@@ -139,7 +139,7 @@ fn fig10_shape_fgo_bridges_the_gap() {
         out.prediction.compute(),
         before.compute()
     );
-    let realized = afmm::time_step(engine.tree(), engine.lists(), &f, &node);
+    let realized = afmm::time_step(engine.tree(), engine.lists(), &f, &node).unwrap();
     assert!(realized.compute() < timing.compute());
 }
 
@@ -152,14 +152,15 @@ fn extension_shape_offload() {
     let lists = dual_traversal(&tree, Mac::default());
     let f = flops();
     let starved = HeteroNode::system_a(2, 4);
-    let base = afmm::time_step(&tree, &lists, &f, &starved);
+    let base = afmm::time_step(&tree, &lists, &f, &starved).unwrap();
     let off = afmm::time_step_policy(
         &tree,
         &lists,
         &f,
         &starved,
         afmm::ExecPolicy { offload_pl: true },
-    );
+    )
+    .unwrap();
     assert!(off.t_cpu < base.t_cpu);
     assert!(off.t_gpu >= base.t_gpu);
 }

@@ -24,7 +24,7 @@ fn plummer_sphere_stays_virialized_under_fmm_dynamics() {
         None,
     );
     for _ in 0..60 {
-        sim.step();
+        sim.step().unwrap();
     }
     let e1 = nbody::total_energy(&sim.bodies, g, 0.05).total();
     let r1 = half_mass_radius(sim.positions());
@@ -38,11 +38,14 @@ fn cold_cloud_collapses() {
     let setup = nbody::collapsing_plummer(800, 1.0, 3002);
     let r0 = half_mass_radius(&setup.bodies.pos);
     let t_ff = std::f64::consts::FRAC_PI_2 * (1.0f64 / (2.0 * 800.0)).sqrt();
-    let steps = 80;
+    // A sub-virial (not perfectly cold) cloud needs a bit more than one
+    // free-fall time before the half-mass radius clears the 0.8 r0 bar;
+    // keep the same dt and integrate to 1.5 t_ff.
+    let steps = 100;
     let mut sim = GravitySim::new(
         setup.bodies,
         1.0,
-        1.2 * t_ff / steps as f64,
+        1.5 * t_ff / steps as f64,
         0.05,
         FmmParams { order: 3, ..Default::default() },
         HeteroNode::system_a(10, 2),
@@ -51,7 +54,7 @@ fn cold_cloud_collapses() {
         Some((setup.domain_center, setup.domain_half_width)),
     );
     for _ in 0..steps {
-        sim.step();
+        sim.step().unwrap();
     }
     let r1 = half_mass_radius(sim.positions());
     assert!(r1 < 0.8 * r0, "no collapse: {r0} -> {r1}");
@@ -74,7 +77,7 @@ fn momentum_conserved_through_full_machinery() {
         None,
     );
     for _ in 0..30 {
-        sim.step();
+        sim.step().unwrap();
     }
     let p1 = nbody::total_momentum(&sim.bodies);
     // FMM forces are not exactly antisymmetric, but drift must be tiny
@@ -145,7 +148,7 @@ fn stokes_sim_driver_runs_with_balancer() {
         LbConfig { eps_switch_s: 2e-3, ..Default::default() },
     );
     for _ in 0..12 {
-        let rec = sim.step(&forces);
+        let rec = sim.step(&forces).unwrap();
         assert!(rec.compute() > 0.0);
         sim.engine().tree().check_invariants().unwrap();
     }
