@@ -17,13 +17,20 @@ pub struct FmmParams {
 
 impl Default for FmmParams {
     fn default() -> Self {
-        FmmParams { order: 6, mac: Mac::default(), max_level: 21 }
+        FmmParams {
+            order: 6,
+            mac: Mac::default(),
+            max_level: 21,
+        }
     }
 }
 
 impl FmmParams {
     pub fn with_order(order: usize) -> Self {
-        FmmParams { order, ..Default::default() }
+        FmmParams {
+            order,
+            ..Default::default()
+        }
     }
 }
 
@@ -96,22 +103,28 @@ impl HeteroNode {
         let gpus = if n_gpus == 0 {
             None
         } else {
-            Some(
-                GpuSystem::homogeneous(n_gpus, GpuSpec::tesla_c2050())
-                    .expect("n_gpus > 0 here"),
-            )
+            Some(GpuSystem::homogeneous(n_gpus, GpuSpec::tesla_c2050()).expect("n_gpus > 0 here"))
         };
-        HeteroNode { cpu: CpuSpec::xeon_x5670(cores), gpus }
+        HeteroNode {
+            cpu: CpuSpec::xeon_x5670(cores),
+            gpus,
+        }
     }
 
     /// The paper's Test System B: up to 32 Nehalem-EX cores, no GPUs.
     pub fn system_b(cores: usize) -> Self {
-        HeteroNode { cpu: CpuSpec::x7560(cores), gpus: None }
+        HeteroNode {
+            cpu: CpuSpec::x7560(cores),
+            gpus: None,
+        }
     }
 
     /// Single CPU core, no GPUs — the serial baseline.
     pub fn serial() -> Self {
-        HeteroNode { cpu: CpuSpec::xeon_x5670(1), gpus: None }
+        HeteroNode {
+            cpu: CpuSpec::xeon_x5670(1),
+            gpus: None,
+        }
     }
 
     pub fn num_gpus(&self) -> usize {

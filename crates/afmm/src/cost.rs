@@ -63,7 +63,10 @@ pub struct CostModel {
 
 impl CostModel {
     pub fn new() -> Self {
-        CostModel { parallel_rate: 1.0, ..Default::default() }
+        CostModel {
+            parallel_rate: 1.0,
+            ..Default::default()
+        }
     }
 
     /// Have coefficients been observed yet (at least one solve)?
@@ -122,71 +125,10 @@ impl CostModel {
             t_gpu = 0.0;
             cpu_work += self.c_cpu_pair * counts.p2p_interactions as f64;
         }
-        Prediction { t_cpu: cpu_work / self.parallel_rate.max(1.0), t_gpu }
-    }
-}
-
-/// Modeled wall times of the tree-maintenance / load-balancing operations,
-/// charged to the paper's "LB time" accounting (Table II). The constants are
-/// flop-equivalents per unit of structural work; maintenance is
-/// memory-bound, so it runs at a derated fraction of the cores' rate.
-pub mod lbtime {
-    use crate::config::HeteroNode;
-
-    /// Fraction of peak flop rate achieved by pointer-chasing tree work.
-    const MAINTENANCE_EFFICIENCY: f64 = 0.5;
-    /// Work per body per tree level for a full rebuild (Morton keys +
-    /// parallel sort + node allocation).
-    const REBUILD_PER_BODY_LEVEL: f64 = 40.0;
-    /// Work per body for the per-step re-bin pass. With contiguous subtree
-    /// ranges this is a streaming membership check + local fix-up (bodies
-    /// rarely change leaves within one small time step), not a full
-    /// re-sort — matching the paper's near-zero strategy-1 LB overhead
-    /// (0.02% of compute over 2000 steps).
-    const REBIN_PER_BODY: f64 = 8.0;
-    /// Work per visible node for an Enforce_S sweep.
-    const ENFORCE_PER_NODE: f64 = 60.0;
-    /// Work per Collapse/PushDown application (flag writes, range
-    /// repartition).
-    const MODIFY_PER_OP: f64 = 3.0e3;
-    /// Work per interaction-list entry for a prediction pass (dual
-    /// traversal + op recount).
-    const PREDICT_PER_ENTRY: f64 = 90.0;
-
-    fn rate(node: &HeteroNode) -> f64 {
-        let c = &node.cpu;
-        c.cores as f64 * c.rate_flops * c.memory.rate_factor(c.cores) * MAINTENANCE_EFFICIENCY
-    }
-
-    fn levels(n_bodies: usize) -> f64 {
-        (n_bodies.max(2) as f64).log2()
-    }
-
-    /// Wall time of a full tree rebuild over `n_bodies`.
-    pub fn rebuild(node: &HeteroNode, n_bodies: usize) -> f64 {
-        REBUILD_PER_BODY_LEVEL * n_bodies as f64 * levels(n_bodies) / rate(node)
-    }
-
-    /// Wall time of re-binning `n_bodies` into the unchanged structure.
-    pub fn rebin(node: &HeteroNode, n_bodies: usize) -> f64 {
-        REBIN_PER_BODY * n_bodies as f64 / rate(node)
-    }
-
-    /// Wall time of one Enforce_S sweep that visited `nodes` and applied
-    /// `changes` collapse/pushdown operations.
-    pub fn enforce(node: &HeteroNode, nodes: usize, changes: usize) -> f64 {
-        (ENFORCE_PER_NODE * nodes as f64 + MODIFY_PER_OP * changes as f64) / rate(node)
-    }
-
-    /// Wall time of applying `changes` collapse/pushdown operations.
-    pub fn modify(node: &HeteroNode, changes: usize) -> f64 {
-        MODIFY_PER_OP * changes as f64 / rate(node)
-    }
-
-    /// Wall time of one time-prediction pass over a tree whose interaction
-    /// lists hold `entries` M2L + P2P entries.
-    pub fn predict(node: &HeteroNode, entries: usize) -> f64 {
-        PREDICT_PER_ENTRY * entries as f64 / rate(node)
+        Prediction {
+            t_cpu: cpu_work / self.parallel_rate.max(1.0),
+            t_gpu,
+        }
     }
 }
 
@@ -282,19 +224,5 @@ mod tests {
         assert!(!model.is_observed());
         let pred = model.predict(&OpCounts::default(), &HeteroNode::serial());
         assert_eq!(pred.compute(), 0.0);
-    }
-
-    #[test]
-    fn lbtime_scales_sanely() {
-        let node = HeteroNode::system_a(10, 2);
-        let r1 = lbtime::rebuild(&node, 10_000);
-        let r2 = lbtime::rebuild(&node, 100_000);
-        assert!(r2 > 5.0 * r1, "rebuild super-linear in n: {r1} vs {r2}");
-        assert!(lbtime::rebin(&node, 10_000) < r1, "rebin cheaper than rebuild");
-        let serial = HeteroNode::serial();
-        assert!(lbtime::rebuild(&serial, 10_000) > r1, "fewer cores, slower maintenance");
-        assert!(lbtime::enforce(&node, 1000, 10) > 0.0);
-        assert!(lbtime::predict(&node, 50_000) > 0.0);
-        assert_eq!(lbtime::modify(&node, 0), 0.0);
     }
 }

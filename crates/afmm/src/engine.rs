@@ -1,11 +1,19 @@
-use crate::config::FmmParams;
-use fmm_math::{DerivScratch, ExpansionOps, Kernel};
+use crate::config::{FmmParams, HeteroNode};
+use crate::exec::{time_step_with_jobs, TimingReport};
+use crate::plan::ExecutionPlan;
+use fmm_math::{DerivScratch, ExpansionOps, Kernel, OpFlops};
 use geom::Vec3;
 use octree::{
-    build_adaptive, build_adaptive_in_cube, count_ops, dual_traversal, BuildParams,
-    InteractionLists, NodeId, Octree, OpCounts, NONE,
+    build_adaptive, build_adaptive_in_cube, BuildParams, EnforceOutcome, InteractionLists, NodeId,
+    Octree, OpCounts, PlanRefresh, NONE,
 };
 use rayon::prelude::*;
+
+/// What [`FmmEngine::lists`] hands out before any plan exists.
+static EMPTY_LISTS: InteractionLists = InteractionLists {
+    m2l: Vec::new(),
+    p2p: Vec::new(),
+};
 
 /// Result of one FMM solve, in **original body order**: a potential-like
 /// scalar and a vector field per body (acceleration for gravity, velocity
@@ -47,9 +55,15 @@ pub struct FmmEngine<K: Kernel> {
     // Expansion storage, node-major: node id × channel × coefficient.
     multipoles: Vec<f64>,
     locals: Vec<f64>,
-    // Artifacts of the last solve, reused by the timing layer and balancer.
-    last_lists: InteractionLists,
-    last_counts: OpCounts,
+    /// The persistent execution plan: interaction lists, op counts and GPU
+    /// jobs, built lazily and *patched* across tree edits that go through
+    /// the plan-aware APIs ([`FmmEngine::apply_collapse`],
+    /// [`FmmEngine::enforce_s`], ...).
+    plan: Option<ExecutionPlan>,
+    /// Set whenever the tree may have changed behind the plan's back
+    /// ([`FmmEngine::tree_mut`], [`FmmEngine::rebuild`]); the next refresh
+    /// then rebuilds the plan instead of trusting its incremental state.
+    plan_stale: bool,
 }
 
 impl<K: Kernel> FmmEngine<K> {
@@ -83,7 +97,11 @@ impl<K: Kernel> FmmEngine<K> {
     }
 
     fn build_params(params: &FmmParams, s: usize) -> BuildParams {
-        BuildParams { s, max_level: params.max_level, pad: 1e-6 }
+        BuildParams {
+            s,
+            max_level: params.max_level,
+            pad: 1e-6,
+        }
     }
 
     fn from_tree(kernel: K, params: FmmParams, tree: Octree, domain: Option<(Vec3, f64)>) -> Self {
@@ -100,8 +118,8 @@ impl<K: Kernel> FmmEngine<K> {
             out_t: Vec::new(),
             multipoles: Vec::new(),
             locals: Vec::new(),
-            last_lists: InteractionLists::default(),
-            last_counts: OpCounts::default(),
+            plan: None,
+            plan_stale: true,
         }
     }
 
@@ -117,44 +135,170 @@ impl<K: Kernel> FmmEngine<K> {
         &self.tree
     }
 
+    /// Raw mutable tree access. Any edit made through this handle happens
+    /// behind the plan's back, so it marks the plan stale (next refresh is a
+    /// full rebuild). Prefer [`FmmEngine::apply_collapse`] /
+    /// [`FmmEngine::apply_push_down`] / [`FmmEngine::enforce_s`], which keep
+    /// the plan alive by patching it.
     pub fn tree_mut(&mut self) -> &mut Octree {
+        self.plan_stale = true;
         &mut self.tree
     }
 
-    /// Interaction lists of the most recent [`FmmEngine::solve`] /
-    /// [`FmmEngine::refresh_lists`].
+    /// Interaction lists of the current plan (most recent
+    /// [`FmmEngine::solve`] / [`FmmEngine::refresh_lists`]).
     pub fn lists(&self) -> &InteractionLists {
-        &self.last_lists
+        match &self.plan {
+            Some(p) => p.lists(),
+            None => &EMPTY_LISTS,
+        }
     }
 
-    /// Operation counts of the most recent solve / refresh.
+    /// Operation counts of the current plan.
     pub fn counts(&self) -> OpCounts {
-        self.last_counts
+        self.plan
+            .as_ref()
+            .map(ExecutionPlan::counts)
+            .unwrap_or_default()
+    }
+
+    /// Is there a plan whose incremental state is trusted (no untracked
+    /// tree edits since it was built)? The balancer uses this to decide
+    /// whether a probe can take the cheap patch path.
+    pub fn has_live_plan(&self) -> bool {
+        self.plan.is_some() && !self.plan_stale
     }
 
     /// Rebuild the decomposition from scratch at leaf capacity `s` (the
-    /// paper's Search/Incremental states do this every step).
+    /// paper's Search state does this every step).
     pub fn rebuild(&mut self, pos: &[Vec3], s: usize) {
         let bp = Self::build_params(&self.params, s);
         self.tree = match self.domain {
             Some((c, hw)) => build_adaptive_in_cube(pos, bp, c, hw),
             None => build_adaptive(pos, bp),
         };
+        self.plan_stale = true;
     }
 
-    /// Re-sort moved bodies into the unchanged tree structure.
+    /// Re-sort moved bodies into the unchanged tree structure. The plan
+    /// stays alive: leaf populations moved but the traversal structure did
+    /// not, so the next refresh patches counts instead of re-traversing.
     pub fn rebin(&mut self, pos: &[Vec3]) {
         self.tree.rebin(pos);
     }
 
-    /// Recompute interaction lists and operation counts for the *current*
-    /// tree without doing numerical work — the tree-dependent half of the
-    /// paper's time prediction ("a count for the number of times each
-    /// operation will be performed for the given tree is accumulated").
+    /// Change the leaf capacity the *current* tree enforces, without
+    /// rebuilding ([`FmmEngine::enforce_s`] then restores the invariant by
+    /// local edits).
+    pub fn set_s(&mut self, s: usize) {
+        self.tree.set_s_value(s);
+    }
+
+    /// Collapse node `id`, patching the plan through the edit when one is
+    /// live. Returns false when the collapse is a no-op.
+    pub fn apply_collapse(&mut self, id: NodeId) -> bool {
+        if self.has_live_plan() {
+            let mut plan = self.plan.take().expect("checked live");
+            let did = plan.apply_collapse(&mut self.tree, id);
+            self.plan = Some(plan);
+            did
+        } else {
+            self.plan_stale = true;
+            self.tree.collapse(id)
+        }
+    }
+
+    /// Push down node `id`, patching the plan through the edit when one is
+    /// live. Returns false when the push-down is refused.
+    pub fn apply_push_down(&mut self, id: NodeId) -> bool {
+        if self.has_live_plan() {
+            let mut plan = self.plan.take().expect("checked live");
+            let did = plan.apply_push_down(&mut self.tree, id);
+            self.plan = Some(plan);
+            did
+        } else {
+            self.plan_stale = true;
+            self.tree.push_down(id)
+        }
+    }
+
+    /// The paper's Enforce_S through the plan: identical walk and decisions
+    /// as [`Octree::enforce_s`], but each collapse/push-down patches the
+    /// live plan instead of invalidating it. The boolean reports whether
+    /// the patch path was taken (false = no live plan; the tree-level
+    /// enforce ran and the plan went stale).
+    pub fn enforce_s(&mut self) -> (EnforceOutcome, bool) {
+        if !self.has_live_plan() {
+            self.plan_stale = true;
+            return (self.tree.enforce_s(), false);
+        }
+        let mut plan = self.plan.take().expect("checked live");
+        let s = self.tree.s_value();
+        let mut out = EnforceOutcome::default();
+        let mut stack = vec![Octree::ROOT];
+        while let Some(id) = stack.pop() {
+            let n = *self.tree.node(id);
+            if !n.is_leaf() {
+                if n.count() < s {
+                    plan.apply_collapse(&mut self.tree, id);
+                    out.collapses += 1;
+                } else {
+                    for o in 0..8 {
+                        stack.push(n.first_child + o);
+                    }
+                }
+            } else if n.count() > s && plan.apply_push_down(&mut self.tree, id) {
+                out.pushdowns += 1;
+                let first = self.tree.node(id).first_child;
+                for o in 0..8 {
+                    stack.push(first + o);
+                }
+            }
+        }
+        self.plan = Some(plan);
+        (out, true)
+    }
+
+    /// Bring the plan in sync with the current tree: full (re)build when no
+    /// trusted plan exists, otherwise a cheap count reconciliation
+    /// ([`ExecutionPlan::refresh_counts`]).
+    pub fn refresh_plan(&mut self) -> PlanRefresh {
+        match self.plan.as_mut() {
+            Some(plan) if !self.plan_stale => plan.refresh_counts(&self.tree),
+            Some(plan) => {
+                plan.rebuild(&self.tree);
+                self.plan_stale = false;
+                PlanRefresh::Rebuilt
+            }
+            None => {
+                self.plan = Some(ExecutionPlan::build(&self.tree, self.params.mac));
+                self.plan_stale = false;
+                PlanRefresh::Rebuilt
+            }
+        }
+    }
+
+    /// Refresh the plan and return its operation counts — the
+    /// tree-dependent half of the paper's time prediction ("a count for the
+    /// number of times each operation will be performed for the given tree
+    /// is accumulated").
     pub fn refresh_lists(&mut self) -> OpCounts {
-        self.last_lists = dual_traversal(&self.tree, self.params.mac);
-        self.last_counts = count_ops(&self.tree, &self.last_lists);
-        self.last_counts
+        self.refresh_plan();
+        self.counts()
+    }
+
+    /// Time one virtual solve of the current tree on `node`, reusing the
+    /// plan's cached interaction lists and GPU job list (regenerated only
+    /// if a tree edit invalidated them).
+    pub fn time_step(
+        &mut self,
+        flops: &OpFlops,
+        node: &HeteroNode,
+    ) -> Result<TimingReport, crate::Error> {
+        self.refresh_plan();
+        let plan = self.plan.as_mut().expect("plan refreshed above");
+        plan.ensure_jobs(&self.tree);
+        time_step_with_jobs(&self.tree, plan.lists(), plan.jobs(), flops, node)
     }
 
     /// Run one full FMM solve: gather bodies into tree order, traverse,
@@ -163,7 +307,8 @@ impl<K: Kernel> FmmEngine<K> {
     /// `strength` is flat with [`Kernel::strength_dim`] values per body, in
     /// original body order.
     pub fn solve(&mut self, pos: &[Vec3], strength: &[f64]) -> FmmSolution {
-        self.try_solve(pos, strength).expect("inconsistent solve inputs")
+        self.try_solve(pos, strength)
+            .expect("inconsistent solve inputs")
     }
 
     /// As [`FmmEngine::solve`], but reporting caller mistakes (body count
@@ -202,7 +347,8 @@ impl<K: Kernel> FmmEngine<K> {
         self.str_t.reserve(sd * n);
         for &b in order {
             let b = b as usize;
-            self.str_t.extend_from_slice(&strength[sd * b..sd * (b + 1)]);
+            self.str_t
+                .extend_from_slice(&strength[sd * b..sd * (b + 1)]);
         }
         self.pot_t.clear();
         self.pot_t.resize(n, 0.0);
@@ -288,7 +434,11 @@ impl<K: Kernel> FmmEngine<K> {
         let levels = self.tree.levels();
         let ops = &self.ops;
         let tree = &self.tree;
-        let lists = &self.last_lists;
+        let lists = self
+            .plan
+            .as_ref()
+            .expect("plan refreshed in try_solve")
+            .lists();
         let ch = self.kernel.channels();
         let multipoles = &self.multipoles;
         for lv in levels.iter() {
@@ -304,7 +454,13 @@ impl<K: Kernel> FmmEngine<K> {
                         if node.parent != NONE {
                             let p = node.parent as usize;
                             let src = &locals[p * stride..(p + 1) * stride];
-                            ops.l2l(src, node.center - tree.node(node.parent).center, &mut l, ch, pow);
+                            ops.l2l(
+                                src,
+                                node.center - tree.node(node.parent).center,
+                                &mut l,
+                                ch,
+                                pow,
+                            );
                         }
                         for &b in &lists.m2l[id as usize] {
                             let src = &multipoles[b as usize * stride..(b as usize + 1) * stride];
@@ -328,7 +484,11 @@ impl<K: Kernel> FmmEngine<K> {
         let tree = &self.tree;
         let ops = &self.ops;
         let kernel = &self.kernel;
-        let lists = &self.last_lists;
+        let lists = self
+            .plan
+            .as_ref()
+            .expect("plan refreshed in try_solve")
+            .lists();
         let pos_t = &self.pos_t;
         let str_t = &self.str_t;
         let locals = &self.locals;
@@ -378,7 +538,11 @@ mod tests {
     use octree::Mac;
 
     fn rel_field_err(fmm: &[Vec3], direct: &[Vec3]) -> f64 {
-        let num: f64 = fmm.iter().zip(direct).map(|(a, b)| (*a - *b).norm_sq()).sum();
+        let num: f64 = fmm
+            .iter()
+            .zip(direct)
+            .map(|(a, b)| (*a - *b).norm_sq())
+            .sum();
         let den: f64 = direct.iter().map(|v| v.norm_sq()).sum();
         (num / den).sqrt()
     }
@@ -389,7 +553,11 @@ mod tests {
         let kernel = GravityKernel::default();
         let direct = nbody::direct_gravity(&b, 1.0, 0.0);
         for (order, tol) in [(3usize, 3e-3), (6, 2e-5)] {
-            let params = FmmParams { order, mac: Mac::new(0.5), max_level: 21 };
+            let params = FmmParams {
+                order,
+                mac: Mac::new(0.5),
+                max_level: 21,
+            };
             let mut engine = FmmEngine::new(kernel, params, &b.pos, 24);
             let sol = engine.solve(&b.pos, &b.mass);
             let err = rel_field_err(&sol.field, &direct);
@@ -403,7 +571,11 @@ mod tests {
         let direct = nbody::direct_gravity(&b, 1.0, 0.0);
         let mut last = f64::INFINITY;
         for order in [2usize, 4, 6] {
-            let params = FmmParams { order, mac: Mac::new(0.5), max_level: 21 };
+            let params = FmmParams {
+                order,
+                mac: Mac::new(0.5),
+                max_level: 21,
+            };
             let mut engine = FmmEngine::new(GravityKernel::default(), params, &b.pos, 16);
             let sol = engine.solve(&b.pos, &b.mass);
             let err = rel_field_err(&sol.field, &direct);
@@ -422,7 +594,11 @@ mod tests {
         let mut du = vec![Vec3::ZERO; b.len()];
         kernel.p2p(&b.pos, &mut dpot, &mut du, &b.pos, &f, true);
 
-        let params = FmmParams { order: 6, mac: Mac::new(0.5), max_level: 21 };
+        let params = FmmParams {
+            order: 6,
+            mac: Mac::new(0.5),
+            max_level: 21,
+        };
         let mut engine = FmmEngine::new(kernel, params, &b.pos, 20);
         let sol = engine.solve(&b.pos, &f);
         let err = rel_field_err(&sol.field, &du);
@@ -446,7 +622,11 @@ mod tests {
         // Different decompositions shift work between far and near field but
         // must agree on the answer to expansion accuracy.
         let b = plummer(400, 1.0, 1.0, 106);
-        let params = FmmParams { order: 6, mac: Mac::new(0.5), max_level: 21 };
+        let params = FmmParams {
+            order: 6,
+            mac: Mac::new(0.5),
+            max_level: 21,
+        };
         let mut coarse = FmmEngine::new(GravityKernel::default(), params, &b.pos, 200);
         let mut fine = FmmEngine::new(GravityKernel::default(), params, &b.pos, 10);
         let sc = coarse.solve(&b.pos, &b.mass);
@@ -458,7 +638,11 @@ mod tests {
     #[test]
     fn result_stable_under_collapse_and_pushdown() {
         let b = plummer(400, 1.0, 1.0, 107);
-        let params = FmmParams { order: 6, mac: Mac::new(0.5), max_level: 21 };
+        let params = FmmParams {
+            order: 6,
+            mac: Mac::new(0.5),
+            max_level: 21,
+        };
         let mut engine = FmmEngine::new(GravityKernel::default(), params, &b.pos, 16);
         let base = engine.solve(&b.pos, &b.mass);
         // Collapse a few internal nodes and push down a few leaves.
@@ -490,7 +674,11 @@ mod tests {
     #[test]
     fn momentum_conserved_by_fmm_forces() {
         let b = plummer(600, 1.0, 1.0, 108);
-        let params = FmmParams { order: 4, mac: Mac::new(0.6), max_level: 21 };
+        let params = FmmParams {
+            order: 4,
+            mac: Mac::new(0.6),
+            max_level: 21,
+        };
         let mut engine = FmmEngine::new(GravityKernel::default(), params, &b.pos, 32);
         let sol = engine.solve(&b.pos, &b.mass);
         let net: Vec3 = sol.field.iter().zip(&b.mass).map(|(&a, &m)| a * m).sum();
@@ -503,7 +691,11 @@ mod tests {
     #[test]
     fn rebin_then_solve_tracks_motion() {
         let mut b = plummer(400, 1.0, 1.0, 109);
-        let params = FmmParams { order: 5, mac: Mac::new(0.5), max_level: 21 };
+        let params = FmmParams {
+            order: 5,
+            mac: Mac::new(0.5),
+            max_level: 21,
+        };
         let mut engine = FmmEngine::with_domain(
             GravityKernel::default(),
             params,
@@ -539,7 +731,11 @@ mod tests {
     #[test]
     fn uniform_engine_matches_adaptive_physics() {
         let b = uniform_cube(500, 1.0, 111);
-        let params = FmmParams { order: 6, mac: Mac::new(0.5), max_level: 21 };
+        let params = FmmParams {
+            order: 6,
+            mac: Mac::new(0.5),
+            max_level: 21,
+        };
         let mut adaptive = FmmEngine::new(GravityKernel::default(), params, &b.pos, 16);
         let mut uniform = FmmEngine::new_uniform(GravityKernel::default(), params, &b.pos, 3);
         let sa = adaptive.solve(&b.pos, &b.mass);

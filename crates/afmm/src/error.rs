@@ -30,7 +30,10 @@ impl fmt::Display for Error {
                 write!(f, "non-finite step timing (cpu {t_cpu}, gpu {t_gpu})")
             }
             Error::BodyCountChanged { expected, got } => {
-                write!(f, "body count changed without rebuild: tree has {expected}, got {got}")
+                write!(
+                    f,
+                    "body count changed without rebuild: tree has {expected}, got {got}"
+                )
             }
             Error::StrengthLengthMismatch { expected, got } => {
                 write!(f, "strength slice has {got} values, solve needs {expected}")

@@ -39,23 +39,6 @@ impl TimingReport {
     }
 }
 
-/// Direct body-body interactions of leaf `id` (diagonal excluded, matching
-/// `OpCounts::p2p_interactions`).
-fn leaf_pairs(tree: &Octree, lists: &InteractionLists, id: NodeId) -> u64 {
-    let nt = tree.node(id).count() as u64;
-    lists.p2p[id as usize]
-        .iter()
-        .map(|&b| {
-            let nb = tree.node(b).count() as u64;
-            if b == id {
-                nt * (nt - 1)
-            } else {
-                nt * nb
-            }
-        })
-        .sum()
-}
-
 /// Build the GPU work list: one [`P2pJob`] per active leaf with a non-empty
 /// P2P interaction list, in traversal order (the order the paper's partition
 /// walk consumes).
@@ -122,7 +105,16 @@ pub fn build_task_graph_with(
         return graph;
     }
     let up_root = add_upsweep(&mut graph, tree, flops, include_pl, Octree::ROOT);
-    add_downsweep(&mut graph, tree, lists, flops, include_p2p, include_pl, Octree::ROOT, up_root);
+    add_downsweep(
+        &mut graph,
+        tree,
+        lists,
+        flops,
+        include_p2p,
+        include_pl,
+        Octree::ROOT,
+        up_root,
+    );
     graph
 }
 
@@ -136,7 +128,11 @@ fn add_upsweep(
 ) -> TaskId {
     let node = tree.node(id);
     if node.is_leaf() {
-        let cost = if include_pl { flops.p2m_per_body * node.count() as f64 } else { 0.0 };
+        let cost = if include_pl {
+            flops.p2m_per_body * node.count() as f64
+        } else {
+            0.0
+        };
         return graph.add(cost, Vec::new());
     }
     let mut deps = Vec::with_capacity(8);
@@ -176,7 +172,7 @@ fn add_downsweep(
             cost += flops.l2p_per_body * node.count() as f64;
         }
         if include_p2p {
-            cost += flops.p2p_per_pair * leaf_pairs(tree, lists, id) as f64;
+            cost += flops.p2p_per_pair * lists.leaf_pairs(tree, id) as f64;
         }
     }
     let task = graph.add(cost, vec![parent_task]);
@@ -216,14 +212,45 @@ pub fn time_step_policy(
     node: &HeteroNode,
     policy: ExecPolicy,
 ) -> Result<TimingReport, Error> {
+    time_step_impl(tree, lists, None, flops, node, policy)
+}
+
+/// As [`time_step`], but consuming a pre-built (plan-cached) GPU job list
+/// instead of re-deriving it from the lists. The jobs must correspond to the
+/// given tree + lists (the `ExecutionPlan` maintains that invariant).
+pub fn time_step_with_jobs(
+    tree: &Octree,
+    lists: &InteractionLists,
+    jobs: &[P2pJob],
+    flops: &OpFlops,
+    node: &HeteroNode,
+) -> Result<TimingReport, Error> {
+    time_step_impl(tree, lists, Some(jobs), flops, node, ExecPolicy::default())
+}
+
+fn time_step_impl(
+    tree: &Octree,
+    lists: &InteractionLists,
+    jobs: Option<&[P2pJob]>,
+    flops: &OpFlops,
+    node: &HeteroNode,
+    policy: ExecPolicy,
+) -> Result<TimingReport, Error> {
     let gpu_active = node.num_online_gpus() > 0;
     let offload = policy.offload_pl && gpu_active;
     let graph = build_task_graph_with(tree, lists, flops, !gpu_active, !offload);
     let sim = simulate(&graph, &node.cpu.to_sim_config());
     let (t_gpu, gpu) = match &node.gpus {
         Some(gpus) if gpu_active => {
-            let jobs = build_gpu_jobs(tree, lists);
-            let timing = gpus.execute(&jobs)?;
+            let built;
+            let jobs = match jobs {
+                Some(j) => j,
+                None => {
+                    built = build_gpu_jobs(tree, lists);
+                    &built
+                }
+            };
+            let timing = gpus.execute(jobs)?;
             let mut t = timing.gpu_time().ok_or(Error::MissingGpuTiming)?;
             if offload {
                 let cyc = gpus.spec(0).expansion_cycles_per_flop
@@ -276,9 +303,15 @@ mod tests {
     fn more_cores_reduce_cpu_time() {
         let e = engine_with_lists(4000, 32);
         let f = flops_of(&e);
-        let t1 = time_step(e.tree(), e.lists(), &f, &HeteroNode::system_a(1, 1)).unwrap().t_cpu;
-        let t4 = time_step(e.tree(), e.lists(), &f, &HeteroNode::system_a(4, 1)).unwrap().t_cpu;
-        let t10 = time_step(e.tree(), e.lists(), &f, &HeteroNode::system_a(10, 1)).unwrap().t_cpu;
+        let t1 = time_step(e.tree(), e.lists(), &f, &HeteroNode::system_a(1, 1))
+            .unwrap()
+            .t_cpu;
+        let t4 = time_step(e.tree(), e.lists(), &f, &HeteroNode::system_a(4, 1))
+            .unwrap()
+            .t_cpu;
+        let t10 = time_step(e.tree(), e.lists(), &f, &HeteroNode::system_a(10, 1))
+            .unwrap()
+            .t_cpu;
         assert!(t4 < t1 && t10 < t4, "t1={t1} t4={t4} t10={t10}");
         let sp10 = t1 / t10;
         assert!(sp10 > 5.0 && sp10 <= 10.5, "10-core speedup {sp10}");
@@ -293,7 +326,12 @@ mod tests {
         let r = time_step(e.tree(), e.lists(), &f, &node).unwrap();
         let expect = graph.total_work() / node.cpu.rate_flops
             + graph.len() as f64 * node.cpu.task_overhead_s;
-        assert!((r.t_cpu - expect).abs() < 1e-12 * expect, "{} vs {}", r.t_cpu, expect);
+        assert!(
+            (r.t_cpu - expect).abs() < 1e-12 * expect,
+            "{} vs {}",
+            r.t_cpu,
+            expect
+        );
         assert_eq!(r.t_gpu, 0.0);
     }
 
@@ -366,7 +404,10 @@ mod tests {
         for cores in [1usize, 4, 10] {
             let r = time_step(e.tree(), e.lists(), &f, &HeteroNode::system_a(cores, 1)).unwrap();
             let pr = r.parallel_rate();
-            assert!(pr >= 1.0 && pr <= cores as f64 + 1e-9, "cores={cores}: rate {pr}");
+            assert!(
+                pr >= 1.0 && pr <= cores as f64 + 1e-9,
+                "cores={cores}: rate {pr}"
+            );
         }
     }
 
@@ -437,7 +478,9 @@ mod offload_tests {
         while s <= 4096 {
             e.rebuild(&b.pos, s);
             e.refresh_lists();
-            let base = time_step(e.tree(), e.lists(), &flops, &node).unwrap().compute();
+            let base = time_step(e.tree(), e.lists(), &flops, &node)
+                .unwrap()
+                .compute();
             let off = time_step_policy(
                 e.tree(),
                 e.lists(),
@@ -508,7 +551,16 @@ pub fn phase_times(
 
     let mut down = TaskGraph::with_capacity(tree.num_nodes());
     let start = down.add(0.0, Vec::new());
-    add_downsweep(&mut down, tree, lists, flops, false, true, Octree::ROOT, start);
+    add_downsweep(
+        &mut down,
+        tree,
+        lists,
+        flops,
+        false,
+        true,
+        Octree::ROOT,
+        start,
+    );
     let downsweep = simulate(&down, &cfg).makespan;
 
     PhaseTimes { upsweep, downsweep }
@@ -531,7 +583,10 @@ mod phase_tests {
         let full = time_step(e.tree(), e.lists(), &flops, &node).unwrap().t_cpu;
         let p = phase_times(e.tree(), e.lists(), &flops, &node);
         assert!(p.upsweep > 0.0 && p.downsweep > 0.0);
-        assert!(full >= p.upsweep.max(p.downsweep) * 0.999, "{full} vs {p:?}");
+        assert!(
+            full >= p.upsweep.max(p.downsweep) * 0.999,
+            "{full} vs {p:?}"
+        );
         assert!(full <= (p.upsweep + p.downsweep) * 1.001, "{full} vs {p:?}");
         // The downsweep carries the M2L bulk; it must dominate at small S.
         assert!(p.downsweep > p.upsweep);

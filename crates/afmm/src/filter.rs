@@ -34,8 +34,17 @@ impl TimingFilter {
     /// `k` = median window length (min 1); `alpha` = EWMA weight of the
     /// newest sample, clamped into (0, 1].
     pub fn new(k: usize, alpha: f64) -> Self {
-        let alpha = if alpha.is_finite() { alpha.clamp(1e-3, 1.0) } else { 0.5 };
-        TimingFilter { window: Vec::new(), k: k.max(1), alpha, ewma: None }
+        let alpha = if alpha.is_finite() {
+            alpha.clamp(1e-3, 1.0)
+        } else {
+            0.5
+        };
+        TimingFilter {
+            window: Vec::new(),
+            k: k.max(1),
+            alpha,
+            ewma: None,
+        }
     }
 
     /// Ingest one raw measurement and return the filtered estimate.

@@ -42,22 +42,23 @@ mod engine;
 mod error;
 pub mod exec;
 mod filter;
+mod plan;
 mod simulate;
 
 pub use balance::{
-    fine_grained_optimize, search_best_s_cpu_only, FgoOutcome, LbConfig, LbReport, LbState,
+    fine_grained_optimize, lbtime, search_best_s_cpu_only, FgoOutcome, LbConfig, LbReport, LbState,
     LoadBalancer, Strategy,
 };
 pub use config::{CpuSpec, FmmParams, HeteroNode};
-pub use cost::{lbtime, CostModel, Prediction};
+pub use cost::{CostModel, Prediction};
 pub use engine::{FmmEngine, FmmSolution};
 pub use error::Error;
 pub use filter::TimingFilter;
+pub use plan::ExecutionPlan;
 // Fault-injection vocabulary, re-exported so drivers need only `afmm`.
-pub use gpu_sim::{DeviceStatus, FaultEvent, FaultSchedule, TimedFault};
 pub use exec::{
     build_gpu_jobs, build_task_graph, build_task_graph_with, phase_times, time_step,
-    time_step_policy,
-    ExecPolicy, PhaseTimes, TimingReport,
+    time_step_policy, time_step_with_jobs, ExecPolicy, PhaseTimes, TimingReport,
 };
+pub use gpu_sim::{DeviceStatus, FaultEvent, FaultSchedule, TimedFault};
 pub use simulate::{GravitySim, RunSummary, StepRecord, StokesSim, StrategyTracker};

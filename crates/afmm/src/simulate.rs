@@ -1,9 +1,8 @@
-use crate::balance::{LbConfig, LbState, LoadBalancer, Strategy};
+use crate::balance::{lbtime, LbConfig, LbState, LoadBalancer, Strategy};
 use crate::config::{FmmParams, HeteroNode};
-use crate::cost::{lbtime, CostModel};
+use crate::cost::CostModel;
 use crate::engine::FmmEngine;
 use crate::error::Error;
-use crate::exec::time_step;
 use crate::filter::TimingFilter;
 use fmm_math::{GravityKernel, Kernel, OpFlops, StokesletKernel};
 use geom::Vec3;
@@ -201,8 +200,11 @@ impl<K: Kernel> StrategyTracker<K> {
                     self.noise_sigma = sigma;
                 }
                 _ => {
-                    let gpus =
-                        self.node.gpus.as_mut().ok_or(Error::Gpu(gpu_sim::Error::NoGpus))?;
+                    let gpus = self
+                        .node
+                        .gpus
+                        .as_mut()
+                        .ok_or(Error::Gpu(gpu_sim::Error::NoGpus))?;
                     gpus.apply_event(&ev)?;
                 }
             }
@@ -224,9 +226,9 @@ impl<K: Kernel> StrategyTracker<K> {
         let state = self.balancer.state();
         let s = self.engine.tree().s_value();
         let counts = self.engine.refresh_lists();
-        let timing =
-            time_step(self.engine.tree(), self.engine.lists(), &self.flops, &self.node)?;
-        self.model.observe(&counts, &timing, &self.flops, &self.node);
+        let timing = self.engine.time_step(&self.flops, &self.node)?;
+        self.model
+            .observe(&counts, &timing, &self.flops, &self.node);
         // Disturb the *measurements* (not the model's view of the machine):
         // external CPU load stretches wall-clock CPU time; timing noise
         // jitters both sides multiplicatively.
@@ -243,14 +245,9 @@ impl<K: Kernel> StrategyTracker<K> {
         // cannot fire its regression trigger.
         let f_cpu = self.filter_cpu.push(t_cpu);
         let f_gpu = self.filter_gpu.push(t_gpu);
-        let rep = self.balancer.post_step(
-            &mut self.engine,
-            &self.model,
-            &self.node,
-            pos,
-            f_cpu,
-            f_gpu,
-        );
+        let rep =
+            self.balancer
+                .post_step(&mut self.engine, &self.model, &self.node, pos, f_cpu, f_gpu);
         if rep.rebuilt || rep.enforced || rep.fgo_rounds > 0 {
             // The decomposition changed: historic samples time a dead tree.
             self.filter_cpu.reset();
@@ -264,7 +261,11 @@ impl<K: Kernel> StrategyTracker<K> {
             t_cpu,
             t_gpu,
             t_lb,
-            gpu_efficiency: timing.gpu.as_ref().and_then(|g| g.efficiency()).unwrap_or(1.0),
+            gpu_efficiency: timing
+                .gpu
+                .as_ref()
+                .and_then(|g| g.efficiency())
+                .unwrap_or(1.0),
             p2p_interactions: counts.p2p_interactions,
             m2l_ops: counts.m2l_ops,
         };
@@ -346,9 +347,9 @@ impl GravitySim {
         let s = self.engine.tree().s_value();
         let sol = self.engine.try_solve(&self.bodies.pos, &self.bodies.mass)?;
         let counts = self.engine.counts();
-        let timing =
-            time_step(self.engine.tree(), self.engine.lists(), &self.flops, &self.node)?;
-        self.model.observe(&counts, &timing, &self.flops, &self.node);
+        let timing = self.engine.time_step(&self.flops, &self.node)?;
+        self.model
+            .observe(&counts, &timing, &self.flops, &self.node);
 
         // Semi-implicit Euler: kick with the fresh forces, then drift.
         let (g, dt) = (self.g, self.dt);
@@ -378,7 +379,11 @@ impl GravitySim {
             t_cpu: timing.t_cpu,
             t_gpu: timing.t_gpu,
             t_lb,
-            gpu_efficiency: timing.gpu.as_ref().and_then(|g| g.efficiency()).unwrap_or(1.0),
+            gpu_efficiency: timing
+                .gpu
+                .as_ref()
+                .and_then(|g| g.efficiency())
+                .unwrap_or(1.0),
             p2p_interactions: counts.p2p_interactions,
             m2l_ops: counts.m2l_ops,
         };
@@ -458,9 +463,9 @@ impl StokesSim {
         let s = self.engine.tree().s_value();
         let sol = self.engine.try_solve(&self.pos, forces)?;
         let counts = self.engine.counts();
-        let timing =
-            time_step(self.engine.tree(), self.engine.lists(), &self.flops, &self.node)?;
-        self.model.observe(&counts, &timing, &self.flops, &self.node);
+        let timing = self.engine.time_step(&self.flops, &self.node)?;
+        self.model
+            .observe(&counts, &timing, &self.flops, &self.node);
 
         for (p, &u) in self.pos.iter_mut().zip(&sol.field) {
             *p += u * self.dt;
@@ -485,7 +490,11 @@ impl StokesSim {
             t_cpu: timing.t_cpu,
             t_gpu: timing.t_gpu,
             t_lb,
-            gpu_efficiency: timing.gpu.as_ref().and_then(|g| g.efficiency()).unwrap_or(1.0),
+            gpu_efficiency: timing
+                .gpu
+                .as_ref()
+                .and_then(|g| g.efficiency())
+                .unwrap_or(1.0),
             p2p_interactions: counts.p2p_interactions,
             m2l_ops: counts.m2l_ops,
         };
@@ -514,7 +523,10 @@ mod tests {
     use nbody::{collapsing_plummer, plummer, total_energy, total_momentum};
 
     fn small_cfg() -> LbConfig {
-        LbConfig { eps_switch_s: 2e-3, ..Default::default() }
+        LbConfig {
+            eps_switch_s: 2e-3,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -527,7 +539,10 @@ mod tests {
             1.0,
             0.002,
             0.05,
-            FmmParams { order: 5, ..Default::default() },
+            FmmParams {
+                order: 5,
+                ..Default::default()
+            },
             HeteroNode::system_a(10, 2),
             Strategy::Full,
             small_cfg(),
@@ -538,7 +553,12 @@ mod tests {
         }
         let e1 = total_energy(&sim.bodies, 1.0, 0.05).total();
         let p1 = total_momentum(&sim.bodies);
-        assert!(((e1 - e0) / e0).abs() < 0.05, "energy drift {} -> {}", e0, e1);
+        assert!(
+            ((e1 - e0) / e0).abs() < 0.05,
+            "energy drift {} -> {}",
+            e0,
+            e1
+        );
         assert!((p1 - p0).norm() < 1e-3, "momentum drift {:?}", p1 - p0);
     }
 
@@ -617,7 +637,10 @@ mod tests {
         tracker.set_fault_schedule(
             FaultSchedule::new().with(0, FaultEvent::ExternalCpuLoad { factor: -1.0 }),
         );
-        assert!(tracker.step(&b.pos).is_err(), "negative load factor must error");
+        assert!(
+            tracker.step(&b.pos).is_err(),
+            "negative load factor must error"
+        );
     }
 
     #[test]

@@ -34,9 +34,11 @@ fn bench_mac_sweep(c: &mut Criterion) {
     let pos = nbody::plummer(20_000, 1.0, 1.0, 31).pos;
     let tree = build_adaptive(&pos, BuildParams::with_s(48));
     for theta in [0.3f64, 0.6, 0.9] {
-        g.bench_with_input(BenchmarkId::new("dual_traversal", format!("{theta}")), &theta, |b, &t| {
-            b.iter(|| black_box(dual_traversal(&tree, Mac::new(t))))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("dual_traversal", format!("{theta}")),
+            &theta,
+            |b, &t| b.iter(|| black_box(dual_traversal(&tree, Mac::new(t)))),
+        );
     }
     g.finish();
 }
@@ -66,5 +68,10 @@ fn bench_prediction_pass(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_partition, bench_mac_sweep, bench_prediction_pass);
+criterion_group!(
+    benches,
+    bench_partition,
+    bench_mac_sweep,
+    bench_prediction_pass
+);
 criterion_main!(benches);

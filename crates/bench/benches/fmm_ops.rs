@@ -74,7 +74,14 @@ fn bench_translations(c: &mut Criterion) {
     let mut tens = Vec::new();
     g.bench_function("m2l/stokeslet_7ch_p6", |b| {
         b.iter(|| {
-            ops.m2l(&src, Vec3::new(3.0, 1.0, 0.5), &mut dst, 7, &mut ds, &mut tens);
+            ops.m2l(
+                &src,
+                Vec3::new(3.0, 1.0, 0.5),
+                &mut dst,
+                7,
+                &mut ds,
+                &mut tens,
+            );
             black_box(&dst);
         })
     });

@@ -13,7 +13,11 @@ fn bench_gravity_solve(c: &mut Criterion) {
     g.sample_size(10);
     for n in [5_000usize, 20_000] {
         let b = nbody::plummer(n, 1.0, 1.0, 21);
-        let params = FmmParams { order: 4, mac: Mac::new(0.6), max_level: 21 };
+        let params = FmmParams {
+            order: 4,
+            mac: Mac::new(0.6),
+            max_level: 21,
+        };
         let mut engine = FmmEngine::new(GravityKernel::default(), params, &b.pos, 48);
         g.bench_with_input(BenchmarkId::new("plummer_s48_p4", n), &n, |bch, _| {
             bch.iter(|| black_box(engine.solve(&b.pos, &b.mass)))
@@ -28,7 +32,11 @@ fn bench_gravity_solve_vs_s(c: &mut Criterion) {
     let n = 10_000usize;
     let b = nbody::plummer(n, 1.0, 1.0, 22);
     for s in [16usize, 64, 256] {
-        let params = FmmParams { order: 4, mac: Mac::new(0.6), max_level: 21 };
+        let params = FmmParams {
+            order: 4,
+            mac: Mac::new(0.6),
+            max_level: 21,
+        };
         let mut engine = FmmEngine::new(GravityKernel::default(), params, &b.pos, s);
         g.bench_with_input(BenchmarkId::new("s", s), &s, |bch, _| {
             bch.iter(|| black_box(engine.solve(&b.pos, &b.mass)))
@@ -43,7 +51,11 @@ fn bench_stokes_solve(c: &mut Criterion) {
     let n = 5_000usize;
     let b = nbody::uniform_cube(n, 1.0, 23);
     let f = nbody::random_unit_forces(n, 24);
-    let params = FmmParams { order: 4, mac: Mac::new(0.6), max_level: 21 };
+    let params = FmmParams {
+        order: 4,
+        mac: Mac::new(0.6),
+        max_level: 21,
+    };
     let mut engine = FmmEngine::new(StokesletKernel::new(1e-3, 1.0), params, &b.pos, 48);
     g.bench_function("uniform_s48_p4_5k", |bch| {
         bch.iter(|| black_box(engine.solve(&b.pos, &f)))
@@ -51,5 +63,10 @@ fn bench_stokes_solve(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_gravity_solve, bench_gravity_solve_vs_s, bench_stokes_solve);
+criterion_group!(
+    benches,
+    bench_gravity_solve,
+    bench_gravity_solve_vs_s,
+    bench_stokes_solve
+);
 criterion_main!(benches);

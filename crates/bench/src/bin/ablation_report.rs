@@ -37,7 +37,10 @@ fn partition_ablation() {
     for (name, bodies) in [
         ("plummer", nbody::plummer(100_000, 1.0, 1.0, 61)),
         ("uniform", nbody::uniform_cube(100_000, 1.0, 62)),
-        ("two_clusters", nbody::two_clusters(100_000, 0.5, 1.0, 6.0, 0.0, 63)),
+        (
+            "two_clusters",
+            nbody::two_clusters(100_000, 0.5, 1.0, 6.0, 0.0, 63),
+        ),
         ("knotted", knotted),
     ] {
         let tree = build_adaptive(&bodies.pos, BuildParams::with_s(128));
@@ -64,7 +67,13 @@ fn partition_ablation() {
     }
     print_tsv(
         "Ablation 1: GPU kernel time — interaction-count partition (paper) vs equal-node-count",
-        &["distribution", "gpus", "t_interactions", "t_node_count", "naive/smart"],
+        &[
+            "distribution",
+            "gpus",
+            "t_interactions",
+            "t_node_count",
+            "naive/smart",
+        ],
         &rows,
     );
 }
@@ -97,8 +106,12 @@ fn mac_ablation() {
 fn prediction_ablation() {
     let bodies = nbody::plummer(100_000, 1.0, 1.0, 65);
     let node = HeteroNode::system_a(10, 4);
-    let mut engine =
-        FmmEngine::new(GravityKernel::default(), FmmParams::default(), &bodies.pos, 128);
+    let mut engine = FmmEngine::new(
+        GravityKernel::default(),
+        FmmParams::default(),
+        &bodies.pos,
+        128,
+    );
     let flops = default_flops(&GravityKernel::default());
     // Observe once at S=128, then predict trees at other S without
     // re-observing — the regime the paper's FGO relies on.
@@ -118,12 +131,22 @@ fn prediction_ablation() {
             fmt_s(pred.t_cpu),
             fmt_s(real.t_gpu),
             fmt_s(pred.t_gpu),
-            format!("{:+.1}%", 100.0 * (pred.compute() - real.compute()) / real.compute()),
+            format!(
+                "{:+.1}%",
+                100.0 * (pred.compute() - real.compute()) / real.compute()
+            ),
         ]);
     }
     print_tsv(
         "Ablation 3: cost-model prediction vs realized times (observed once at S=128)",
-        &["S", "cpu_real", "cpu_pred", "gpu_real", "gpu_pred", "compute_err"],
+        &[
+            "S",
+            "cpu_real",
+            "cpu_pred",
+            "gpu_real",
+            "gpu_pred",
+            "compute_err",
+        ],
         &rows,
     );
 }

@@ -16,8 +16,12 @@ use fmm_math::{GravityKernel, Kernel};
 fn main() {
     let n = 100_000;
     let bodies = nbody::plummer(n, 1.0, 1.0, 71);
-    let mut engine =
-        FmmEngine::new(GravityKernel::default(), FmmParams::default(), &bodies.pos, 128);
+    let mut engine = FmmEngine::new(
+        GravityKernel::default(),
+        FmmParams::default(),
+        &bodies.pos,
+        128,
+    );
     let flops = engine.kernel.op_flops(engine.expansion_ops());
     let grid = s_grid(32, 4096, 4);
 
@@ -63,7 +67,14 @@ fn main() {
             "Extension §VIII.E: best compute time with/without P2M+L2P GPU offload \
              (Plummer N={n}); CPU-starved configs gain most"
         ),
-        &["config", "S*_base", "best_base_s", "S*_offload", "best_offload_s", "change"],
+        &[
+            "config",
+            "S*_base",
+            "best_base_s",
+            "S*_offload",
+            "best_offload_s",
+            "change",
+        ],
         &rows,
     );
 }

@@ -64,7 +64,10 @@ fn scenarios(fault_step: usize) -> Vec<Scenario> {
             description: "device 0 throttles to 1/3 throughput",
             faults: vec![TimedFault {
                 step: fault_step,
-                event: FaultEvent::GpuSlowdown { device: 0, factor: 3.0 },
+                event: FaultEvent::GpuSlowdown {
+                    device: 0,
+                    factor: 3.0,
+                },
             }],
         },
         Scenario {
@@ -186,7 +189,10 @@ fn main() {
 
     let b = nbody::plummer(n, 1.0, 1.0, 9001);
     let node = HeteroNode::system_a(10, 2);
-    let cfg = LbConfig { eps_switch_s: 2e-3, ..Default::default() };
+    let cfg = LbConfig {
+        eps_switch_s: 2e-3,
+        ..Default::default()
+    };
 
     let mut scenario_blobs = Vec::new();
     for sc in scenarios(fault_step) {

@@ -37,12 +37,29 @@ fn main() {
         );
         t.step(&bodies.pos).expect("probe step failed").compute()
     };
-    let base = LbConfig { eps_switch_s: 0.15 * probe, ..Default::default() };
-    let cfg_fgo = LbConfig { use_fgo: true, ..base };
-    let cfg_nofgo = LbConfig { use_fgo: false, ..base };
+    let base = LbConfig {
+        eps_switch_s: 0.15 * probe,
+        ..Default::default()
+    };
+    let cfg_fgo = LbConfig {
+        use_fgo: true,
+        ..base
+    };
+    let cfg_nofgo = LbConfig {
+        use_fgo: false,
+        ..base
+    };
 
     let mk = |cfg| {
-        StrategyTracker::new(kernel, params, node.clone(), Strategy::Full, cfg, &bodies.pos, None)
+        StrategyTracker::new(
+            kernel,
+            params,
+            node.clone(),
+            Strategy::Full,
+            cfg,
+            &bodies.pos,
+            None,
+        )
     };
     let mut with_fgo = mk(cfg_fgo);
     let mut without_fgo = mk(cfg_nofgo);
@@ -81,7 +98,14 @@ fn main() {
             "Fig 10: per-step total-time ratio without/with FineGrainedOptimize \
              (uniform Stokeslet N={n}, {steps} steps, 10 cores + 4 GPUs)"
         ),
-        &["step", "total_fgo_s", "total_nofgo_s", "ratio_nofgo_over_fgo", "S_fgo", "S_nofgo"],
+        &[
+            "step",
+            "total_fgo_s",
+            "total_nofgo_s",
+            "ratio_nofgo_over_fgo",
+            "S_fgo",
+            "S_nofgo",
+        ],
         &rows,
     );
     println!(

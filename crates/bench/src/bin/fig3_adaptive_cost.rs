@@ -34,7 +34,15 @@ fn main() {
             "Fig 3: adaptive-decomposition cost vs S (Plummer N={n}, 10 cores, 4 GPUs) — \
              gradual curves, smooth crossover"
         ),
-        &["S", "t_cpu_s", "t_gpu_s", "compute_s", "p2p_pairs", "m2l_ops", "leaves"],
+        &[
+            "S",
+            "t_cpu_s",
+            "t_gpu_s",
+            "compute_s",
+            "p2p_pairs",
+            "m2l_ops",
+            "leaves",
+        ],
         &rows,
     );
 }

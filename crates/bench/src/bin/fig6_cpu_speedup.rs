@@ -20,10 +20,14 @@ fn main() {
     let tree = build_adaptive(&bodies.pos, BuildParams::with_s(s));
     let stats = TreeStats::gather(&tree);
 
-    let serial = time_tree(&tree, &flops, &afmm::HeteroNode::system_b(1)).0.t_cpu;
+    let serial = time_tree(&tree, &flops, &afmm::HeteroNode::system_b(1))
+        .0
+        .t_cpu;
     let mut rows = Vec::new();
     for cores in [1usize, 2, 4, 8, 12, 16, 20, 24, 28, 32] {
-        let t = time_tree(&tree, &flops, &afmm::HeteroNode::system_b(cores)).0.t_cpu;
+        let t = time_tree(&tree, &flops, &afmm::HeteroNode::system_b(cores))
+            .0
+            .t_cpu;
         rows.push(vec![
             cores.to_string(),
             fmt_s(t),

@@ -16,7 +16,10 @@ use octree::{build_adaptive, BuildParams};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let n: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(1_000_000);
+    let n: usize = args
+        .get(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1_000_000);
     let bodies = nbody::plummer(n, 1.0, 1.0, 46);
     let flops = default_flops(&GravityKernel::default());
     let grid = s_grid(8, 4096, 3);
@@ -56,7 +59,10 @@ fn main() {
                 peak = (s, speedup);
             }
         }
-        peaks.push(format!("{cores}C_{gpus}G: peak {:.1}x at S={}", peak.1, peak.0));
+        peaks.push(format!(
+            "{cores}C_{gpus}G: peak {:.1}x at S={}",
+            peak.1, peak.0
+        ));
     }
     print_tsv(
         &format!(

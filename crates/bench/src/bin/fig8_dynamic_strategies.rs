@@ -23,9 +23,7 @@
 //! Output: per-step total time (Fig 8) and S value (Fig 9) for each
 //! strategy, then the Table II summary.
 
-use afmm::{
-    FmmParams, GravitySim, HeteroNode, LbConfig, RunSummary, Strategy, StrategyTracker,
-};
+use afmm::{FmmParams, GravitySim, HeteroNode, LbConfig, RunSummary, Strategy, StrategyTracker};
 use bench::print_tsv;
 use fmm_math::GravityKernel;
 
@@ -52,9 +50,14 @@ fn main() {
             &setup.bodies.pos,
             domain,
         );
-        t.step(&setup.bodies.pos).expect("probe step failed").compute()
+        t.step(&setup.bodies.pos)
+            .expect("probe step failed")
+            .compute()
     };
-    let cfg = LbConfig { eps_switch_s: 0.15 * probe, ..Default::default() };
+    let cfg = LbConfig {
+        eps_switch_s: 0.15 * probe,
+        ..Default::default()
+    };
 
     // The warm cloud blows out to several times its radius and falls back;
     // size dt so the run covers the expansion and the onset of recollapse
@@ -65,8 +68,16 @@ fn main() {
     // Trajectory generation: cheap but physically adequate (order 2, looser
     // MAC), with S pinned near the real host's sweet spot and Enforce_S
     // keeping leaves bounded through the collapse.
-    let traj_params = FmmParams { order: 2, mac: octree::Mac::new(0.7), ..params };
-    let traj_cfg = LbConfig { s_min: 48, s_max: 96, ..cfg };
+    let traj_params = FmmParams {
+        order: 2,
+        mac: octree::Mac::new(0.7),
+        ..params
+    };
+    let traj_cfg = LbConfig {
+        s_min: 48,
+        s_max: 96,
+        ..cfg
+    };
     let mut dynamics = GravitySim::new(
         setup.bodies.clone(),
         g,
@@ -95,9 +106,15 @@ fn main() {
 
     let mut rows = Vec::new();
     for step in 0..steps {
-        let r1 = t1.step(dynamics.positions()).expect("strategy-1 step failed");
-        let r2 = t2.step(dynamics.positions()).expect("strategy-2 step failed");
-        let r3 = t3.step(dynamics.positions()).expect("strategy-3 step failed");
+        let r1 = t1
+            .step(dynamics.positions())
+            .expect("strategy-1 step failed");
+        let r2 = t2
+            .step(dynamics.positions())
+            .expect("strategy-2 step failed");
+        let r3 = t3
+            .step(dynamics.positions())
+            .expect("strategy-3 step failed");
         // Half-mass radius: tracks the collapse/rebound of the cloud.
         let mut radii: Vec<f64> = dynamics
             .positions()
@@ -149,17 +166,19 @@ fn main() {
     print_tsv(
         "Table II: strategy summary (paper: LB% = 0.02 / 0.11 / 1.88, relative cost per step \
          = 3.91 / 1.51 / 1.00)",
-        &["strategy", "total_compute_s", "total_LB_s", "LB_pct_of_compute", "rel_cost_per_step"],
+        &[
+            "strategy",
+            "total_compute_s",
+            "total_LB_s",
+            "LB_pct_of_compute",
+            "rel_cost_per_step",
+        ],
         &rows,
     );
 
     // ---- §IX.A scalars ----
     let s2_mean = RunSummary::from_records(t2.records()).mean_total_per_step;
-    let above = t3
-        .records()
-        .iter()
-        .filter(|r| r.total() > s2_mean)
-        .count();
+    let above = t3.records().iter().filter(|r| r.total() > s2_mean).count();
     println!(
         "# strategy 3: max LB in one step = {:.4}s (paper: 0.52s); mean compute/step = {:.4}s; \
          {above}/{steps} steps above strategy-2 mean (paper: 34/2000)",

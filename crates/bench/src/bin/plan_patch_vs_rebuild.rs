@@ -1,0 +1,123 @@
+//! **Plan-layer economics** (no paper figure — engineering validation): how
+//! much cheaper is patching a live [`IncrementalLists`] through a single
+//! Collapse/PushDown than re-deriving the interaction lists and op counts
+//! from scratch, across the S range the balancer sweeps?
+//!
+//! For each S the harness builds the tree once, times the full
+//! `dual_traversal` + `count_ops` pass (the cost every tree edit used to pay),
+//! then times a batch of plan-routed collapse/push-down pairs on twig nodes —
+//! the same single-node edits `Enforce_S` and `FineGrainedOptimize` issue.
+//!
+//! Output: `BENCH_plan.json` in the working directory (also echoed to
+//! stdout). Override scale: `plan_patch_vs_rebuild [bodies] [edits_per_s]`.
+
+use octree::{
+    build_adaptive, count_ops, dual_traversal, BuildParams, IncrementalLists, Mac, NodeId, Octree,
+};
+use std::time::Instant;
+
+/// Internal non-root nodes whose visible children are all leaves — the edit
+/// sites a capacity sweep actually touches, and whose hidden children let
+/// `push_down` revert the collapse exactly.
+fn twigs(tree: &Octree, limit: usize) -> Vec<NodeId> {
+    tree.visible_nodes()
+        .into_iter()
+        .filter(|&id| {
+            id != Octree::ROOT
+                && !tree.node(id).is_leaf()
+                && tree.visible_children(id).all(|c| tree.node(c).is_leaf())
+        })
+        .take(limit)
+        .collect()
+}
+
+struct Row {
+    s: usize,
+    rebuild_us: f64,
+    patch_us_per_edit: f64,
+    edits: usize,
+}
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(120_000);
+    let edits_per_s: usize = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(48);
+
+    let b = nbody::plummer(n, 1.0, 1.0, 777);
+    let mac = Mac::default();
+    let s_values = [64usize, 128, 256, 512, 1024];
+    let reps = 3;
+
+    let mut rows = Vec::new();
+    for &s in &s_values {
+        let mut tree = build_adaptive(&b.pos, BuildParams::with_s(s));
+
+        // Baseline: the full re-traversal + recount a tree edit costs
+        // without the plan layer.
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            let lists = dual_traversal(&tree, mac);
+            let counts = count_ops(&tree, &lists);
+            std::hint::black_box((lists, counts));
+        }
+        let rebuild_us = t0.elapsed().as_secs_f64() * 1e6 / reps as f64;
+
+        // Patched: collapse + reverting push-down, each a single-node edit
+        // routed through the live plan.
+        let victims = twigs(&tree, edits_per_s);
+        let mut plan = IncrementalLists::build(&tree, mac);
+        let t0 = Instant::now();
+        let mut applied = 0usize;
+        for &id in &victims {
+            applied += usize::from(plan.apply_collapse(&mut tree, id));
+            applied += usize::from(plan.apply_push_down(&mut tree, id));
+        }
+        let patch_us_per_edit = t0.elapsed().as_secs_f64() * 1e6 / applied.max(1) as f64;
+        assert_eq!(applied, 2 * victims.len(), "every twig edit must apply");
+
+        rows.push(Row {
+            s,
+            rebuild_us,
+            patch_us_per_edit,
+            edits: applied,
+        });
+    }
+
+    let steps: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"s\": {}, \"rebuild_us\": {}, \"patch_us_per_edit\": {}, \
+                 \"edits\": {}, \"speedup\": {}}}",
+                r.s,
+                json_f64(r.rebuild_us),
+                json_f64(r.patch_us_per_edit),
+                r.edits,
+                json_f64(r.rebuild_us / r.patch_us_per_edit),
+            )
+        })
+        .collect();
+    let doc = format!(
+        "{{\n  \"config\": {{\"bodies\": {n}, \"mac_theta\": {}, \"edits_per_s\": \
+         {edits_per_s}, \"rebuild_reps\": {reps}}},\n  \"steps\": [\n{}\n  ]\n}}\n",
+        json_f64(mac.theta),
+        steps.join(",\n"),
+    );
+
+    std::fs::write("BENCH_plan.json", &doc).expect("write BENCH_plan.json");
+    print!("{doc}");
+
+    let worst = rows
+        .iter()
+        .map(|r| r.rebuild_us / r.patch_us_per_edit)
+        .fold(f64::INFINITY, f64::min);
+    eprintln!("# worst-case patch speedup over the S sweep: {worst:.1}x");
+}

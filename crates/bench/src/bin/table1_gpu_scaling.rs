@@ -29,7 +29,9 @@ fn main() {
     let (s_star, _) = best;
     let tree = build_adaptive(&bodies.pos, BuildParams::with_s(s_star));
 
-    let t1 = time_tree(&tree, &flops, &HeteroNode::system_a(10, 1)).0.t_gpu;
+    let t1 = time_tree(&tree, &flops, &HeteroNode::system_a(10, 1))
+        .0
+        .t_gpu;
     let mut rows = Vec::new();
     for gpus in 1..=4usize {
         let timing = time_tree(&tree, &flops, &HeteroNode::system_a(10, gpus)).0;

@@ -53,9 +53,20 @@ impl ExpansionOps {
             }
         }
         let sign = (0..set.len())
-            .map(|i| if set.total_order(i).is_multiple_of(2) { 1.0 } else { -1.0 })
+            .map(|i| {
+                if set.total_order(i).is_multiple_of(2) {
+                    1.0
+                } else {
+                    -1.0
+                }
+            })
             .collect();
-        ExpansionOps { set, sub_triples, m2l_triples, sign }
+        ExpansionOps {
+            set,
+            sub_triples,
+            m2l_triples,
+            sign,
+        }
     }
 
     #[inline]
@@ -152,7 +163,8 @@ impl ExpansionOps {
             let src = &src_m[c * nt..(c + 1) * nt];
             let dst = &mut dst_l[c * nt..(c + 1) * nt];
             for &(a, b, sum) in &self.m2l_triples {
-                dst[b as usize] += self.sign[a as usize] * src[a as usize] * tensor_out[sum as usize];
+                dst[b as usize] +=
+                    self.sign[a as usize] * src[a as usize] * tensor_out[sum as usize];
             }
         }
     }
@@ -242,7 +254,10 @@ mod tests {
             let m = p2m_charges(&ops, Vec3::ZERO, &srcs);
             let phi = eval_multipole(&ops, &m, Vec3::ZERO, x);
             let err = (phi - exact).abs() / exact.abs();
-            assert!(err < last, "error must shrink with p (p={p}: {err} !< {last})");
+            assert!(
+                err < last,
+                "error must shrink with p (p={p}: {err} !< {last})"
+            );
             last = err;
         }
         assert!(last < 1e-8, "p=8 relative error {last}");
@@ -259,7 +274,13 @@ mod tests {
         let m_child = p2m_charges(&ops, child_center, &srcs);
         let mut m_parent = vec![0.0; ops.nterms()];
         let mut pow = Vec::new();
-        ops.m2m(&m_child, child_center - parent_center, &mut m_parent, 1, &mut pow);
+        ops.m2m(
+            &m_child,
+            child_center - parent_center,
+            &mut m_parent,
+            1,
+            &mut pow,
+        );
 
         let phi_child = eval_multipole(&ops, &m_child, child_center, x);
         let phi_parent = eval_multipole(&ops, &m_parent, parent_center, x);

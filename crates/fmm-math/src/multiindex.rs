@@ -52,7 +52,13 @@ impl MultiIndexSet {
         }
         order_start.push(tuples.len());
         debug_assert_eq!(tuples.len(), nterms(order));
-        MultiIndexSet { order, tuples, index, inv_fact, order_start }
+        MultiIndexSet {
+            order,
+            tuples,
+            index,
+            inv_fact,
+            order_start,
+        }
     }
 
     /// Maximum total order `p`.

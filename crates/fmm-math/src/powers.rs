@@ -33,7 +33,9 @@ mod tests {
         let mut out = vec![0.0; set.len()];
         power_series(dx, &set, &mut out);
         for (idx, (i, j, k)) in set.iter() {
-            let direct = dx.x.powi(i as i32) * dx.y.powi(j as i32) * dx.z.powi(k as i32)
+            let direct = dx.x.powi(i as i32)
+                * dx.y.powi(j as i32)
+                * dx.z.powi(k as i32)
                 * set.inv_factorial(idx);
             assert!(
                 (out[idx] - direct).abs() <= 1e-12 * direct.abs().max(1.0),

@@ -52,7 +52,10 @@ impl StokesletKernel {
 
 impl Default for StokesletKernel {
     fn default() -> Self {
-        StokesletKernel { epsilon: 1e-3, mu: 1.0 }
+        StokesletKernel {
+            epsilon: 1e-3,
+            mu: 1.0,
+        }
     }
 }
 
@@ -213,7 +216,14 @@ mod tests {
         let f = Vec3::new(0.0, 0.0, 1.0);
         let mut pot = [0.0];
         let mut u = [Vec3::ZERO];
-        k.p2p(&[x], &mut pot, &mut u, &[Vec3::ZERO], &[f.x, f.y, f.z], false);
+        k.p2p(
+            &[x],
+            &mut pot,
+            &mut u,
+            &[Vec3::ZERO],
+            &[f.x, f.y, f.z],
+            false,
+        );
         let r = 3.0f64;
         let pref = 1.0 / (8.0 * std::f64::consts::PI);
         let expect = Vec3::new(
@@ -288,14 +298,27 @@ mod tests {
         let mut mc = vec![0.0; STOKESLET_CHANNELS * nt];
         k.p2m(&ops, child_c, &spos, &f, &mut mc, &mut pow);
         let mut mp = vec![0.0; STOKESLET_CHANNELS * nt];
-        ops.m2m(&mc, child_c - parent_c, &mut mp, STOKESLET_CHANNELS, &mut pow);
+        ops.m2m(
+            &mc,
+            child_c - parent_c,
+            &mut mp,
+            STOKESLET_CHANNELS,
+            &mut pow,
+        );
 
         // M2L from parent, evaluate at target.
         let lc = tpos[0] + Vec3::new(-0.05, 0.02, 0.0);
         let mut l = vec![0.0; STOKESLET_CHANNELS * nt];
         let mut ds = DerivScratch::default();
         let mut tens = Vec::new();
-        ops.m2l(&mp, lc - parent_c, &mut l, STOKESLET_CHANNELS, &mut ds, &mut tens);
+        ops.m2l(
+            &mp,
+            lc - parent_c,
+            &mut l,
+            STOKESLET_CHANNELS,
+            &mut ds,
+            &mut tens,
+        );
         let mut pot = vec![0.0];
         let mut u = vec![Vec3::ZERO];
         k.l2p(&ops, lc, &l, &tpos, &mut pot, &mut u, &mut pow);

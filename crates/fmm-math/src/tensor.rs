@@ -136,9 +136,13 @@ mod tests {
             if set.total_order(idx) + 1 > p {
                 continue;
             }
-            for (axis, step) in [Vec3::new(h, 0.0, 0.0), Vec3::new(0.0, h, 0.0), Vec3::new(0.0, 0.0, h)]
-                .into_iter()
-                .enumerate()
+            for (axis, step) in [
+                Vec3::new(h, 0.0, 0.0),
+                Vec3::new(0.0, h, 0.0),
+                Vec3::new(0.0, 0.0, h),
+            ]
+            .into_iter()
+            .enumerate()
             {
                 let (_, tp) = tensor_at(dx + step, p);
                 let (_, tm) = tensor_at(dx - step, p);
@@ -180,7 +184,11 @@ mod tests {
         let (set, tp) = tensor_at(dx, 6);
         let (_, tn) = tensor_at(-dx, 6);
         for idx in 0..set.len() {
-            let sign = if set.total_order(idx) % 2 == 0 { 1.0 } else { -1.0 };
+            let sign = if set.total_order(idx) % 2 == 0 {
+                1.0
+            } else {
+                -1.0
+            };
             assert!(
                 (tn[idx] - sign * tp[idx]).abs() <= 1e-12 * tp[idx].abs().max(1e-12),
                 "parity at idx {idx}"

@@ -38,7 +38,11 @@ pub fn morton_encode(ix: u64, iy: u64, iz: u64) -> u64 {
 /// Recover the three cell coordinates from a Morton code.
 #[inline]
 pub fn morton_decode(code: u64) -> (u64, u64, u64) {
-    (compact_by_2(code), compact_by_2(code >> 1), compact_by_2(code >> 2))
+    (
+        compact_by_2(code),
+        compact_by_2(code >> 1),
+        compact_by_2(code >> 2),
+    )
 }
 
 /// Which of the eight child octants of the cube centered at `center` does

@@ -12,7 +12,10 @@ pub struct P2pJob {
 
 impl P2pJob {
     pub fn new(targets: usize, source_counts: Vec<usize>) -> Self {
-        P2pJob { targets, source_counts }
+        P2pJob {
+            targets,
+            source_counts,
+        }
     }
 
     /// Total source bodies across the interaction list.
@@ -149,7 +152,12 @@ impl SimGpu {
         } else {
             max_cycles / self.spec.clock_hz + self.spec.launch_overhead_s
         };
-        KernelReport { elapsed_s: elapsed, useful_pairs: useful, occupied_pairs: occupied, blocks }
+        KernelReport {
+            elapsed_s: elapsed,
+            useful_pairs: useful,
+            occupied_pairs: occupied,
+            blocks,
+        }
     }
 
     /// Execute a kernel of offloaded expansion work (one thread per body).
@@ -191,7 +199,12 @@ impl SimGpu {
         } else {
             max_cycles / self.spec.clock_hz + self.spec.launch_overhead_s
         };
-        KernelReport { elapsed_s: elapsed, useful_pairs: useful, occupied_pairs: occupied, blocks }
+        KernelReport {
+            elapsed_s: elapsed,
+            useful_pairs: useful,
+            occupied_pairs: occupied,
+            blocks,
+        }
     }
 }
 
@@ -246,7 +259,9 @@ mod tests {
     fn partial_block_time_equals_full_block_time() {
         let g = gpu();
         let t_partial = g.run_kernel(&[P2pJob::new(1, vec![2048])]).elapsed_s;
-        let t_full = g.run_kernel(&[P2pJob::new(g.spec.block_size, vec![2048])]).elapsed_s;
+        let t_full = g
+            .run_kernel(&[P2pJob::new(g.spec.block_size, vec![2048])])
+            .elapsed_s;
         assert_eq!(t_partial, t_full);
     }
 
@@ -273,7 +288,9 @@ mod tests {
     #[test]
     fn deterministic() {
         let g = gpu();
-        let jobs: Vec<_> = (1..40).map(|i| P2pJob::new(i * 7 % 200 + 1, vec![i * 31 % 900 + 1])).collect();
+        let jobs: Vec<_> = (1..40)
+            .map(|i| P2pJob::new(i * 7 % 200 + 1, vec![i * 31 % 900 + 1]))
+            .collect();
         let a = g.run_kernel(&jobs);
         let b = g.run_kernel(&jobs);
         assert_eq!(a.elapsed_s, b.elapsed_s);

@@ -31,10 +31,16 @@ impl fmt::Display for Error {
                 write!(f, "device {device} out of range (system has {count})")
             }
             Error::BadFactor { factor } => {
-                write!(f, "fault factor {factor} is not a finite value in its valid range")
+                write!(
+                    f,
+                    "fault factor {factor} is not a finite value in its valid range"
+                )
             }
             Error::PartitionMismatch { expected, got } => {
-                write!(f, "partition has {got} groups, system has {expected} devices")
+                write!(
+                    f,
+                    "partition has {got} groups, system has {expected} devices"
+                )
             }
             Error::OfflineDeviceAssigned { device } => {
                 write!(f, "partition assigns work to offline device {device}")

@@ -129,7 +129,11 @@ mod tests {
 
     #[test]
     fn gpu_event_classification() {
-        assert!(FaultEvent::GpuSlowdown { device: 0, factor: 2.0 }.is_gpu_event());
+        assert!(FaultEvent::GpuSlowdown {
+            device: 0,
+            factor: 2.0
+        }
+        .is_gpu_event());
         assert!(FaultEvent::GpuRecover { device: 0 }.is_gpu_event());
         assert!(!FaultEvent::ExternalCpuLoad { factor: 2.0 }.is_gpu_event());
         assert!(!FaultEvent::TimingNoise { sigma: 0.1 }.is_gpu_event());

@@ -119,7 +119,10 @@ mod tests {
         for g in &groups {
             let sum: u64 = g.iter().map(|&i| w[i]).sum();
             let max_item = g.iter().map(|&i| w[i]).max().unwrap_or(0);
-            assert!(sum <= share + max_item, "group weight {sum} vs share {share}");
+            assert!(
+                sum <= share + max_item,
+                "group weight {sum} vs share {share}"
+            );
         }
     }
 

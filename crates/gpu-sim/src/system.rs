@@ -62,7 +62,10 @@ pub struct DeviceStatus {
 
 impl Default for DeviceStatus {
     fn default() -> Self {
-        DeviceStatus { online: true, slowdown: 1.0 }
+        DeviceStatus {
+            online: true,
+            slowdown: 1.0,
+        }
     }
 }
 
@@ -82,7 +85,10 @@ impl GpuSystem {
         if n == 0 {
             return Err(Error::NoGpus);
         }
-        Ok(GpuSystem { gpus: vec![SimGpu::new(spec); n], status: vec![DeviceStatus::default(); n] })
+        Ok(GpuSystem {
+            gpus: vec![SimGpu::new(spec); n],
+            status: vec![DeviceStatus::default(); n],
+        })
     }
 
     /// A mixed-device system (extension beyond the paper, which assumes
@@ -93,7 +99,10 @@ impl GpuSystem {
             return Err(Error::NoGpus);
         }
         let status = vec![DeviceStatus::default(); specs.len()];
-        Ok(GpuSystem { gpus: specs.into_iter().map(SimGpu::new).collect(), status })
+        Ok(GpuSystem {
+            gpus: specs.into_iter().map(SimGpu::new).collect(),
+            status,
+        })
     }
 
     pub fn num_gpus(&self) -> usize {
@@ -164,7 +173,9 @@ impl GpuSystem {
     }
 
     fn online_indices(&self) -> Vec<usize> {
-        (0..self.gpus.len()).filter(|&i| self.status[i].online).collect()
+        (0..self.gpus.len())
+            .filter(|&i| self.status[i].online)
+            .collect()
     }
 
     /// Partition `jobs` by the paper's interaction-count walk across the
@@ -177,8 +188,10 @@ impl GpuSystem {
         let assignment = if self.uniform_slowdown(&online) {
             partition_by_interactions(&weights, online.len().max(1))
         } else {
-            let shares: Vec<f64> =
-                online.iter().map(|&i| 1.0 / self.status[i].slowdown).collect();
+            let shares: Vec<f64> = online
+                .iter()
+                .map(|&i| 1.0 / self.status[i].slowdown)
+                .collect();
             partition_by_interactions_weighted(&weights, &shares)
         };
         Ok(self.run_scattered(jobs, &online, assignment))
@@ -215,8 +228,10 @@ impl GpuSystem {
         let online_assignment = if self.uniform_slowdown(&online) {
             partition_by_interactions(&weights, online.len().max(1))
         } else {
-            let shares: Vec<f64> =
-                online.iter().map(|&i| 1.0 / self.status[i].slowdown).collect();
+            let shares: Vec<f64> = online
+                .iter()
+                .map(|&i| 1.0 / self.status[i].slowdown)
+                .collect();
             partition_by_interactions_weighted(&weights, &shares)
         };
         let mut assignment = vec![Vec::new(); self.gpus.len()];
@@ -235,7 +250,10 @@ impl GpuSystem {
                 r
             })
             .collect();
-        Ok(KernelTiming { per_gpu, assignment })
+        Ok(KernelTiming {
+            per_gpu,
+            assignment,
+        })
     }
 
     /// Run one kernel per device with a caller-provided partition (used by
@@ -305,7 +323,10 @@ impl GpuSystem {
                 r
             })
             .collect();
-        KernelTiming { per_gpu, assignment }
+        KernelTiming {
+            per_gpu,
+            assignment,
+        }
     }
 }
 
@@ -349,7 +370,11 @@ mod tests {
     fn gpu_time_is_max_over_devices() {
         let jobs = plummer_like_jobs(100);
         let timing = homog(3).execute(&jobs).unwrap();
-        let max = timing.per_gpu.iter().map(|r| r.elapsed_s).fold(0.0, f64::max);
+        let max = timing
+            .per_gpu
+            .iter()
+            .map(|r| r.elapsed_s)
+            .fold(0.0, f64::max);
         assert_eq!(timing.gpu_time(), Some(max));
     }
 
@@ -394,7 +419,9 @@ mod tests {
         let spec = GpuSpec::default();
         let sys = GpuSystem::homogeneous(2, spec).unwrap();
         // Full blocks everywhere.
-        let good: Vec<P2pJob> = (0..50).map(|_| P2pJob::new(spec.block_size, vec![512])).collect();
+        let good: Vec<P2pJob> = (0..50)
+            .map(|_| P2pJob::new(spec.block_size, vec![512]))
+            .collect();
         // Tiny targets, huge source streams.
         let bad: Vec<P2pJob> = (0..50).map(|_| P2pJob::new(3, vec![512; 10])).collect();
         assert_eq!(sys.execute(&good).unwrap().efficiency(), Some(1.0));
@@ -422,14 +449,20 @@ mod tests {
 
     #[test]
     fn empty_timing_has_no_gpu_time() {
-        let t = KernelTiming { per_gpu: vec![], assignment: vec![] };
+        let t = KernelTiming {
+            per_gpu: vec![],
+            assignment: vec![],
+        };
         assert_eq!(t.gpu_time(), None);
         assert_eq!(t.efficiency(), None);
     }
 
     #[test]
     fn zero_devices_is_an_error() {
-        assert_eq!(GpuSystem::homogeneous(0, GpuSpec::default()).unwrap_err(), Error::NoGpus);
+        assert_eq!(
+            GpuSystem::homogeneous(0, GpuSpec::default()).unwrap_err(),
+            Error::NoGpus
+        );
         assert_eq!(GpuSystem::heterogeneous(vec![]).unwrap_err(), Error::NoGpus);
     }
 
@@ -448,7 +481,10 @@ mod tests {
         // One full-speed C2050 and one half-clock device: the weighted walk
         // must beat the equal-share walk.
         let fast = GpuSpec::default();
-        let slow = GpuSpec { clock_hz: fast.clock_hz / 2.0, ..fast };
+        let slow = GpuSpec {
+            clock_hz: fast.clock_hz / 2.0,
+            ..fast
+        };
         let sys = GpuSystem::heterogeneous(vec![fast, slow]).unwrap();
         let jobs = plummer_like_jobs(600);
         let equal = sys.execute(&jobs).unwrap().gpu_time().unwrap();
@@ -469,10 +505,21 @@ mod tests {
     fn expansion_kernels_scale_with_devices() {
         use crate::device::ExpansionJob;
         let jobs: Vec<ExpansionJob> = (0..200)
-            .map(|i| ExpansionJob { bodies: 64 + i % 128, cycles_per_body: 50_000.0 })
+            .map(|i| ExpansionJob {
+                bodies: 64 + i % 128,
+                cycles_per_body: 50_000.0,
+            })
             .collect();
-        let t1 = homog(1).execute_expansions(&jobs).unwrap().gpu_time().unwrap();
-        let t4 = homog(4).execute_expansions(&jobs).unwrap().gpu_time().unwrap();
+        let t1 = homog(1)
+            .execute_expansions(&jobs)
+            .unwrap()
+            .gpu_time()
+            .unwrap();
+        let t4 = homog(4)
+            .execute_expansions(&jobs)
+            .unwrap()
+            .gpu_time()
+            .unwrap();
         assert!(t4 < 0.4 * t1, "expansion offload must scale: {t1} -> {t4}");
     }
 
@@ -483,7 +530,8 @@ mod tests {
         let jobs = plummer_like_jobs(400);
         let mut sys = homog(2);
         let before = sys.execute(&jobs).unwrap();
-        sys.apply_event(&FaultEvent::GpuDropout { device: 1 }).unwrap();
+        sys.apply_event(&FaultEvent::GpuDropout { device: 1 })
+            .unwrap();
         assert_eq!(sys.num_online(), 1);
         assert!(!sys.is_online(1));
         let after = sys.execute(&jobs).unwrap();
@@ -501,8 +549,10 @@ mod tests {
         let jobs = plummer_like_jobs(400);
         let mut sys = homog(2);
         let before = sys.execute(&jobs).unwrap();
-        sys.apply_event(&FaultEvent::GpuDropout { device: 0 }).unwrap();
-        sys.apply_event(&FaultEvent::GpuRecover { device: 0 }).unwrap();
+        sys.apply_event(&FaultEvent::GpuDropout { device: 0 })
+            .unwrap();
+        sys.apply_event(&FaultEvent::GpuRecover { device: 0 })
+            .unwrap();
         let after = sys.execute(&jobs).unwrap();
         assert_eq!(before.assignment, after.assignment);
         assert_eq!(before.gpu_time(), after.gpu_time());
@@ -513,7 +563,11 @@ mod tests {
         let jobs = plummer_like_jobs(600);
         let mut sys = homog(2);
         let nominal = sys.execute(&jobs).unwrap();
-        sys.apply_event(&FaultEvent::GpuSlowdown { device: 1, factor: 3.0 }).unwrap();
+        sys.apply_event(&FaultEvent::GpuSlowdown {
+            device: 1,
+            factor: 3.0,
+        })
+        .unwrap();
         let slowed = sys.execute(&jobs).unwrap();
         // The walk shifts work toward the healthy device...
         assert!(slowed.per_gpu[0].useful_pairs > nominal.per_gpu[0].useful_pairs);
@@ -521,18 +575,27 @@ mod tests {
         let ratio = slowed.gpu_time().unwrap() / nominal.gpu_time().unwrap();
         assert!(ratio > 1.05 && ratio < 2.5, "ratio {ratio}");
         // Clearing the slowdown restores nominal behaviour.
-        sys.apply_event(&FaultEvent::GpuSlowdown { device: 1, factor: 1.0 }).unwrap();
+        sys.apply_event(&FaultEvent::GpuSlowdown {
+            device: 1,
+            factor: 1.0,
+        })
+        .unwrap();
         assert_eq!(sys.execute(&jobs).unwrap().gpu_time(), nominal.gpu_time());
     }
 
     #[test]
     fn all_devices_lost_errors_on_real_work_only() {
         let mut sys = homog(2);
-        sys.apply_event(&FaultEvent::GpuDropout { device: 0 }).unwrap();
-        sys.apply_event(&FaultEvent::GpuDropout { device: 1 }).unwrap();
+        sys.apply_event(&FaultEvent::GpuDropout { device: 0 })
+            .unwrap();
+        sys.apply_event(&FaultEvent::GpuDropout { device: 1 })
+            .unwrap();
         let jobs = plummer_like_jobs(10);
         assert_eq!(sys.execute(&jobs).unwrap_err(), Error::NoOnlineGpus);
-        assert_eq!(sys.execute_weighted(&jobs).unwrap_err(), Error::NoOnlineGpus);
+        assert_eq!(
+            sys.execute_weighted(&jobs).unwrap_err(),
+            Error::NoOnlineGpus
+        );
         // An empty launch is still well-defined.
         assert_eq!(sys.execute(&[]).unwrap().gpu_time(), Some(0.0));
     }
@@ -541,15 +604,25 @@ mod tests {
     fn apply_event_validates_inputs() {
         let mut sys = homog(2);
         assert_eq!(
-            sys.apply_event(&FaultEvent::GpuDropout { device: 5 }).unwrap_err(),
-            Error::DeviceOutOfRange { device: 5, count: 2 }
+            sys.apply_event(&FaultEvent::GpuDropout { device: 5 })
+                .unwrap_err(),
+            Error::DeviceOutOfRange {
+                device: 5,
+                count: 2
+            }
         );
         assert!(matches!(
-            sys.apply_event(&FaultEvent::GpuSlowdown { device: 0, factor: 0.5 }),
+            sys.apply_event(&FaultEvent::GpuSlowdown {
+                device: 0,
+                factor: 0.5
+            }),
             Err(Error::BadFactor { .. })
         ));
         assert!(matches!(
-            sys.apply_event(&FaultEvent::GpuSlowdown { device: 0, factor: f64::NAN }),
+            sys.apply_event(&FaultEvent::GpuSlowdown {
+                device: 0,
+                factor: f64::NAN
+            }),
             Err(Error::BadFactor { .. })
         ));
         assert!(matches!(
@@ -557,7 +630,9 @@ mod tests {
             Err(Error::BadFactor { .. })
         ));
         // Host-side events are validated but leave GPU state untouched.
-        assert!(!sys.apply_event(&FaultEvent::ExternalCpuLoad { factor: 2.0 }).unwrap());
+        assert!(!sys
+            .apply_event(&FaultEvent::ExternalCpuLoad { factor: 2.0 })
+            .unwrap());
         assert_eq!(sys.num_online(), 2);
         assert_eq!(sys.status(0).unwrap().slowdown, 1.0);
     }
@@ -566,7 +641,8 @@ mod tests {
     fn partition_to_offline_device_is_rejected() {
         let jobs = plummer_like_jobs(20);
         let mut sys = homog(2);
-        sys.apply_event(&FaultEvent::GpuDropout { device: 1 }).unwrap();
+        sys.apply_event(&FaultEvent::GpuDropout { device: 1 })
+            .unwrap();
         let bad = vec![vec![0], (1..jobs.len()).collect()];
         assert_eq!(
             sys.execute_with_partition(&jobs, bad).unwrap_err(),
@@ -575,7 +651,10 @@ mod tests {
         let wrong_len = vec![vec![0]];
         assert_eq!(
             sys.execute_with_partition(&jobs, wrong_len).unwrap_err(),
-            Error::PartitionMismatch { expected: 2, got: 1 }
+            Error::PartitionMismatch {
+                expected: 2,
+                got: 1
+            }
         );
     }
 }

@@ -88,11 +88,7 @@ mod tests {
     fn internal_forces_conserve_momentum() {
         let b = crate::distributions::plummer(200, 1.0, 1.0, 55);
         let acc = direct_gravity(&b, 1.0, 1e-3);
-        let net: Vec3 = acc
-            .iter()
-            .zip(&b.mass)
-            .map(|(&a, &m)| a * m)
-            .sum();
+        let net: Vec3 = acc.iter().zip(&b.mass).map(|(&a, &m)| a * m).sum();
         assert!(net.norm() < 1e-10, "net internal force {net:?}");
     }
 }

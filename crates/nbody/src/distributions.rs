@@ -88,7 +88,14 @@ pub fn uniform_cube(n: usize, half_width: f64, seed: u64) -> Bodies {
 
 /// Two Plummer spheres on a collision course — a "colliding galaxies"
 /// workload whose density field merges and separates over time.
-pub fn two_clusters(n: usize, a: f64, g: f64, separation: f64, approach_speed: f64, seed: u64) -> Bodies {
+pub fn two_clusters(
+    n: usize,
+    a: f64,
+    g: f64,
+    separation: f64,
+    approach_speed: f64,
+    seed: u64,
+) -> Bodies {
     let half = n / 2;
     let c1 = plummer(half.max(1), a, g, seed);
     let c2 = plummer((n - half).max(1), a, g, seed.wrapping_add(1));
@@ -185,12 +192,19 @@ mod tests {
         b.validate().unwrap();
         assert_eq!(b.len(), 4000);
         // Center of mass near the origin.
-        assert!(b.center_of_mass().norm() < 0.3, "com {:?}", b.center_of_mass());
+        assert!(
+            b.center_of_mass().norm() < 0.3,
+            "com {:?}",
+            b.center_of_mass()
+        );
         // Half-mass radius of a Plummer sphere is ~1.3 a.
         let mut radii: Vec<f64> = b.pos.iter().map(|p| p.norm()).collect();
         radii.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let half_mass = radii[radii.len() / 2];
-        assert!((0.9..1.8).contains(&half_mass), "half-mass radius {half_mass}");
+        assert!(
+            (0.9..1.8).contains(&half_mass),
+            "half-mass radius {half_mass}"
+        );
         // Strong central concentration: inner 10% of the extent holds far
         // more than 10% of the mass.
         let rmax = radii[radii.len() - 1];
@@ -259,7 +273,12 @@ mod tests {
     fn collapsing_setup_is_subvirial() {
         let s = collapsing_plummer(2000, 1.0, 13);
         let e = total_energy_for(&s.bodies);
-        assert!(2.0 * e.0 < 0.5 * e.1.abs(), "2K = {} should be well below |U| = {}", 2.0 * e.0, e.1.abs());
+        assert!(
+            2.0 * e.0 < 0.5 * e.1.abs(),
+            "2K = {} should be well below |U| = {}",
+            2.0 * e.0,
+            e.1.abs()
+        );
     }
 
     fn total_energy_for(b: &Bodies) -> (f64, f64) {

@@ -17,8 +17,8 @@ mod stokes;
 pub use bodies::Bodies;
 pub use diagnostics::{direct_gravity, total_energy, total_momentum, EnergyReport};
 pub use distributions::{
-    collapsing_plummer, expanding_plummer, plummer, random_unit_forces, two_clusters,
-    uniform_cube, CollapsingSetup,
+    collapsing_plummer, expanding_plummer, plummer, random_unit_forces, two_clusters, uniform_cube,
+    CollapsingSetup,
 };
 pub use integrator::Leapfrog;
 pub use stokes::ElasticRing;

@@ -19,7 +19,14 @@ pub struct ElasticRing {
 impl ElasticRing {
     /// A circle of `n` markers of radius `radius` centered at `center` in
     /// the plane spanned by (orthonormal) `e1`, `e2`.
-    pub fn in_plane(center: Vec3, radius: f64, n: usize, stiffness: f64, e1: Vec3, e2: Vec3) -> Self {
+    pub fn in_plane(
+        center: Vec3,
+        radius: f64,
+        n: usize,
+        stiffness: f64,
+        e1: Vec3,
+        e2: Vec3,
+    ) -> Self {
         assert!(n >= 3, "a ring needs at least three markers");
         assert!(radius > 0.0 && stiffness >= 0.0);
         debug_assert!((e1.norm() - 1.0).abs() < 1e-9 && (e2.norm() - 1.0).abs() < 1e-9);
@@ -31,7 +38,11 @@ impl ElasticRing {
             })
             .collect();
         let rest_length = 2.0 * std::f64::consts::PI * radius / n as f64;
-        ElasticRing { pos, rest_length, stiffness }
+        ElasticRing {
+            pos,
+            rest_length,
+            stiffness,
+        }
     }
 
     /// A circle in the xy-plane.

@@ -15,13 +15,20 @@ pub struct BuildParams {
 
 impl BuildParams {
     pub fn with_s(s: usize) -> Self {
-        BuildParams { s, ..Default::default() }
+        BuildParams {
+            s,
+            ..Default::default()
+        }
     }
 }
 
 impl Default for BuildParams {
     fn default() -> Self {
-        BuildParams { s: 64, max_level: MAX_MORTON_LEVEL as u16, pad: 1e-6 }
+        BuildParams {
+            s: 64,
+            max_level: MAX_MORTON_LEVEL as u16,
+            pad: 1e-6,
+        }
     }
 }
 
@@ -131,7 +138,11 @@ pub fn build_adaptive_in_cube(
 /// regardless of body counts.
 pub fn build_uniform(pos: &[Vec3], depth: u16, pad: f64) -> Octree {
     let (center, hw) = Aabb::cube_containing(pos, pad);
-    let params = BuildParams { s: 1, max_level: depth, pad };
+    let params = BuildParams {
+        s: 1,
+        max_level: depth,
+        pad,
+    };
     build_in_cube(pos, params, center, hw, SplitRule::Uniform)
 }
 
@@ -336,10 +347,17 @@ mod tests {
         }
         let t = build_adaptive(&pos, BuildParams::with_s(8));
         t.check_invariants().unwrap();
-        let levels: Vec<usize> = t.visible_leaves().iter().map(|&l| t.node(l).level as usize).collect();
+        let levels: Vec<usize> = t
+            .visible_leaves()
+            .iter()
+            .map(|&l| t.node(l).level as usize)
+            .collect();
         let min = *levels.iter().min().unwrap();
         let max = *levels.iter().max().unwrap();
-        assert!(max >= min + 3, "expected varying leaf depth, got {min}..{max}");
+        assert!(
+            max >= min + 3,
+            "expected varying leaf depth, got {min}..{max}"
+        );
     }
 
     #[test]
@@ -398,10 +416,22 @@ mod tests {
     #[test]
     fn duplicate_positions_terminate_at_max_level() {
         let pos = vec![Vec3::splat(0.25); 100];
-        let t = build_adaptive(&pos, BuildParams { s: 4, max_level: 6, pad: 1e-6 });
+        let t = build_adaptive(
+            &pos,
+            BuildParams {
+                s: 4,
+                max_level: 6,
+                pad: 1e-6,
+            },
+        );
         t.check_invariants().unwrap();
         // Cannot split coincident points: one deep overfull leaf is allowed.
-        let max_leaf = t.visible_leaves().iter().map(|&l| t.node(l).count()).max().unwrap();
+        let max_leaf = t
+            .visible_leaves()
+            .iter()
+            .map(|&l| t.node(l).count())
+            .max()
+            .unwrap();
         assert_eq!(max_leaf, 100);
         assert!(t.depth() <= 6);
     }

@@ -22,11 +22,13 @@
 mod build;
 mod modify;
 mod node;
+mod plan;
 mod stats;
 mod traversal;
 
 pub use build::{build_adaptive, build_adaptive_in_cube, build_uniform, BuildParams};
 pub use modify::EnforceOutcome;
 pub use node::{Node, NodeId, Octree, NONE};
-pub use stats::{count_ops, leaf_interactions, OpCounts, TreeStats};
+pub use plan::{IncrementalLists, PlanRefresh};
+pub use stats::{count_ops, leaf_interactions, node_op_counts, OpCounts, TreeStats};
 pub use traversal::{dual_traversal, InteractionLists, Mac};

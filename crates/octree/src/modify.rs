@@ -147,10 +147,12 @@ mod tests {
         // leaves; at minimum the previously visible set is a superset.
         let visible_after: Vec<_> = t.visible_nodes();
         for id in &visible_before {
-            assert!(visible_after.contains(id) || {
-                // deeper nodes may have been re-hidden
-                t.node(*id).level > t.node(internal).level + 1
-            });
+            assert!(
+                visible_after.contains(id) || {
+                    // deeper nodes may have been re-hidden
+                    t.node(*id).level > t.node(internal).level + 1
+                }
+            );
         }
     }
 
@@ -191,7 +193,10 @@ mod tests {
         assert!(out.collapses > 0, "emptied regions should collapse");
         t.check_invariants().unwrap();
         for id in t.visible_leaves() {
-            assert!(t.node(id).count() <= 32, "leaf still over capacity after enforce_s");
+            assert!(
+                t.node(id).count() <= 32,
+                "leaf still over capacity after enforce_s"
+            );
         }
         assert_eq!(leaf_count_total(&t), pos.len());
     }
@@ -223,13 +228,24 @@ mod tests {
         let mut t = build_adaptive(&pos, BuildParams::with_s(24));
         t.enforce_s();
         let second = t.enforce_s();
-        assert_eq!(second.collapses + second.pushdowns, 0, "second pass must be a no-op");
+        assert_eq!(
+            second.collapses + second.pushdowns,
+            0,
+            "second pass must be a no-op"
+        );
     }
 
     #[test]
     fn pushdown_refuses_at_max_level() {
         let pos = vec![Vec3::splat(0.1); 50];
-        let mut t = build_adaptive(&pos, BuildParams { s: 4, max_level: 2, pad: 1e-6 });
+        let mut t = build_adaptive(
+            &pos,
+            BuildParams {
+                s: 4,
+                max_level: 2,
+                pad: 1e-6,
+            },
+        );
         let deep = t
             .visible_leaves()
             .into_iter()

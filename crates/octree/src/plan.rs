@@ -1,0 +1,624 @@
+//! Incrementally-patchable interaction lists: the octree half of the
+//! persistent execution plan.
+//!
+//! [`crate::dual_traversal`] recomputes every M2L/P2P list from scratch, but
+//! the paper's Collapse/PushDown are *local* edits: for an edit at node `e`,
+//! the only emitted pairs that change are those with at least one endpoint in
+//! the visible subtree of `e` (before or after the edit). Every other state
+//! the traversal visits makes the same split/accept decision, because those
+//! decisions depend only on geometry, populations and leafness of nodes
+//! outside the edited subtree — all unchanged.
+//!
+//! [`IncrementalLists`] exploits this: it keeps the lists of a full traversal
+//! together with *inverse* lists (`rev_m2l[b]` = every target whose M2L list
+//! contains `b`), so all list entries referencing an edited node are found in
+//! O(degree). A patch then
+//!
+//! 1. removes every entry with an endpoint in the pre-edit visible subtree,
+//! 2. applies the tree edit,
+//! 3. re-runs the dual traversal *restricted* to states related to the edit
+//!    (ancestor-or-subtree on either side; unrelated×unrelated states are
+//!    pruned), emitting only pairs with an endpoint in the post-edit subtree,
+//! 4. recomputes the per-node [`OpCounts`] contributions of the dirty set —
+//!    the edited subtree plus every target whose list was touched.
+//!
+//! Per-node contributions are cached so totals update by subtraction and
+//! re-addition of only the dirty nodes.
+
+use crate::node::{NodeId, Octree, NONE};
+use crate::stats::{node_op_counts, OpCounts};
+use crate::traversal::{dual_traversal, InteractionLists, Mac};
+
+/// How [`IncrementalLists::refresh_counts`] serviced a request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlanRefresh {
+    /// No population changed; nothing to do.
+    Clean,
+    /// Only the dirty per-node contributions were recomputed in place.
+    Patched { dirty: usize },
+    /// A visible cell flipped between empty and non-empty (or the arena
+    /// grew), which changes the traversal itself — the plan re-traversed.
+    Rebuilt,
+}
+
+/// Relatedness of a traversal-state endpoint to the edited node: outside its
+/// story entirely, a (strict or non-strict) ancestor, or inside the post-edit
+/// visible subtree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Rel {
+    Out,
+    Anc,
+    Sub,
+}
+
+/// Interaction lists + per-node op counts that are patched through
+/// [`Octree::collapse`] / [`Octree::push_down`] edits instead of recomputed.
+#[derive(Clone, Debug)]
+pub struct IncrementalLists {
+    mac: Mac,
+    lists: InteractionLists,
+    /// `rev_m2l[b]` = every target `a` with `b ∈ lists.m2l[a]` (multiset,
+    /// unordered). The O(degree) handle on "who references this node?".
+    rev_m2l: Vec<Vec<NodeId>>,
+    /// Likewise for P2P source lists.
+    rev_p2p: Vec<Vec<NodeId>>,
+    /// Cached contribution of each node to `totals` (zero when invisible).
+    node_counts: Vec<OpCounts>,
+    totals: OpCounts,
+    /// Population snapshot at the last build/patch/refresh — the
+    /// emptiness-flip detector for [`IncrementalLists::refresh_counts`].
+    body_count: Vec<u32>,
+    /// Epoch-stamped scratch marks (ancestor path, dirty dedup, visibility)
+    /// so per-patch set membership needs no O(n) clear.
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+fn remove_one(v: &mut Vec<NodeId>, x: NodeId) {
+    if let Some(pos) = v.iter().position(|&e| e == x) {
+        v.swap_remove(pos);
+    }
+}
+
+/// The post-/pre-edit visible subtree rooted at `id`, including `id`.
+fn visible_subtree(tree: &Octree, id: NodeId) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    let mut stack = vec![id];
+    while let Some(n) = stack.pop() {
+        out.push(n);
+        for c in tree.visible_children(n) {
+            stack.push(c);
+        }
+    }
+    out
+}
+
+/// Is `id` reachable without entering a collapsed subtree?
+fn is_visible(tree: &Octree, id: NodeId) -> bool {
+    let mut p = tree.node(id).parent;
+    while p != NONE {
+        let n = tree.node(p);
+        if n.collapsed {
+            return false;
+        }
+        p = n.parent;
+    }
+    true
+}
+
+impl IncrementalLists {
+    /// Full build: one dual traversal plus inverse lists and per-node counts.
+    pub fn build(tree: &Octree, mac: Mac) -> Self {
+        let mut plan = IncrementalLists {
+            mac,
+            lists: InteractionLists::default(),
+            rev_m2l: Vec::new(),
+            rev_p2p: Vec::new(),
+            node_counts: Vec::new(),
+            totals: OpCounts::default(),
+            body_count: Vec::new(),
+            stamp: Vec::new(),
+            epoch: 0,
+        };
+        plan.rebuild(tree);
+        plan
+    }
+
+    /// Throw the incremental state away and re-derive everything from a
+    /// fresh traversal of `tree`.
+    pub fn rebuild(&mut self, tree: &Octree) {
+        let n = tree.num_nodes();
+        self.lists = dual_traversal(tree, self.mac);
+        self.rev_m2l = vec![Vec::new(); n];
+        self.rev_p2p = vec![Vec::new(); n];
+        for a in 0..n {
+            for &b in &self.lists.m2l[a] {
+                self.rev_m2l[b as usize].push(a as NodeId);
+            }
+            for &b in &self.lists.p2p[a] {
+                self.rev_p2p[b as usize].push(a as NodeId);
+            }
+        }
+        self.node_counts = vec![OpCounts::default(); n];
+        self.totals = OpCounts::default();
+        for id in tree.visible_nodes() {
+            let c = node_op_counts(tree, &self.lists, id);
+            self.node_counts[id as usize] = c;
+            self.totals += c;
+        }
+        self.body_count = (0..n)
+            .map(|i| tree.node(i as NodeId).count() as u32)
+            .collect();
+        self.stamp = vec![0; n];
+        self.epoch = 0;
+    }
+
+    pub fn mac(&self) -> Mac {
+        self.mac
+    }
+
+    pub fn lists(&self) -> &InteractionLists {
+        &self.lists
+    }
+
+    /// Totals over all cached per-node contributions — element-wise equal to
+    /// [`crate::count_ops`] on the current tree and lists.
+    pub fn counts(&self) -> OpCounts {
+        self.totals
+    }
+
+    /// Patch the plan through `tree.collapse(id)`. Returns false (tree and
+    /// plan untouched) when the collapse is a no-op.
+    pub fn apply_collapse(&mut self, tree: &mut Octree, id: NodeId) -> bool {
+        if tree.node(id).is_leaf() {
+            return false;
+        }
+        let affected_old = visible_subtree(tree, id);
+        let done = tree.collapse(id);
+        debug_assert!(done);
+        self.patch(tree, id, &affected_old);
+        true
+    }
+
+    /// Patch the plan through `tree.push_down(id)`. Returns false (tree and
+    /// plan untouched) when the push-down is refused.
+    pub fn apply_push_down(&mut self, tree: &mut Octree, id: NodeId) -> bool {
+        if !tree.push_down(id) {
+            return false;
+        }
+        self.patch(tree, id, &[id]);
+        true
+    }
+
+    /// Reconcile per-node counts after body motion ([`Octree::rebin`]): the
+    /// structure is unchanged, but leaf populations — and with them P2P pair
+    /// counts and P2M/L2P body counts — moved. If any *visible* node flipped
+    /// between empty and non-empty the traversal shape itself changed (empty
+    /// cells are skipped), so the plan falls back to one full re-traversal.
+    pub fn refresh_counts(&mut self, tree: &Octree) -> PlanRefresh {
+        let n = tree.num_nodes();
+        if self.body_count.len() != n {
+            self.rebuild(tree);
+            return PlanRefresh::Rebuilt;
+        }
+        // Mark the visible set: flips on hidden nodes (stale ranges under a
+        // collapsed subtree) are invisible to the traversal and harmless.
+        self.epoch += 1;
+        let visible = self.epoch;
+        for id in tree.visible_nodes() {
+            self.stamp[id as usize] = visible;
+        }
+        let mut dirty: Vec<NodeId> = Vec::new();
+        for i in 0..n {
+            let now = tree.node(i as NodeId).count() as u32;
+            let before = self.body_count[i];
+            if now == before {
+                continue;
+            }
+            if self.stamp[i] == visible && (now == 0) != (before == 0) {
+                self.rebuild(tree);
+                return PlanRefresh::Rebuilt;
+            }
+            self.body_count[i] = now;
+            if self.stamp[i] == visible {
+                dirty.push(i as NodeId);
+                // Targets whose P2P pair counts read this node's population.
+                dirty.extend_from_slice(&self.rev_p2p[i]);
+            }
+        }
+        if dirty.is_empty() {
+            return PlanRefresh::Clean;
+        }
+        let recomputed = self.recount(tree, &dirty);
+        PlanRefresh::Patched { dirty: recomputed }
+    }
+
+    /// Recompute the cached contributions of `dirty` (dedup via stamps) and
+    /// fold them into the totals. Returns how many nodes were recomputed.
+    fn recount(&mut self, tree: &Octree, dirty: &[NodeId]) -> usize {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        let mut recomputed = 0usize;
+        for &d in dirty {
+            let di = d as usize;
+            if self.stamp[di] == epoch {
+                continue;
+            }
+            self.stamp[di] = epoch;
+            recomputed += 1;
+            self.totals -= self.node_counts[di];
+            let c = if is_visible(tree, d) {
+                node_op_counts(tree, &self.lists, d)
+            } else {
+                OpCounts::default()
+            };
+            self.node_counts[di] = c;
+            self.totals += c;
+            self.body_count[di] = tree.node(d).count() as u32;
+        }
+        recomputed
+    }
+
+    /// The shared patch path: `edit` has just been collapsed or pushed down;
+    /// `affected_old` is its pre-edit visible subtree.
+    fn patch(&mut self, tree: &Octree, edit: NodeId, affected_old: &[NodeId]) {
+        let n = tree.num_nodes();
+        if self.lists.m2l.len() < n {
+            // A push-down drew eight fresh nodes from the arena.
+            self.lists.m2l.resize_with(n, Vec::new);
+            self.lists.p2p.resize_with(n, Vec::new);
+            self.rev_m2l.resize_with(n, Vec::new);
+            self.rev_p2p.resize_with(n, Vec::new);
+            self.node_counts.resize(n, OpCounts::default());
+            self.body_count.resize(n, 0);
+            self.stamp.resize(n, 0);
+        }
+        let mut dirty: Vec<NodeId> = Vec::new();
+
+        // 1. Drop every list entry with an endpoint in the old subtree. The
+        //    inverse lists make the source side O(degree); removals tolerate
+        //    already-cleared targets (both endpoints in the subtree).
+        for &a in affected_old {
+            let ai = a as usize;
+            let m2l_a = std::mem::take(&mut self.lists.m2l[ai]);
+            for &b in &m2l_a {
+                remove_one(&mut self.rev_m2l[b as usize], a);
+            }
+            let p2p_a = std::mem::take(&mut self.lists.p2p[ai]);
+            for &b in &p2p_a {
+                remove_one(&mut self.rev_p2p[b as usize], a);
+            }
+            let rm = std::mem::take(&mut self.rev_m2l[ai]);
+            for &t in &rm {
+                remove_one(&mut self.lists.m2l[t as usize], a);
+                dirty.push(t);
+            }
+            let rp = std::mem::take(&mut self.rev_p2p[ai]);
+            for &t in &rp {
+                remove_one(&mut self.lists.p2p[t as usize], a);
+                dirty.push(t);
+            }
+            dirty.push(a);
+        }
+
+        // 2. Restricted dual traversal: same decisions as a fresh traversal
+        //    of the post-edit tree, but states unrelated to the edit on both
+        //    sides are pruned, and only pairs with an endpoint in the new
+        //    subtree are emitted (everything else is already in the lists).
+        self.epoch += 1;
+        let anc = self.epoch;
+        {
+            let mut u = edit;
+            loop {
+                self.stamp[u as usize] = anc;
+                if u == Octree::ROOT {
+                    break;
+                }
+                u = tree.node(u).parent;
+            }
+        }
+        if tree.node(Octree::ROOT).count() > 0 {
+            let root_rel = if edit == Octree::ROOT {
+                Rel::Sub
+            } else {
+                Rel::Anc
+            };
+            let mut stack: Vec<(NodeId, NodeId, Rel, Rel)> =
+                vec![(Octree::ROOT, Octree::ROOT, root_rel, root_rel)];
+            while let Some((a, b, ra, rb)) = stack.pop() {
+                let na = tree.node(a);
+                let nb = tree.node(b);
+                if na.count() == 0 || nb.count() == 0 {
+                    continue;
+                }
+                if a != b && self.mac.accepts(tree, a, b) {
+                    if ra == Rel::Sub || rb == Rel::Sub {
+                        self.lists.m2l[a as usize].push(b);
+                        self.rev_m2l[b as usize].push(a);
+                        dirty.push(a);
+                    }
+                    continue;
+                }
+                let a_leaf = na.is_leaf();
+                let b_leaf = nb.is_leaf();
+                if a_leaf && b_leaf {
+                    if ra == Rel::Sub || rb == Rel::Sub {
+                        self.lists.p2p[a as usize].push(b);
+                        self.rev_p2p[b as usize].push(a);
+                        dirty.push(a);
+                    }
+                    continue;
+                }
+                let stamp = &self.stamp;
+                let child_rel = |parent: Rel, child: NodeId| match parent {
+                    Rel::Sub => Rel::Sub,
+                    Rel::Out => Rel::Out,
+                    Rel::Anc => {
+                        if child == edit {
+                            Rel::Sub
+                        } else if stamp[child as usize] == anc {
+                            Rel::Anc
+                        } else {
+                            Rel::Out
+                        }
+                    }
+                };
+                let split_a = !a_leaf && (b_leaf || na.half_width >= nb.half_width);
+                if split_a {
+                    for c in tree.visible_children(a) {
+                        let rc = child_rel(ra, c);
+                        if rc == Rel::Out && rb == Rel::Out {
+                            continue;
+                        }
+                        stack.push((c, b, rc, rb));
+                    }
+                } else {
+                    for c in tree.visible_children(b) {
+                        let rc = child_rel(rb, c);
+                        if ra == Rel::Out && rc == Rel::Out {
+                            continue;
+                        }
+                        stack.push((a, c, ra, rc));
+                    }
+                }
+            }
+        }
+
+        // 3. Everything in the new subtree gets a fresh contribution (newly
+        //    visible nodes need one, the edited node changed role); hidden
+        //    old-subtree nodes drop to zero via the visibility check.
+        dirty.extend(visible_subtree(tree, edit));
+        self.recount(tree, &dirty);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_adaptive, BuildParams};
+    use crate::stats::count_ops;
+    use geom::Vec3;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    fn random_points(n: usize, seed: u64) -> Vec<Vec3> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                Vec3::new(
+                    rng.random_range(-1.0..1.0),
+                    rng.random_range(-1.0..1.0),
+                    rng.random_range(-1.0..1.0),
+                )
+            })
+            .collect()
+    }
+
+    fn normalized(lists: &InteractionLists) -> (Vec<Vec<NodeId>>, Vec<Vec<NodeId>>) {
+        let sort = |v: &[Vec<NodeId>]| {
+            v.iter()
+                .map(|l| {
+                    let mut l = l.clone();
+                    l.sort_unstable();
+                    l
+                })
+                .collect::<Vec<_>>()
+        };
+        (sort(&lists.m2l), sort(&lists.p2p))
+    }
+
+    /// Patched plan ≡ fresh traversal + fresh counts, order-insensitively.
+    fn assert_matches_fresh(tree: &Octree, plan: &IncrementalLists) {
+        let fresh = dual_traversal(tree, plan.mac());
+        assert_eq!(
+            normalized(plan.lists()),
+            normalized(&fresh),
+            "lists diverged"
+        );
+        assert_eq!(plan.counts(), count_ops(tree, &fresh), "counts diverged");
+        // Inverse lists must mirror the forward lists exactly.
+        let mut rev_m2l = vec![Vec::new(); tree.num_nodes()];
+        let mut rev_p2p = vec![Vec::new(); tree.num_nodes()];
+        for a in 0..tree.num_nodes() {
+            for &b in &plan.lists().m2l[a] {
+                rev_m2l[b as usize].push(a as NodeId);
+            }
+            for &b in &plan.lists().p2p[a] {
+                rev_p2p[b as usize].push(a as NodeId);
+            }
+        }
+        for b in 0..tree.num_nodes() {
+            let mut want = rev_m2l[b].clone();
+            let mut got = plan.rev_m2l[b].clone();
+            want.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(got, want, "rev_m2l[{b}] diverged");
+            let mut want = rev_p2p[b].clone();
+            let mut got = plan.rev_p2p[b].clone();
+            want.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(got, want, "rev_p2p[{b}] diverged");
+        }
+    }
+
+    #[test]
+    fn build_matches_dual_traversal() {
+        let pos = random_points(900, 71);
+        let tree = build_adaptive(&pos, BuildParams::with_s(16));
+        let plan = IncrementalLists::build(&tree, Mac::default());
+        assert_matches_fresh(&tree, &plan);
+    }
+
+    #[test]
+    fn collapse_patch_matches_fresh() {
+        let pos = random_points(1200, 72);
+        let mut tree = build_adaptive(&pos, BuildParams::with_s(12));
+        let mut plan = IncrementalLists::build(&tree, Mac::default());
+        let internals: Vec<NodeId> = tree
+            .visible_nodes()
+            .into_iter()
+            .filter(|&id| !tree.node(id).is_leaf() && id != Octree::ROOT)
+            .take(6)
+            .collect();
+        for id in internals {
+            assert!(plan.apply_collapse(&mut tree, id));
+            assert_matches_fresh(&tree, &plan);
+        }
+    }
+
+    #[test]
+    fn pushdown_patch_matches_fresh() {
+        let pos = random_points(1200, 73);
+        let mut tree = build_adaptive(&pos, BuildParams::with_s(48));
+        let mut plan = IncrementalLists::build(&tree, Mac::default());
+        let leaves: Vec<NodeId> = tree
+            .active_leaves()
+            .into_iter()
+            .filter(|&id| tree.node(id).count() > 8)
+            .take(6)
+            .collect();
+        assert!(!leaves.is_empty());
+        for id in leaves {
+            assert!(plan.apply_push_down(&mut tree, id));
+            assert_matches_fresh(&tree, &plan);
+        }
+    }
+
+    #[test]
+    fn collapse_then_reclaiming_pushdown_roundtrips() {
+        let pos = random_points(800, 74);
+        let mut tree = build_adaptive(&pos, BuildParams::with_s(16));
+        let mut plan = IncrementalLists::build(&tree, Mac::default());
+        let id = tree
+            .visible_nodes()
+            .into_iter()
+            .find(|&id| !tree.node(id).is_leaf() && id != Octree::ROOT)
+            .unwrap();
+        assert!(plan.apply_collapse(&mut tree, id));
+        assert_matches_fresh(&tree, &plan);
+        assert!(plan.apply_push_down(&mut tree, id));
+        assert_matches_fresh(&tree, &plan);
+    }
+
+    #[test]
+    fn collapse_of_root_patches_whole_tree() {
+        let pos = random_points(400, 75);
+        let mut tree = build_adaptive(&pos, BuildParams::with_s(8));
+        let mut plan = IncrementalLists::build(&tree, Mac::default());
+        assert!(plan.apply_collapse(&mut tree, Octree::ROOT));
+        assert_matches_fresh(&tree, &plan);
+        assert_eq!(plan.lists().num_m2l(), 0);
+    }
+
+    #[test]
+    fn noop_edits_leave_plan_untouched() {
+        let pos = random_points(300, 76);
+        let mut tree = build_adaptive(&pos, BuildParams::with_s(8));
+        let mut plan = IncrementalLists::build(&tree, Mac::default());
+        let leaf = tree.active_leaves()[0];
+        assert!(
+            !plan.apply_collapse(&mut tree, leaf),
+            "collapse of a leaf is a no-op"
+        );
+        let internal = tree
+            .visible_nodes()
+            .into_iter()
+            .find(|&id| !tree.node(id).is_leaf())
+            .unwrap();
+        assert!(
+            !plan.apply_push_down(&mut tree, internal),
+            "push_down of an internal no-ops"
+        );
+        assert_matches_fresh(&tree, &plan);
+    }
+
+    #[test]
+    fn random_edit_sequence_stays_consistent() {
+        let pos = random_points(1500, 77);
+        let tree = build_adaptive(&pos, BuildParams::with_s(20));
+        for theta in [0.35, 0.8] {
+            let mut t = tree.clone();
+            let mut plan = IncrementalLists::build(&t, Mac::new(theta));
+            let mut rng = StdRng::seed_from_u64(7700 + (theta * 100.0) as u64);
+            for _ in 0..25 {
+                if rng.random_range(0..2) == 0 {
+                    let cands: Vec<NodeId> = t
+                        .visible_nodes()
+                        .into_iter()
+                        .filter(|&id| !t.node(id).is_leaf())
+                        .collect();
+                    if cands.is_empty() {
+                        continue;
+                    }
+                    let id = cands[rng.random_range(0..cands.len())];
+                    plan.apply_collapse(&mut t, id);
+                } else {
+                    let cands = t.active_leaves();
+                    if cands.is_empty() {
+                        continue;
+                    }
+                    let id = cands[rng.random_range(0..cands.len())];
+                    plan.apply_push_down(&mut t, id);
+                }
+            }
+            assert_matches_fresh(&t, &plan);
+        }
+    }
+
+    #[test]
+    fn refresh_counts_tracks_motion_without_flips() {
+        let pos = random_points(1000, 78);
+        let mut tree = build_adaptive(&pos, BuildParams::with_s(24));
+        let mut plan = IncrementalLists::build(&tree, Mac::default());
+        // Jitter small enough that no cell empties or fills.
+        let moved: Vec<Vec3> = pos.iter().map(|p| *p * 0.999).collect();
+        tree.rebin(&moved);
+        let outcome = plan.refresh_counts(&tree);
+        assert_ne!(outcome, PlanRefresh::Rebuilt);
+        assert_matches_fresh(&tree, &plan);
+    }
+
+    #[test]
+    fn refresh_counts_rebuilds_on_emptiness_flip() {
+        let pos = random_points(600, 79);
+        let mut tree = build_adaptive(&pos, BuildParams::with_s(8));
+        let mut plan = IncrementalLists::build(&tree, Mac::default());
+        // Crush everything into one corner: many cells empty out.
+        let moved: Vec<Vec3> = pos
+            .iter()
+            .map(|p| Vec3::new(-0.9, -0.9, -0.9) + *p * 0.01)
+            .collect();
+        tree.rebin(&moved);
+        let outcome = plan.refresh_counts(&tree);
+        assert_eq!(outcome, PlanRefresh::Rebuilt);
+        assert_matches_fresh(&tree, &plan);
+    }
+
+    #[test]
+    fn refresh_counts_is_clean_without_motion() {
+        let pos = random_points(500, 80);
+        let tree = build_adaptive(&pos, BuildParams::with_s(16));
+        let mut plan = IncrementalLists::build(&tree, Mac::default());
+        assert_eq!(plan.refresh_counts(&tree), PlanRefresh::Clean);
+    }
+}

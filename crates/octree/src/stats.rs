@@ -36,6 +36,30 @@ impl OpCounts {
     }
 }
 
+impl std::ops::AddAssign for OpCounts {
+    fn add_assign(&mut self, o: OpCounts) {
+        self.p2m_bodies += o.p2m_bodies;
+        self.m2m_ops += o.m2m_ops;
+        self.m2l_ops += o.m2l_ops;
+        self.l2l_ops += o.l2l_ops;
+        self.l2p_bodies += o.l2p_bodies;
+        self.p2p_interactions += o.p2p_interactions;
+        self.active_nodes += o.active_nodes;
+    }
+}
+
+impl std::ops::SubAssign for OpCounts {
+    fn sub_assign(&mut self, o: OpCounts) {
+        self.p2m_bodies -= o.p2m_bodies;
+        self.m2m_ops -= o.m2m_ops;
+        self.m2l_ops -= o.m2l_ops;
+        self.l2l_ops -= o.l2l_ops;
+        self.l2p_bodies -= o.l2p_bodies;
+        self.p2p_interactions -= o.p2p_interactions;
+        self.active_nodes -= o.active_nodes;
+    }
+}
+
 /// Aggregate structural statistics of the visible tree.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct TreeStats {
@@ -51,15 +75,31 @@ pub struct TreeStats {
 impl TreeStats {
     pub fn gather(tree: &Octree) -> Self {
         let nodes = tree.visible_nodes();
-        let leaves: Vec<_> = nodes.iter().copied().filter(|&id| tree.node(id).is_leaf()).collect();
-        let nonempty: Vec<_> = leaves.iter().copied().filter(|&id| tree.node(id).count() > 0).collect();
-        let depth = nodes.iter().map(|&id| tree.node(id).level as usize).max().unwrap_or(0);
+        let leaves: Vec<_> = nodes
+            .iter()
+            .copied()
+            .filter(|&id| tree.node(id).is_leaf())
+            .collect();
+        let nonempty: Vec<_> = leaves
+            .iter()
+            .copied()
+            .filter(|&id| tree.node(id).count() > 0)
+            .collect();
+        let depth = nodes
+            .iter()
+            .map(|&id| tree.node(id).level as usize)
+            .max()
+            .unwrap_or(0);
         let min_leaf_level = nonempty
             .iter()
             .map(|&id| tree.node(id).level as usize)
             .min()
             .unwrap_or(0);
-        let max_leaf = nonempty.iter().map(|&id| tree.node(id).count()).max().unwrap_or(0);
+        let max_leaf = nonempty
+            .iter()
+            .map(|&id| tree.node(id).count())
+            .max()
+            .unwrap_or(0);
         let total: usize = nonempty.iter().map(|&id| tree.node(id).count()).sum();
         TreeStats {
             visible_nodes: nodes.len(),
@@ -68,38 +108,47 @@ impl TreeStats {
             depth,
             min_leaf_level,
             max_leaf,
-            mean_leaf: if nonempty.is_empty() { 0.0 } else { total as f64 / nonempty.len() as f64 },
+            mean_leaf: if nonempty.is_empty() {
+                0.0
+            } else {
+                total as f64 / nonempty.len() as f64
+            },
         }
     }
+}
+
+/// Contribution of one *visible* node to [`count_ops`]' totals (zero for an
+/// empty node). Exposed on its own so an incrementally-patched plan can
+/// recompute exactly the contributions its dirty set invalidated.
+pub fn node_op_counts(tree: &Octree, lists: &InteractionLists, id: NodeId) -> OpCounts {
+    let mut c = OpCounts::default();
+    let n = tree.node(id);
+    if n.count() == 0 {
+        return c;
+    }
+    c.active_nodes = 1;
+    if n.is_leaf() {
+        c.p2m_bodies = n.count() as u64;
+        c.l2p_bodies = n.count() as u64;
+        c.p2p_interactions = lists.leaf_pairs(tree, id);
+    } else {
+        // One M2M per non-empty child, one L2L per non-empty child.
+        for ch in tree.visible_children(id) {
+            if tree.node(ch).count() > 0 {
+                c.m2m_ops += 1;
+                c.l2l_ops += 1;
+            }
+        }
+    }
+    c.m2l_ops = lists.m2l[id as usize].len() as u64;
+    c
 }
 
 /// Count every FMM operation the given tree + lists will perform.
 pub fn count_ops(tree: &Octree, lists: &InteractionLists) -> OpCounts {
     let mut c = OpCounts::default();
     for id in tree.visible_nodes() {
-        let n = tree.node(id);
-        if n.count() == 0 {
-            continue;
-        }
-        c.active_nodes += 1;
-        if n.is_leaf() {
-            c.p2m_bodies += n.count() as u64;
-            c.l2p_bodies += n.count() as u64;
-        } else {
-            // One M2M per non-empty child, one L2L per non-empty child.
-            for ch in tree.visible_children(id) {
-                if tree.node(ch).count() > 0 {
-                    c.m2m_ops += 1;
-                    c.l2l_ops += 1;
-                }
-            }
-        }
-        c.m2l_ops += lists.m2l[id as usize].len() as u64;
-        for &b in &lists.p2p[id as usize] {
-            let nb = tree.node(b).count() as u64;
-            let nt = n.count() as u64;
-            c.p2p_interactions += if b == id { nt * (nt - 1) } else { nt * nb };
-        }
+        c += node_op_counts(tree, lists, id);
     }
     c
 }

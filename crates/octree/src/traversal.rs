@@ -49,6 +49,24 @@ impl InteractionLists {
     pub fn num_p2p_pairs(&self) -> usize {
         self.p2p.iter().map(Vec::len).sum()
     }
+
+    /// Direct body-body interactions of leaf `id` per its P2P list, diagonal
+    /// excluded (matching `OpCounts::p2p_interactions`). This is the one
+    /// canonical P2P pair count — op counting, task-graph costing and plan
+    /// maintenance all read it from here.
+    pub fn leaf_pairs(&self, tree: &Octree, id: NodeId) -> u64 {
+        let nt = tree.node(id).count() as u64;
+        self.p2p[id as usize]
+            .iter()
+            .map(|&b| {
+                if b == id {
+                    nt * nt.saturating_sub(1)
+                } else {
+                    nt * tree.node(b).count() as u64
+                }
+            })
+            .sum()
+    }
 }
 
 /// Dual-tree traversal (exaFMM style) over the *visible* tree: starting from
@@ -130,7 +148,10 @@ mod tests {
         let ranges: Vec<_> = (0..tree.num_nodes() as NodeId)
             .map(|id| tree.node(id).range())
             .collect();
-        let mark = |cover: &mut Vec<u8>, ta: std::ops::Range<usize>, tb: std::ops::Range<usize>, selfi: bool| {
+        let mark = |cover: &mut Vec<u8>,
+                    ta: std::ops::Range<usize>,
+                    tb: std::ops::Range<usize>,
+                    selfi: bool| {
             for i in ta {
                 let bi = tree.order()[i] as usize;
                 for j in tb.clone() {
@@ -144,10 +165,20 @@ mod tests {
         };
         for a in 0..tree.num_nodes() {
             for &b in &lists.m2l[a] {
-                mark(&mut cover, ranges[a].clone(), ranges[b as usize].clone(), false);
+                mark(
+                    &mut cover,
+                    ranges[a].clone(),
+                    ranges[b as usize].clone(),
+                    false,
+                );
             }
             for &b in &lists.p2p[a] {
-                mark(&mut cover, ranges[a].clone(), ranges[b as usize].clone(), a as NodeId == b);
+                mark(
+                    &mut cover,
+                    ranges[a].clone(),
+                    ranges[b as usize].clone(),
+                    a as NodeId == b,
+                );
             }
         }
         for i in 0..n_bodies {

@@ -2,7 +2,9 @@
 //! consistency, Morton ordering of leaf ranges, and statistics coherence.
 
 use geom::Vec3;
-use octree::{build_adaptive, build_uniform, count_ops, dual_traversal, BuildParams, Mac, TreeStats};
+use octree::{
+    build_adaptive, build_uniform, count_ops, dual_traversal, BuildParams, Mac, TreeStats,
+};
 use proptest::prelude::*;
 
 fn arb_points() -> impl Strategy<Value = Vec<Vec3>> {

@@ -22,13 +22,18 @@ impl TaskGraph {
     }
 
     pub fn with_capacity(n: usize) -> Self {
-        TaskGraph { tasks: Vec::with_capacity(n) }
+        TaskGraph {
+            tasks: Vec::with_capacity(n),
+        }
     }
 
     /// Add a task; every dependency must be a previously returned id.
     pub fn add(&mut self, cost: f64, deps: Vec<TaskId>) -> TaskId {
         let id = self.tasks.len() as TaskId;
-        debug_assert!(cost >= 0.0 && cost.is_finite(), "task cost must be finite and >= 0");
+        debug_assert!(
+            cost >= 0.0 && cost.is_finite(),
+            "task cost must be finite and >= 0"
+        );
         debug_assert!(deps.iter().all(|&d| d < id), "deps must precede the task");
         self.tasks.push(Task { cost, deps });
         id
@@ -54,7 +59,11 @@ impl TaskGraph {
 pub fn critical_path(graph: &TaskGraph) -> f64 {
     let mut finish = vec![0.0f64; graph.tasks.len()];
     for (i, t) in graph.tasks.iter().enumerate() {
-        let start = t.deps.iter().map(|&d| finish[d as usize]).fold(0.0, f64::max);
+        let start = t
+            .deps
+            .iter()
+            .map(|&d| finish[d as usize])
+            .fold(0.0, f64::max);
         finish[i] = start + t.cost;
     }
     finish.iter().copied().fold(0.0, f64::max)

@@ -29,14 +29,22 @@ pub struct MemoryModel {
 impl MemoryModel {
     /// No cache bonus, no bandwidth limit: ideal scaling.
     pub fn ideal() -> Self {
-        MemoryModel { cache_bonus: 0.0, cores_per_socket: usize::MAX, bandwidth_cores: f64::INFINITY }
+        MemoryModel {
+            cache_bonus: 0.0,
+            cores_per_socket: usize::MAX,
+            bandwidth_cores: f64::INFINITY,
+        }
     }
 
     /// Parameters tuned to the shape of the paper's Test System B
     /// (4 × Intel X7560, 8 cores each): mildly superlinear through 16 cores,
     /// ~29× at 32 cores.
     pub fn nehalem_ex() -> Self {
-        MemoryModel { cache_bonus: 0.07, cores_per_socket: 8, bandwidth_cores: 45.0 }
+        MemoryModel {
+            cache_bonus: 0.07,
+            cores_per_socket: 8,
+            bandwidth_cores: 45.0,
+        }
     }
 
     /// Per-core execution-rate multiplier when `k` cores are active.

@@ -22,7 +22,12 @@ pub struct SimConfig {
 impl SimConfig {
     /// A node with `cores` ideal cores at `rate` flops/s and no overhead.
     pub fn ideal(cores: usize, rate: f64) -> Self {
-        SimConfig { cores, rate, task_overhead: 0.0, memory: MemoryModel::ideal() }
+        SimConfig {
+            cores,
+            rate,
+            task_overhead: 0.0,
+            memory: MemoryModel::ideal(),
+        }
     }
 }
 
@@ -62,7 +67,9 @@ impl PartialOrd for Time {
 
 impl Ord for Time {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).expect("simulated times are finite")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("simulated times are finite")
     }
 }
 
@@ -153,7 +160,11 @@ pub fn simulate(graph: &TaskGraph, cfg: &SimConfig) -> SimResult {
     }
 
     debug_assert_eq!(executed, n, "all tasks must run exactly once");
-    SimResult { makespan, busy, tasks_executed: executed }
+    SimResult {
+        makespan,
+        busy,
+        tasks_executed: executed,
+    }
 }
 
 #[cfg(test)]
@@ -184,7 +195,11 @@ mod tests {
         let g = chain(50, 2.0);
         for cores in [1, 4, 32] {
             let r = simulate(&g, &SimConfig::ideal(cores, 1.0));
-            assert!((r.makespan - 100.0).abs() < 1e-9, "cores={cores}: {}", r.makespan);
+            assert!(
+                (r.makespan - 100.0).abs() < 1e-9,
+                "cores={cores}: {}",
+                r.makespan
+            );
         }
     }
 
@@ -217,8 +232,14 @@ mod tests {
             let r = simulate(&g, &SimConfig::ideal(cores, 1.0));
             let lower = span.max(work / cores as f64);
             let upper = span + work / cores as f64;
-            assert!(r.makespan >= lower - 1e-9, "cores={cores}: below lower bound");
-            assert!(r.makespan <= upper + 1e-9, "cores={cores}: above Graham bound");
+            assert!(
+                r.makespan >= lower - 1e-9,
+                "cores={cores}: below lower bound"
+            );
+            assert!(
+                r.makespan <= upper + 1e-9,
+                "cores={cores}: above Graham bound"
+            );
         }
     }
 
@@ -234,7 +255,10 @@ mod tests {
     fn overhead_adds_per_task() {
         let g = independent(&vec![1.0; 8]);
         let base = SimConfig::ideal(1, 1.0);
-        let with = SimConfig { task_overhead: 0.5, ..base };
+        let with = SimConfig {
+            task_overhead: 0.5,
+            ..base
+        };
         let r0 = simulate(&g, &base);
         let r1 = simulate(&g, &with);
         assert!((r1.makespan - r0.makespan - 8.0 * 0.5).abs() < 1e-9);
@@ -253,7 +277,10 @@ mod tests {
                 memory: MemoryModel::nehalem_ex(),
             },
         );
-        assert!(real.makespan > ideal.makespan, "saturation must slow 32-core runs");
+        assert!(
+            real.makespan > ideal.makespan,
+            "saturation must slow 32-core runs"
+        );
     }
 
     #[test]
@@ -261,7 +288,11 @@ mod tests {
         let mut g = TaskGraph::new();
         let mut ids: Vec<TaskId> = Vec::new();
         for i in 0..500usize {
-            let deps = if i == 0 { vec![] } else { vec![ids[i * 31 % i]] };
+            let deps = if i == 0 {
+                vec![]
+            } else {
+                vec![ids[i * 31 % i]]
+            };
             ids.push(g.add((i % 5 + 1) as f64, deps));
         }
         let cfg = SimConfig::ideal(6, 3.0);

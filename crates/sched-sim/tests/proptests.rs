@@ -6,24 +6,29 @@ use sched_sim::{critical_path, simulate, MemoryModel, SimConfig, TaskGraph};
 
 /// Random DAG: each task depends on a subset of strictly earlier tasks.
 fn arb_dag() -> impl Strategy<Value = TaskGraph> {
-    prop::collection::vec((0.01f64..20.0, prop::collection::vec(any::<prop::sample::Index>(), 0..3)), 1..150)
-        .prop_map(|specs| {
-            let mut g = TaskGraph::new();
-            let mut ids = Vec::new();
-            for (cost, deps) in specs {
-                let d: Vec<_> = if ids.is_empty() {
-                    Vec::new()
-                } else {
-                    let mut d: Vec<u32> =
-                        deps.iter().map(|ix| ids[ix.index(ids.len())]).collect();
-                    d.sort_unstable();
-                    d.dedup();
-                    d
-                };
-                ids.push(g.add(cost, d));
-            }
-            g
-        })
+    prop::collection::vec(
+        (
+            0.01f64..20.0,
+            prop::collection::vec(any::<prop::sample::Index>(), 0..3),
+        ),
+        1..150,
+    )
+    .prop_map(|specs| {
+        let mut g = TaskGraph::new();
+        let mut ids = Vec::new();
+        for (cost, deps) in specs {
+            let d: Vec<_> = if ids.is_empty() {
+                Vec::new()
+            } else {
+                let mut d: Vec<u32> = deps.iter().map(|ix| ids[ix.index(ids.len())]).collect();
+                d.sort_unstable();
+                d.dedup();
+                d
+            };
+            ids.push(g.add(cost, d));
+        }
+        g
+    })
 }
 
 proptest! {

@@ -38,7 +38,10 @@ impl Criterion {
     }
 
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { _c: self, group: name.to_string() }
+        BenchmarkGroup {
+            _c: self,
+            group: name.to_string(),
+        }
     }
 
     pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
@@ -74,7 +77,12 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: impl IdLike, input: &I, mut f: F) -> &mut Self
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IdLike,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {
@@ -117,11 +125,15 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
-        BenchmarkId { full: format!("{name}/{param}") }
+        BenchmarkId {
+            full: format!("{name}/{param}"),
+        }
     }
 
     pub fn from_parameter(param: impl std::fmt::Display) -> Self {
-        BenchmarkId { full: param.to_string() }
+        BenchmarkId {
+            full: param.to_string(),
+        }
     }
 }
 
@@ -172,7 +184,10 @@ impl Bencher {
 fn run_one<F: FnMut(&mut Bencher)>(id: &str, f: &mut F) {
     let mut b = Bencher { elapsed_s: 0.0 };
     f(&mut b);
-    println!("bench {id}: {:.6} s (single run, criterion shim)", b.elapsed_s);
+    println!(
+        "bench {id}: {:.6} s (single run, criterion shim)",
+        b.elapsed_s
+    );
 }
 
 /// Upstream-compatible group/main macros (simple list form).

@@ -102,7 +102,11 @@ pub mod strategy {
             Self: Sized,
             F: Fn(&Self::Value) -> bool,
         {
-            Filter { inner: self, reason, f }
+            Filter {
+                inner: self,
+                reason,
+                f,
+            }
         }
 
         fn prop_filter_map<O, F>(self, reason: &'static str, f: F) -> FilterMap<Self, F>
@@ -110,7 +114,11 @@ pub mod strategy {
             Self: Sized,
             F: Fn(Self::Value) -> Option<O>,
         {
-            FilterMap { inner: self, reason, f }
+            FilterMap {
+                inner: self,
+                reason,
+                f,
+            }
         }
 
         fn boxed(self) -> BoxedStrategy<Self::Value>
@@ -172,7 +180,10 @@ pub mod strategy {
                     return v;
                 }
             }
-            panic!("prop_filter({:?}) rejected {MAX_REJECTS} consecutive samples", self.reason);
+            panic!(
+                "prop_filter({:?}) rejected {MAX_REJECTS} consecutive samples",
+                self.reason
+            );
         }
     }
 
@@ -264,12 +275,12 @@ pub mod strategy {
         };
     }
 
-    tuple_strategy!(A/0);
-    tuple_strategy!(A/0, B/1);
-    tuple_strategy!(A/0, B/1, C/2);
-    tuple_strategy!(A/0, B/1, C/2, D/3);
-    tuple_strategy!(A/0, B/1, C/2, D/3, E/4);
-    tuple_strategy!(A/0, B/1, C/2, D/3, E/4, F/5);
+    tuple_strategy!(A / 0);
+    tuple_strategy!(A / 0, B / 1);
+    tuple_strategy!(A / 0, B / 1, C / 2);
+    tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+    tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+    tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
 }
 
 pub mod collection {
@@ -490,7 +501,9 @@ pub mod prelude {
     pub use crate::arbitrary::any;
     pub use crate::strategy::{BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 #[cfg(test)]

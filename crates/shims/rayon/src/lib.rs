@@ -33,7 +33,11 @@ pub mod iter {
         /// is exactly one worker, so `init` runs once and the scratch is
         /// threaded through every element — the same reuse rayon guarantees
         /// per split.
-        pub fn map_init<T, R, INIT, F>(self, mut init: INIT, mut f: F) -> ParIter<std::vec::IntoIter<R>>
+        pub fn map_init<T, R, INIT, F>(
+            self,
+            mut init: INIT,
+            mut f: F,
+        ) -> ParIter<std::vec::IntoIter<R>>
         where
             INIT: FnMut() -> T,
             F: FnMut(&mut T, I::Item) -> R,
@@ -173,7 +177,11 @@ mod tests {
     #[test]
     fn pipeline_matches_sequential() {
         let v: Vec<usize> = (0..100).collect();
-        let out: Vec<usize> = v.par_iter().filter(|&&x| x % 2 == 0).map(|&x| x * 3).collect();
+        let out: Vec<usize> = v
+            .par_iter()
+            .filter(|&&x| x % 2 == 0)
+            .map(|&x| x * 3)
+            .collect();
         let expect: Vec<usize> = (0..100).filter(|x| x % 2 == 0).map(|x| x * 3).collect();
         assert_eq!(out, expect);
     }

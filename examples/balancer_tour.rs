@@ -14,7 +14,10 @@ fn main() {
     let bodies = nbody::plummer(n, 1.0, 1.0, 29);
     let node = HeteroNode::system_a(10, 2);
     let params = FmmParams::default();
-    let cfg = LbConfig { eps_switch_s: 2e-3, ..Default::default() };
+    let cfg = LbConfig {
+        eps_switch_s: 2e-3,
+        ..Default::default()
+    };
 
     let mut engine = FmmEngine::new(GravityKernel::default(), params, &bodies.pos, 181);
     let mut model = CostModel::new();
@@ -40,7 +43,11 @@ fn main() {
             break;
         }
     }
-    println!("settled at S = {} in state '{}'\n", engine.tree().s_value(), balancer.state().name());
+    println!(
+        "settled at S = {} in state '{}'\n",
+        engine.tree().s_value(),
+        balancer.state().name()
+    );
 
     println!("== phase 2: disturb the distribution, watch Enforce_S repair it ==");
     // Crush half the cloud into a dense knot: leaves overflow.

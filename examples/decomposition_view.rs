@@ -27,8 +27,14 @@ fn render(tree: &Octree, half: f64, label: &str) {
         };
         // Paint the leaf's footprint.
         let to_idx = |v: f64| (((v + half) / (2.0 * half)) * GRID as f64) as isize;
-        let (x0, x1) = (to_idx(n.center.x - n.half_width), to_idx(n.center.x + n.half_width));
-        let (y0, y1) = (to_idx(n.center.y - n.half_width), to_idx(n.center.y + n.half_width));
+        let (x0, x1) = (
+            to_idx(n.center.x - n.half_width),
+            to_idx(n.center.x + n.half_width),
+        );
+        let (y0, y1) = (
+            to_idx(n.center.y - n.half_width),
+            to_idx(n.center.y + n.half_width),
+        );
         for y in y0.max(0)..x_clamp(y1) {
             for x in x0.max(0)..x_clamp(x1) {
                 canvas[y as usize][x as usize] = ch;

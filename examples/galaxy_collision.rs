@@ -23,7 +23,10 @@ fn main() {
     let e0 = nbody::total_energy(&bodies, g, 0.05).total();
 
     let node = HeteroNode::system_a(10, 2);
-    let cfg = LbConfig { eps_switch_s: 1e-3, ..Default::default() };
+    let cfg = LbConfig {
+        eps_switch_s: 1e-3,
+        ..Default::default()
+    };
     // Cover the whole encounter within `steps`.
     let dt = 8.0 / 60.0 / steps as f64 * 1.6;
     let mut sim = GravitySim::new(
@@ -73,5 +76,8 @@ fn main() {
         100.0 * summary.lb_fraction()
     );
     let e1 = nbody::total_energy(&sim.bodies, g, 0.05).total();
-    println!("energy drift over the encounter: {:.2}%", 100.0 * ((e1 - e0) / e0).abs());
+    println!(
+        "energy drift over the encounter: {:.2}%",
+        100.0 * ((e1 - e0) / e0).abs()
+    );
 }

@@ -19,7 +19,10 @@ fn main() {
     let mut engine = FmmEngine::new(GravityKernel::default(), params, &bodies.pos, 64);
     let t0 = std::time::Instant::now();
     let sol = engine.solve(&bodies.pos, &bodies.mass);
-    println!("FMM solve: {:.1} ms (host wall clock)", t0.elapsed().as_secs_f64() * 1e3);
+    println!(
+        "FMM solve: {:.1} ms (host wall clock)",
+        t0.elapsed().as_secs_f64() * 1e3
+    );
 
     // 3. Validate a sample of bodies against O(n^2) direct summation.
     let direct = nbody::direct_gravity(&bodies, 1.0, 0.0);
@@ -29,7 +32,10 @@ fn main() {
         num += (sol.field[i] - direct[i]).norm_sq();
         den += direct[i].norm_sq();
     }
-    println!("relative field error vs direct sum: {:.2e}", (num / den).sqrt());
+    println!(
+        "relative field error vs direct sum: {:.2e}",
+        (num / den).sqrt()
+    );
 
     // 4. The heterogeneous-node view: time the same solve on the virtual
     //    Test System A (10 CPU cores + 4 GPUs) at three leaf capacities and

@@ -54,8 +54,7 @@ fn main() {
 
         if step % 15 == 0 {
             // Aspect ratio of the ring's bounding box in the xy-plane.
-            let (mut xmin, mut xmax, mut ymin, mut ymax) =
-                (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+            let (mut xmin, mut xmax, mut ymin, mut ymax) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
             for p in ring.positions() {
                 xmin = xmin.min(p.x);
                 xmax = xmax.max(p.x);

@@ -50,8 +50,8 @@ pub use sched_sim;
 pub mod prelude {
     pub use afmm::{
         fine_grained_optimize, search_best_s_cpu_only, CostModel, FaultEvent, FaultSchedule,
-        FmmEngine, FmmParams, GravitySim, HeteroNode, LbConfig, LbState, LoadBalancer,
-        Prediction, StokesSim, Strategy, StrategyTracker, TimedFault, TimingFilter,
+        FmmEngine, FmmParams, GravitySim, HeteroNode, LbConfig, LbState, LoadBalancer, Prediction,
+        StokesSim, Strategy, StrategyTracker, TimedFault, TimingFilter,
     };
     pub use fmm_math::{ExpansionOps, GravityKernel, Kernel, StokesletKernel};
     pub use geom::{Aabb, Vec3};

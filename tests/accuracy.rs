@@ -7,7 +7,11 @@ use afmm_repro::prelude::*;
 use fmm_math::Kernel;
 
 fn rel_err(fmm: &[Vec3], direct: &[Vec3]) -> f64 {
-    let num: f64 = fmm.iter().zip(direct).map(|(a, b)| (*a - *b).norm_sq()).sum();
+    let num: f64 = fmm
+        .iter()
+        .zip(direct)
+        .map(|(a, b)| (*a - *b).norm_sq())
+        .sum();
     let den: f64 = direct.iter().map(|v| v.norm_sq()).sum();
     (num / den).sqrt()
 }
@@ -22,7 +26,11 @@ fn gravity_accuracy_improves_with_order() {
     let direct = gravity_direct(&b);
     let mut last = f64::INFINITY;
     for order in [2usize, 4, 6, 8] {
-        let params = FmmParams { order, mac: Mac::new(0.5), max_level: 21 };
+        let params = FmmParams {
+            order,
+            mac: Mac::new(0.5),
+            max_level: 21,
+        };
         let mut e = FmmEngine::new(GravityKernel::default(), params, &b.pos, 20);
         let err = rel_err(&e.solve(&b.pos, &b.mass).field, &direct);
         assert!(err < last, "p={order}: {err} !< {last}");
@@ -37,18 +45,29 @@ fn gravity_accuracy_improves_with_stricter_mac() {
     let direct = gravity_direct(&b);
     let mut errs = Vec::new();
     for theta in [0.9f64, 0.6, 0.35] {
-        let params = FmmParams { order: 4, mac: Mac::new(theta), max_level: 21 };
+        let params = FmmParams {
+            order: 4,
+            mac: Mac::new(theta),
+            max_level: 21,
+        };
         let mut e = FmmEngine::new(GravityKernel::default(), params, &b.pos, 16);
         errs.push(rel_err(&e.solve(&b.pos, &b.mass).field, &direct));
     }
-    assert!(errs[2] < errs[0], "stricter MAC must be more accurate: {errs:?}");
+    assert!(
+        errs[2] < errs[0],
+        "stricter MAC must be more accurate: {errs:?}"
+    );
     assert!(errs[2] < 1e-4);
 }
 
 #[test]
 fn potentials_match_direct_sum() {
     let b = nbody::plummer(300, 1.0, 1.0, 1003);
-    let params = FmmParams { order: 6, mac: Mac::new(0.5), max_level: 21 };
+    let params = FmmParams {
+        order: 6,
+        mac: Mac::new(0.5),
+        max_level: 21,
+    };
     let mut e = FmmEngine::new(GravityKernel::default(), params, &b.pos, 24);
     let sol = e.solve(&b.pos, &b.mass);
     for i in (0..b.len()).step_by(17) {
@@ -72,7 +91,11 @@ fn stokeslet_velocities_match_direct() {
     let mut du = vec![Vec3::ZERO; 400];
     kernel.p2p(&pts.pos, &mut dpot, &mut du, &pts.pos, &f, true);
 
-    let params = FmmParams { order: 6, mac: Mac::new(0.5), max_level: 21 };
+    let params = FmmParams {
+        order: 6,
+        mac: Mac::new(0.5),
+        max_level: 21,
+    };
     let mut e = FmmEngine::new(kernel, params, &pts.pos, 24);
     let err = rel_err(&e.solve(&pts.pos, &f).field, &du);
     assert!(err < 1e-3, "stokeslet error {err}");
@@ -83,7 +106,11 @@ fn uniform_decomposition_agrees_with_adaptive() {
     // Same physics through the classic fixed-depth FMM decomposition: build
     // a uniform tree, drive the same pipeline, compare fields.
     let b = nbody::uniform_cube(600, 1.0, 1006);
-    let params = FmmParams { order: 6, mac: Mac::new(0.5), max_level: 21 };
+    let params = FmmParams {
+        order: 6,
+        mac: Mac::new(0.5),
+        max_level: 21,
+    };
     let mut adaptive = FmmEngine::new(GravityKernel::default(), params, &b.pos, 16);
     let sa = adaptive.solve(&b.pos, &b.mass);
     let direct = gravity_direct(&b);
@@ -107,7 +134,11 @@ fn clustered_distribution_no_accuracy_loss() {
         b.push(p, Vec3::ZERO, 0.5);
     }
     let direct = gravity_direct(&b);
-    let params = FmmParams { order: 6, mac: Mac::new(0.5), max_level: 21 };
+    let params = FmmParams {
+        order: 6,
+        mac: Mac::new(0.5),
+        max_level: 21,
+    };
     let mut e = FmmEngine::new(GravityKernel::default(), params, &b.pos, 16);
     let err = rel_err(&e.solve(&b.pos, &b.mass).field, &direct);
     assert!(err < 1e-4, "clustered error {err}");
@@ -118,7 +149,11 @@ fn solution_invariant_under_tree_maintenance() {
     // enforce_s / collapse / push_down / rebin must never change the answer
     // beyond expansion accuracy.
     let b = nbody::plummer(400, 1.0, 1.0, 1008);
-    let params = FmmParams { order: 6, mac: Mac::new(0.5), max_level: 21 };
+    let params = FmmParams {
+        order: 6,
+        mac: Mac::new(0.5),
+        max_level: 21,
+    };
     let mut e = FmmEngine::new(GravityKernel::default(), params, &b.pos, 32);
     let base = e.solve(&b.pos, &b.mass);
     e.tree_mut().set_s_value(12);
@@ -127,5 +162,8 @@ fn solution_invariant_under_tree_maintenance() {
     assert!(rel_err(&after_enforce.field, &base.field) < 1e-4);
     e.rebin(&b.pos);
     let after_rebin = e.solve(&b.pos, &b.mass);
-    assert_eq!(after_rebin.field, after_enforce.field, "rebin of unmoved bodies is a no-op");
+    assert_eq!(
+        after_rebin.field, after_enforce.field,
+        "rebin of unmoved bodies is a no-op"
+    );
 }

@@ -6,7 +6,10 @@ use afmm_repro::prelude::*;
 use fmm_math::Kernel;
 
 fn cfg() -> LbConfig {
-    LbConfig { eps_switch_s: 2e-3, ..Default::default() }
+    LbConfig {
+        eps_switch_s: 2e-3,
+        ..Default::default()
+    }
 }
 
 /// One timing-only measurement step (no numeric solve).
@@ -72,7 +75,9 @@ fn settled_s_is_near_the_sweep_optimum() {
     while s <= 4096 {
         engine.rebuild(&b.pos, s);
         engine.refresh_lists();
-        let t = afmm::time_step(engine.tree(), engine.lists(), &flops, &node).unwrap().compute();
+        let t = afmm::time_step(engine.tree(), engine.lists(), &flops, &node)
+            .unwrap()
+            .compute();
         best = best.min(t);
         s = (s as f64 * 1.5).ceil() as usize;
     }
@@ -103,7 +108,10 @@ fn gravity_sim_full_run_is_deterministic() {
             1.0,
             0.001,
             0.05,
-            FmmParams { order: 3, ..Default::default() },
+            FmmParams {
+                order: 3,
+                ..Default::default()
+            },
             HeteroNode::system_a(4, 1),
             Strategy::Full,
             cfg(),
@@ -114,7 +122,10 @@ fn gravity_sim_full_run_is_deterministic() {
         }
         (
             sim.positions().to_vec(),
-            sim.records().iter().map(|r| (r.s, r.t_cpu, r.t_gpu)).collect::<Vec<_>>(),
+            sim.records()
+                .iter()
+                .map(|r| (r.s, r.t_cpu, r.t_gpu))
+                .collect::<Vec<_>>(),
         )
     };
     let (p1, r1) = mk();
@@ -157,7 +168,10 @@ fn trackers_under_all_strategies_stay_valid() {
 fn fgo_disabled_config_never_runs_fgo() {
     let b = nbody::plummer(5000, 1.0, 1.0, 2006);
     let node = HeteroNode::system_a(10, 2);
-    let c = LbConfig { use_fgo: false, ..cfg() };
+    let c = LbConfig {
+        use_fgo: false,
+        ..cfg()
+    };
     let mut engine = FmmEngine::new(GravityKernel::default(), FmmParams::default(), &b.pos, 64);
     let mut model = CostModel::new();
     let mut lb = LoadBalancer::new(Strategy::Full, c);

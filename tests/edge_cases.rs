@@ -14,7 +14,11 @@ fn coincident_bodies_full_pipeline() {
     let mut pos = vec![Vec3::splat(0.25); 200];
     pos.push(Vec3::new(2.0, 0.0, 0.0));
     let mass = vec![1.0; pos.len()];
-    let params = FmmParams { order: 6, mac: Mac::new(0.5), max_level: 8 };
+    let params = FmmParams {
+        order: 6,
+        mac: Mac::new(0.5),
+        max_level: 8,
+    };
     let mut engine = FmmEngine::new(GravityKernel::new(0.05), params, &pos, 8);
     let sol = engine.solve(&pos, &mass);
     assert!(sol.field.iter().all(|a| a.is_finite()));
@@ -33,7 +37,11 @@ fn extreme_mass_ratios() {
     let b = nbody::plummer(200, 1.0, 1.0, 5001);
     let mut mass = b.mass.clone();
     mass[0] = 1e9; // a black hole among dust
-    let params = FmmParams { order: 6, mac: Mac::new(0.5), max_level: 21 };
+    let params = FmmParams {
+        order: 6,
+        mac: Mac::new(0.5),
+        max_level: 21,
+    };
     let mut engine = FmmEngine::new(GravityKernel::default(), params, &b.pos, 16);
     let sol = engine.solve(&b.pos, &mass);
     // Everything points roughly at the massive body.
@@ -45,15 +53,17 @@ fn extreme_mass_ratios() {
             aligned += 1;
         }
     }
-    assert!(aligned > b.len() * 9 / 10, "only {aligned} bodies point at the mass");
+    assert!(
+        aligned > b.len() * 9 / 10,
+        "only {aligned} bodies point at the mass"
+    );
 }
 
 #[test]
 fn two_bodies_minimal_problem() {
     let pos = vec![Vec3::ZERO, Vec3::new(3.0, 0.0, 0.0)];
     let mass = vec![2.0, 1.0];
-    let mut engine =
-        FmmEngine::new(GravityKernel::default(), FmmParams::default(), &pos, 1);
+    let mut engine = FmmEngine::new(GravityKernel::default(), FmmParams::default(), &pos, 1);
     let sol = engine.solve(&pos, &mass);
     assert!((sol.field[0].x - 1.0 / 9.0).abs() < 1e-10);
     assert!((sol.field[1].x + 2.0 / 9.0).abs() < 1e-10);
@@ -86,12 +96,25 @@ fn bodies_on_cell_boundaries() {
         }
     }
     let mass = vec![1.0; pos.len()];
-    let params = FmmParams { order: 6, mac: Mac::new(0.5), max_level: 21 };
+    let params = FmmParams {
+        order: 6,
+        mac: Mac::new(0.5),
+        max_level: 21,
+    };
     let mut engine = FmmEngine::new(GravityKernel::default(), params, &pos, 8);
     let sol = engine.solve(&pos, &mass);
-    let bodies = nbody::Bodies { pos: pos.clone(), vel: vec![Vec3::ZERO; pos.len()], mass };
+    let bodies = nbody::Bodies {
+        pos: pos.clone(),
+        vel: vec![Vec3::ZERO; pos.len()],
+        mass,
+    };
     let direct = nbody::direct_gravity(&bodies, 1.0, 0.0);
-    let num: f64 = sol.field.iter().zip(&direct).map(|(a, b)| (*a - *b).norm_sq()).sum();
+    let num: f64 = sol
+        .field
+        .iter()
+        .zip(&direct)
+        .map(|(a, b)| (*a - *b).norm_sq())
+        .sum();
     let den: f64 = direct.iter().map(|v| v.norm_sq()).sum();
     assert!((num / den).sqrt() < 1e-4);
 }
@@ -103,11 +126,13 @@ fn balancer_survives_adversarial_timings() {
     // tree valid, and keep S within its configured bounds.
     let b = nbody::plummer(3000, 1.0, 1.0, 5003);
     let node = HeteroNode::system_a(10, 2);
-    let cfg = LbConfig { eps_switch_s: 1e-3, ..Default::default() };
+    let cfg = LbConfig {
+        eps_switch_s: 1e-3,
+        ..Default::default()
+    };
     let mut rng = StdRng::seed_from_u64(5004);
     for trial in 0..5 {
-        let mut engine =
-            FmmEngine::new(GravityKernel::default(), FmmParams::default(), &b.pos, 64);
+        let mut engine = FmmEngine::new(GravityKernel::default(), FmmParams::default(), &b.pos, 64);
         let mut model = CostModel::new();
         let mut lb = LoadBalancer::new(Strategy::Full, cfg);
         for _ in 0..40 {
@@ -142,7 +167,11 @@ fn gravity_sim_survives_tight_binary() {
     bodies.push(Vec3::new(0.05, 0.0, 0.0), Vec3::new(0.0, -0.1, 0.0), 10.0);
     for i in 0..50 {
         bodies.push(
-            Vec3::new((i as f64).cos() * 5.0, (i as f64).sin() * 5.0, i as f64 * 0.1 - 2.5),
+            Vec3::new(
+                (i as f64).cos() * 5.0,
+                (i as f64).sin() * 5.0,
+                i as f64 * 0.1 - 2.5,
+            ),
             Vec3::ZERO,
             0.01,
         );
@@ -152,10 +181,16 @@ fn gravity_sim_survives_tight_binary() {
         1.0,
         1e-4,
         0.1,
-        FmmParams { order: 3, ..Default::default() },
+        FmmParams {
+            order: 3,
+            ..Default::default()
+        },
         HeteroNode::system_a(4, 1),
         Strategy::Full,
-        LbConfig { eps_switch_s: 1e-3, ..Default::default() },
+        LbConfig {
+            eps_switch_s: 1e-3,
+            ..Default::default()
+        },
         None,
     );
     for _ in 0..100 {
@@ -172,14 +207,23 @@ fn s_equals_one_tree_works() {
     // At S=1 the tree is deep and every interaction is far-field, so the
     // expansion truncation dominates the error; order 4 lands just above the
     // 1e-3 budget on this draw while order 5 is comfortably inside it.
-    let params = FmmParams { order: 5, mac: Mac::new(0.6), max_level: 21 };
+    let params = FmmParams {
+        order: 5,
+        mac: Mac::new(0.6),
+        max_level: 21,
+    };
     let mut engine = FmmEngine::new(GravityKernel::default(), params, &b.pos, 1);
     for id in engine.tree().visible_leaves() {
         assert!(engine.tree().node(id).count() <= 1);
     }
     let sol = engine.solve(&b.pos, &b.mass);
     let direct = nbody::direct_gravity(&b, 1.0, 0.0);
-    let num: f64 = sol.field.iter().zip(&direct).map(|(a, d)| (*a - *d).norm_sq()).sum();
+    let num: f64 = sol
+        .field
+        .iter()
+        .zip(&direct)
+        .map(|(a, d)| (*a - *d).norm_sq())
+        .sum();
     let den: f64 = direct.iter().map(|v| v.norm_sq()).sum();
     assert!((num / den).sqrt() < 1e-3);
 }

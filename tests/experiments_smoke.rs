@@ -122,7 +122,8 @@ fn fig10_shape_fgo_bridges_the_gap() {
         899, // where the harness's search settles (results/fig10.tsv)
     );
     let counts = engine.refresh_lists();
-    let f = StokesletKernel::new(1e-3, 1.0).op_flops(&ExpansionOps::new(FmmParams::default().order));
+    let f =
+        StokesletKernel::new(1e-3, 1.0).op_flops(&ExpansionOps::new(FmmParams::default().order));
     let timing = afmm::time_step(engine.tree(), engine.lists(), &f, &node).unwrap();
     let mut model = CostModel::new();
     model.observe(&counts, &timing, &f, &node);
@@ -131,7 +132,10 @@ fn fig10_shape_fgo_bridges_the_gap() {
         &mut engine,
         &model,
         &node,
-        &LbConfig { eps_switch_s: 1e-4, ..Default::default() },
+        &LbConfig {
+            eps_switch_s: 1e-4,
+            ..Default::default()
+        },
     );
     assert!(
         out.prediction.compute() < 0.97 * before.compute(),

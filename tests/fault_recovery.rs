@@ -6,13 +6,20 @@
 use afmm_repro::prelude::*;
 use proptest::prelude::{prop, prop_assert, proptest, ProptestConfig, Strategy as PropStrategy};
 
-fn tracker(node: HeteroNode, strategy: afmm::Strategy, pos: &[Vec3]) -> StrategyTracker<GravityKernel> {
+fn tracker(
+    node: HeteroNode,
+    strategy: afmm::Strategy,
+    pos: &[Vec3],
+) -> StrategyTracker<GravityKernel> {
     StrategyTracker::new(
         GravityKernel::default(),
         FmmParams::default(),
         node,
         strategy,
-        LbConfig { eps_switch_s: 2e-3, ..Default::default() },
+        LbConfig {
+            eps_switch_s: 2e-3,
+            ..Default::default()
+        },
         pos,
         None,
     )
@@ -45,9 +52,16 @@ fn dropout_of_one_gpu_reconverges_within_bound() {
         }
     }
     assert_eq!(t.node().num_online_gpus(), 1, "device 1 must stay offline");
-    assert!(saw_recovery, "dropout must push the balancer through Recovery");
+    assert!(
+        saw_recovery,
+        "dropout must push the balancer through Recovery"
+    );
     let settled = settled_after.expect("balancer must re-settle into Observation");
-    assert!(settled - 45 <= 45, "re-convergence took {} steps", settled - 45);
+    assert!(
+        settled - 45 <= 45,
+        "re-convergence took {} steps",
+        settled - 45
+    );
 
     let steady_before: f64 = computes[35..45].iter().sum::<f64>() / 10.0;
     let steady_after: f64 = computes[100..].iter().sum::<f64>() / 10.0;
@@ -91,12 +105,28 @@ fn no_fault_class_panics_any_strategy() {
                 (16, FaultEvent::GpuRecover { device: 1 }),
             ],
         ),
-        ("slowdown", vec![(8, FaultEvent::GpuSlowdown { device: 0, factor: 4.0 })]),
-        ("cpu_load", vec![(8, FaultEvent::ExternalCpuLoad { factor: 3.0 })]),
+        (
+            "slowdown",
+            vec![(
+                8,
+                FaultEvent::GpuSlowdown {
+                    device: 0,
+                    factor: 4.0,
+                },
+            )],
+        ),
+        (
+            "cpu_load",
+            vec![(8, FaultEvent::ExternalCpuLoad { factor: 3.0 })],
+        ),
         ("noise", vec![(8, FaultEvent::TimingNoise { sigma: 0.2 })]),
     ];
     for (name, faults) in classes {
-        for strategy in [afmm::Strategy::StaticS, afmm::Strategy::EnforceOnly, afmm::Strategy::Full] {
+        for strategy in [
+            afmm::Strategy::StaticS,
+            afmm::Strategy::EnforceOnly,
+            afmm::Strategy::Full,
+        ] {
             let mut t = tracker(HeteroNode::system_a(6, 2), strategy, &b.pos);
             let mut sched = FaultSchedule::new();
             for (step, ev) in &faults {
@@ -107,7 +137,10 @@ fn no_fault_class_panics_any_strategy() {
                 let rec = t
                     .step(&b.pos)
                     .unwrap_or_else(|e| panic!("{name}/{strategy:?} errored: {e}"));
-                assert!(rec.compute().is_finite(), "{name}/{strategy:?} non-finite compute");
+                assert!(
+                    rec.compute().is_finite(),
+                    "{name}/{strategy:?} non-finite compute"
+                );
             }
         }
     }

@@ -1,0 +1,162 @@
+//! Property tests of the persistent execution plan (satellite of the plan
+//! layer): a plan patched through an arbitrary interleaving of Collapse and
+//! PushDown edits must be *indistinguishable* from one rebuilt from scratch —
+//! same interaction lists (as sets), same op counts, and a GPU job list that
+//! partitions the same near-field work.
+
+use afmm::{build_gpu_jobs, ExecutionPlan};
+use gpu_sim::P2pJob;
+use octree::{
+    build_adaptive, count_ops, dual_traversal, BuildParams, InteractionLists, Mac, NodeId, Octree,
+};
+use proptest::prelude::*;
+
+fn arb_points(max_n: usize) -> impl Strategy<Value = Vec<geom::Vec3>> {
+    prop::collection::vec(
+        (-1.0f64..1.0, -1.0f64..1.0, -1.0f64..1.0).prop_map(|(x, y, z)| geom::Vec3::new(x, y, z)),
+        8..max_n,
+    )
+}
+
+/// A random plan-routed edit.
+#[derive(Clone, Debug)]
+enum PlanOp {
+    Collapse(usize),
+    PushDown(usize),
+}
+
+fn arb_plan_ops() -> impl Strategy<Value = Vec<PlanOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0usize..64).prop_map(PlanOp::Collapse),
+            (0usize..64).prop_map(PlanOp::PushDown),
+        ],
+        1..14,
+    )
+}
+
+/// The paper's two MAC regimes: a strict opening angle (deep M2L lists) and a
+/// permissive one (shallow lists, heavier P2P).
+fn arb_theta() -> impl Strategy<Value = f64> {
+    prop_oneof![Just(0.35), Just(0.8)]
+}
+
+/// Per-target sorted copies of the lists, for order-insensitive comparison
+/// (a patched list is a set-equal permutation of a fresh traversal's).
+fn sorted_lists(lists: &InteractionLists) -> (Vec<Vec<NodeId>>, Vec<Vec<NodeId>>) {
+    let norm = |side: &Vec<Vec<NodeId>>| {
+        side.iter()
+            .map(|v| {
+                let mut v = v.clone();
+                v.sort_unstable();
+                v
+            })
+            .collect::<Vec<_>>()
+    };
+    (norm(&lists.m2l), norm(&lists.p2p))
+}
+
+/// Jobs with per-job source counts sorted: the patched plan may enumerate a
+/// leaf's P2P sources in a different order, which permutes `source_counts`
+/// without changing the work the job describes.
+fn normalized_jobs(jobs: &[P2pJob]) -> Vec<P2pJob> {
+    jobs.iter()
+        .map(|j| {
+            let mut sc = j.source_counts.clone();
+            sc.sort_unstable();
+            P2pJob::new(j.targets, sc)
+        })
+        .collect()
+}
+
+fn apply_ops(plan: &mut ExecutionPlan, tree: &mut Octree, ops: &[PlanOp]) -> usize {
+    let mut applied = 0;
+    for op in ops {
+        match *op {
+            PlanOp::Collapse(k) => {
+                let nodes = tree.visible_nodes();
+                let id = nodes[k % nodes.len()];
+                applied += usize::from(plan.apply_collapse(tree, id));
+            }
+            PlanOp::PushDown(k) => {
+                let leaves = tree.visible_leaves();
+                let id = leaves[k % leaves.len()];
+                applied += usize::from(plan.apply_push_down(tree, id));
+            }
+        }
+    }
+    applied
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(120))]
+
+    /// After any interleaving of plan-routed Collapse/PushDown edits, the
+    /// patched lists and counts equal a fresh dual traversal + count of the
+    /// same tree, at both MAC regimes.
+    #[test]
+    fn patched_plan_equals_fresh_build(
+        pts in arb_points(300),
+        s in 4usize..64,
+        ops in arb_plan_ops(),
+        theta in arb_theta(),
+    ) {
+        let mac = Mac::new(theta);
+        let mut tree = build_adaptive(&pts, BuildParams::with_s(s));
+        let mut plan = ExecutionPlan::build(&tree, mac);
+        apply_ops(&mut plan, &mut tree, &ops);
+        prop_assert!(tree.check_invariants().is_ok());
+
+        let fresh = dual_traversal(&tree, mac);
+        prop_assert_eq!(sorted_lists(plan.lists()), sorted_lists(&fresh));
+        prop_assert_eq!(plan.counts(), count_ops(&tree, &fresh));
+    }
+
+    /// The plan's cached GPU job list always matches what `build_gpu_jobs`
+    /// derives — exactly against its own lists (the cache is not stale), and
+    /// up to source order against a fresh traversal's lists.
+    #[test]
+    fn patched_jobs_match_rebuilt_jobs(
+        pts in arb_points(300),
+        s in 4usize..64,
+        ops in arb_plan_ops(),
+        theta in arb_theta(),
+    ) {
+        let mac = Mac::new(theta);
+        let mut tree = build_adaptive(&pts, BuildParams::with_s(s));
+        let mut plan = ExecutionPlan::build(&tree, mac);
+        apply_ops(&mut plan, &mut tree, &ops);
+
+        let cached = plan.gpu_jobs(&tree).to_vec();
+        prop_assert_eq!(&cached, &build_gpu_jobs(&tree, plan.lists()));
+        let fresh = dual_traversal(&tree, mac);
+        prop_assert_eq!(
+            normalized_jobs(&cached),
+            normalized_jobs(&build_gpu_jobs(&tree, &fresh))
+        );
+    }
+
+    /// Plan-routed no-ops (collapsing a leaf, pushing down an internal node)
+    /// leave the plan bit-for-bit untouched.
+    #[test]
+    fn refused_edits_do_not_perturb_the_plan(
+        pts in arb_points(200),
+        s in 4usize..48,
+        theta in arb_theta(),
+    ) {
+        let mac = Mac::new(theta);
+        let mut tree = build_adaptive(&pts, BuildParams::with_s(s));
+        let mut plan = ExecutionPlan::build(&tree, mac);
+        let before_lists = sorted_lists(plan.lists());
+        let before_counts = plan.counts();
+        for id in tree.visible_nodes() {
+            if tree.node(id).is_leaf() {
+                prop_assert!(!plan.apply_collapse(&mut tree, id));
+            } else {
+                prop_assert!(!plan.apply_push_down(&mut tree, id));
+            }
+        }
+        prop_assert_eq!(sorted_lists(plan.lists()), before_lists);
+        prop_assert_eq!(plan.counts(), before_counts);
+    }
+}

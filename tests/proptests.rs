@@ -6,8 +6,8 @@
 // `afmm::Strategy` (the load-balancing strategy enum) collides with
 // proptest's `Strategy` trait, so import the workspace types explicitly.
 use afmm_repro::prelude::{
-    build_adaptive, BuildParams, CostModel, FmmEngine, FmmParams, GravityKernel, HeteroNode,
-    Mac, Octree, SimConfig, TaskGraph, Vec3,
+    build_adaptive, BuildParams, CostModel, FmmEngine, FmmParams, GravityKernel, HeteroNode, Mac,
+    Octree, SimConfig, TaskGraph, Vec3,
 };
 use gpu_sim::partition_by_interactions;
 use octree::{count_ops, dual_traversal, NodeId};

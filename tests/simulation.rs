@@ -17,10 +17,16 @@ fn plummer_sphere_stays_virialized_under_fmm_dynamics() {
         g,
         5e-4,
         0.05,
-        FmmParams { order: 4, ..Default::default() },
+        FmmParams {
+            order: 4,
+            ..Default::default()
+        },
         HeteroNode::system_a(10, 2),
         Strategy::Full,
-        LbConfig { eps_switch_s: 2e-3, ..Default::default() },
+        LbConfig {
+            eps_switch_s: 2e-3,
+            ..Default::default()
+        },
         None,
     );
     for _ in 0..60 {
@@ -29,7 +35,10 @@ fn plummer_sphere_stays_virialized_under_fmm_dynamics() {
     let e1 = nbody::total_energy(&sim.bodies, g, 0.05).total();
     let r1 = half_mass_radius(sim.positions());
     assert!(((e1 - e0) / e0).abs() < 0.03, "energy {e0} -> {e1}");
-    assert!((r1 / r0 - 1.0).abs() < 0.25, "half-mass radius {r0} -> {r1}");
+    assert!(
+        (r1 / r0 - 1.0).abs() < 0.25,
+        "half-mass radius {r0} -> {r1}"
+    );
 }
 
 #[test]
@@ -47,10 +56,16 @@ fn cold_cloud_collapses() {
         1.0,
         1.5 * t_ff / steps as f64,
         0.05,
-        FmmParams { order: 3, ..Default::default() },
+        FmmParams {
+            order: 3,
+            ..Default::default()
+        },
         HeteroNode::system_a(10, 2),
         Strategy::Full,
-        LbConfig { eps_switch_s: 2e-3, ..Default::default() },
+        LbConfig {
+            eps_switch_s: 2e-3,
+            ..Default::default()
+        },
         Some((setup.domain_center, setup.domain_half_width)),
     );
     for _ in 0..steps {
@@ -70,10 +85,16 @@ fn momentum_conserved_through_full_machinery() {
         g,
         1e-3,
         0.05,
-        FmmParams { order: 4, ..Default::default() },
+        FmmParams {
+            order: 4,
+            ..Default::default()
+        },
         HeteroNode::system_a(4, 1),
         Strategy::Full,
-        LbConfig { eps_switch_s: 2e-3, ..Default::default() },
+        LbConfig {
+            eps_switch_s: 2e-3,
+            ..Default::default()
+        },
         None,
     );
     for _ in 0..30 {
@@ -103,7 +124,10 @@ fn stokes_points_follow_a_pusher() {
     assert!(forced > 2, "need some forced points");
     let mut engine = FmmEngine::new(
         StokesletKernel::new(1e-2, 1.0),
-        FmmParams { order: 4, ..Default::default() },
+        FmmParams {
+            order: 4,
+            ..Default::default()
+        },
         &pts.pos,
         32,
     );
@@ -121,7 +145,10 @@ fn stokes_points_follow_a_pusher() {
         }
     }
     let (near, far) = (near / nn as f64, far / nf as f64);
-    assert!(near > 2.0 * far, "flow must decay away from the pusher: near {near}, far {far}");
+    assert!(
+        near > 2.0 * far,
+        "flow must decay away from the pusher: near {near}, far {far}"
+    );
     // And the near-field flow points with the forcing on average.
     let mean_ux: f64 = pts
         .pos
@@ -142,10 +169,16 @@ fn stokes_sim_driver_runs_with_balancer() {
         5e-3,
         1e-2,
         1.0,
-        FmmParams { order: 3, ..Default::default() },
+        FmmParams {
+            order: 3,
+            ..Default::default()
+        },
         HeteroNode::system_a(10, 2),
         Strategy::Full,
-        LbConfig { eps_switch_s: 2e-3, ..Default::default() },
+        LbConfig {
+            eps_switch_s: 2e-3,
+            ..Default::default()
+        },
     );
     for _ in 0..12 {
         let rec = sim.step(&forces).unwrap();
