@@ -149,6 +149,8 @@ pub struct LoadBalancer {
     last_online: Option<usize>,
     /// Strategy 2: the next step's compute time becomes the new best.
     reset_best_next: bool,
+    /// Flight recorder for state transitions and maintenance outcomes.
+    rec: telemetry::Recorder,
 }
 
 pub(super) fn geometric_mid(lo: usize, hi: usize) -> usize {
@@ -173,7 +175,51 @@ impl LoadBalancer {
             regress_count: 0,
             last_online: None,
             reset_best_next: false,
+            rec: telemetry::Recorder::disabled(),
         }
+    }
+
+    /// Attach a telemetry recorder: every state transition, `Enforce_S`
+    /// outcome, FGO batch decision and Recovery entry is emitted as a
+    /// structured `lb.*` event through it.
+    pub fn set_recorder(&mut self, rec: telemetry::Recorder) {
+        self.rec = rec;
+    }
+
+    /// The balancer's telemetry handle.
+    pub fn recorder(&self) -> &telemetry::Recorder {
+        &self.rec
+    }
+
+    /// Flight-record one `Enforce_S` outcome.
+    pub(super) fn record_enforce(&self, outcome: &octree::EnforceOutcome, patched: bool) {
+        self.rec.event(
+            "lb.enforce",
+            vec![
+                ("collapses", telemetry::Value::U64(outcome.collapses as u64)),
+                ("pushdowns", telemetry::Value::U64(outcome.pushdowns as u64)),
+                ("patched", telemetry::Value::Bool(patched)),
+                ("s", telemetry::Value::U64(self.s as u64)),
+            ],
+        );
+    }
+
+    /// Move to `to`, emitting an `lb.transition` flight-recorder event with
+    /// the cause and the S in force at the moment of the switch.
+    pub(super) fn transition(&mut self, to: LbState, cause: &'static str) {
+        if self.state != to {
+            self.rec.event(
+                "lb.transition",
+                vec![
+                    ("from", telemetry::Value::Str(self.state.name().into())),
+                    ("to", telemetry::Value::Str(to.name().into())),
+                    ("cause", telemetry::Value::Str(cause.into())),
+                    ("s", telemetry::Value::U64(self.s as u64)),
+                ],
+            );
+            self.rec.counter_add("lb.transitions", 1);
+        }
+        self.state = to;
     }
 
     pub fn strategy(&self) -> Strategy {

@@ -34,6 +34,13 @@ impl LoadBalancer {
         self.incr_flipped = false;
         self.best_compute = f64::INFINITY;
         self.reset_best_next = true;
+        self.recorder().event(
+            "lb.recovery",
+            vec![
+                ("online", telemetry::Value::U64(now_online as u64)),
+                ("s", telemetry::Value::U64(self.s() as u64)),
+            ],
+        );
         if now_online == 0 {
             // Graceful CPU-only fallback. The sweep rebuilds the tree once
             // per probe; charge each rebuild as LB time.
@@ -47,7 +54,7 @@ impl LoadBalancer {
             }
             rep.lb_time += probes as f64 * lbtime::rebuild(node, pos.len());
             rep.rebuilt = true;
-            self.state = LbState::Observation;
+            self.transition(LbState::Observation, "all_gpus_offline");
             return;
         }
         // Survivors remain: warm-start the bisection on a bracket spanning
@@ -59,12 +66,12 @@ impl LoadBalancer {
             .saturating_mul(8)
             .min(self.cfg.s_max)
             .max(self.lo + 1);
-        self.state = LbState::Recovery;
+        self.transition(LbState::Recovery, "device_count_changed");
     }
 
     fn leave_search(&mut self, compute: f64) {
         self.best_compute = compute;
-        self.state = match self.strategy {
+        let to = match self.strategy {
             Strategy::StaticS => LbState::Frozen,
             Strategy::EnforceOnly => LbState::Observation,
             // Recovery exits the same way a cold search does: the bisection
@@ -72,6 +79,7 @@ impl LoadBalancer {
             // what finds the surviving hardware's actual optimum.
             Strategy::Full => LbState::Incremental,
         };
+        self.transition(to, "search_settled");
         self.incr_best = None;
         self.incr_dir_up = None;
         self.incr_flipped = false;
@@ -199,6 +207,7 @@ impl LoadBalancer {
             engine.set_s(next);
             let nodes_before = engine.tree().visible_nodes().len();
             let (outcome, patched) = engine.enforce_s();
+            self.record_enforce(&outcome, patched);
             let edits = outcome.collapses + outcome.pushdowns;
             rep.lb_time += lbtime::enforce(node, nodes_before, edits);
             if patched {
@@ -258,6 +267,17 @@ impl LoadBalancer {
                         let realized = engine.time_step(&flops, node).ok().map(|t| t.compute());
                         rep.lb_time += lbtime::predict(node, list_entries(engine));
                         if matches!(realized, Some(r) if r > before.compute()) {
+                            self.recorder().event(
+                                "lb.fgo_rollback",
+                                vec![
+                                    ("before", telemetry::Value::F64(before.compute())),
+                                    (
+                                        "realized",
+                                        telemetry::Value::F64(realized.unwrap_or(f64::NAN)),
+                                    ),
+                                    ("rounds", telemetry::Value::U64(out.rounds as u64)),
+                                ],
+                            );
                             engine.rebuild(pos, self.s);
                             engine.refresh_lists();
                             rep.lb_time += lbtime::rebuild(node, pos.len());
@@ -270,7 +290,7 @@ impl LoadBalancer {
         self.incr_best = None;
         self.incr_dir_up = None;
         self.incr_flipped = false;
-        self.state = LbState::Observation;
+        self.transition(LbState::Observation, "incremental_settled");
     }
 
     pub(super) fn observation_step<K: Kernel>(
@@ -299,6 +319,7 @@ impl LoadBalancer {
         // when one is live, so the interaction lists survive the repair.
         let nodes_before = engine.tree().visible_nodes().len();
         let (outcome, patched) = engine.enforce_s();
+        self.record_enforce(&outcome, patched);
         let edits = outcome.collapses + outcome.pushdowns;
         rep.lb_time += lbtime::enforce(node, nodes_before, edits);
         if patched {
@@ -327,7 +348,7 @@ impl LoadBalancer {
                 }
                 if pred.compute() > limit {
                     // Local repair failed: re-run the global adjustment.
-                    self.state = LbState::Incremental;
+                    self.transition(LbState::Incremental, "repair_failed");
                     self.incr_best = None;
                     self.incr_dir_up = None;
                     self.incr_flipped = false;
@@ -399,6 +420,7 @@ pub fn fine_grained_optimize<K: Kernel>(
     node: &HeteroNode,
     cfg: &LbConfig,
 ) -> FgoOutcome {
+    let rec = engine.recorder().clone();
     let mut lb_time = 0.0;
     let mut counts = engine.refresh_lists();
     lb_time += lbtime::predict(node, list_entries(engine));
@@ -436,6 +458,20 @@ pub fn fine_grained_optimize<K: Kernel>(
         };
         let pred = model.predict(&counts, node);
         rounds += 1;
+        rec.event(
+            "lb.fgo_batch",
+            vec![
+                ("round", telemetry::Value::U64(rounds as u64)),
+                ("collapsing", telemetry::Value::Bool(collapsing)),
+                ("applied", telemetry::Value::U64(applied.len() as u64)),
+                ("pred_before", telemetry::Value::F64(best.compute())),
+                ("pred_after", telemetry::Value::F64(pred.compute())),
+                (
+                    "accepted",
+                    telemetry::Value::Bool(pred.compute() < best.compute()),
+                ),
+            ],
+        );
         if pred.compute() < best.compute() {
             best = pred;
         } else {

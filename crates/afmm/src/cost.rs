@@ -21,6 +21,24 @@ impl Prediction {
     pub fn cpu_dominant(&self) -> bool {
         self.t_cpu >= self.t_gpu
     }
+
+    /// Pair this prediction with the realized step timing into an audit
+    /// record — the honesty check on the observational model.
+    pub fn audit(
+        &self,
+        step: u64,
+        observed: &TimingReport,
+        acted: bool,
+    ) -> telemetry::PredictionAudit {
+        telemetry::PredictionAudit {
+            step,
+            pred_cpu: self.t_cpu,
+            pred_gpu: self.t_gpu,
+            actual_cpu: observed.t_cpu,
+            actual_gpu: observed.t_gpu,
+            acted,
+        }
+    }
 }
 
 /// The paper's observational cost model (§IV.D).

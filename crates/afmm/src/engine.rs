@@ -64,6 +64,8 @@ pub struct FmmEngine<K: Kernel> {
     /// ([`FmmEngine::tree_mut`], [`FmmEngine::rebuild`]); the next refresh
     /// then rebuilds the plan instead of trusting its incremental state.
     plan_stale: bool,
+    /// Telemetry handle, shared with the plan; disabled by default.
+    rec: telemetry::Recorder,
 }
 
 impl<K: Kernel> FmmEngine<K> {
@@ -120,7 +122,24 @@ impl<K: Kernel> FmmEngine<K> {
             locals: Vec::new(),
             plan: None,
             plan_stale: true,
+            rec: telemetry::Recorder::disabled(),
         }
+    }
+
+    /// Attach a telemetry recorder. Solve-phase wall spans are emitted
+    /// through it, and the execution plan (current and future) reports its
+    /// patch/rebuild activity to the same handle.
+    pub fn set_recorder(&mut self, rec: telemetry::Recorder) {
+        if let Some(plan) = self.plan.as_mut() {
+            plan.set_recorder(rec.clone());
+        }
+        self.rec = rec;
+    }
+
+    /// The engine's telemetry handle (disabled unless
+    /// [`FmmEngine::set_recorder`] installed one).
+    pub fn recorder(&self) -> &telemetry::Recorder {
+        &self.rec
     }
 
     pub fn params(&self) -> &FmmParams {
@@ -271,7 +290,9 @@ impl<K: Kernel> FmmEngine<K> {
                 PlanRefresh::Rebuilt
             }
             None => {
-                self.plan = Some(ExecutionPlan::build(&self.tree, self.params.mac));
+                let mut plan = ExecutionPlan::build(&self.tree, self.params.mac);
+                plan.set_recorder(self.rec.clone());
+                self.plan = Some(plan);
                 self.plan_stale = false;
                 PlanRefresh::Rebuilt
             }
@@ -362,9 +383,19 @@ impl<K: Kernel> FmmEngine<K> {
         self.locals.resize(n_nodes * stride, 0.0);
 
         if n > 0 {
-            self.upsweep(stride);
-            self.downsweep(stride);
-            self.near_field();
+            {
+                let mut span = self.rec.start_span("solve.upsweep");
+                span.field("bodies", n);
+                self.upsweep(stride);
+            }
+            {
+                let _span = self.rec.start_span("solve.downsweep");
+                self.downsweep(stride);
+            }
+            {
+                let _span = self.rec.start_span("solve.near_field");
+                self.near_field();
+            }
         }
 
         // Scatter results back to original order.

@@ -37,6 +37,84 @@ impl TimingReport {
             1.0
         }
     }
+
+    /// Whole-system SIMT efficiency of the step's near-field launch, with
+    /// "no measurement" (no GPU timing, or an empty launch) read as fully
+    /// efficient — the uniform `None` handling shared by every consumer.
+    pub fn gpu_efficiency(&self) -> f64 {
+        self.gpu
+            .as_ref()
+            .and_then(KernelTiming::efficiency)
+            .unwrap_or(1.0)
+    }
+}
+
+/// Emit one telemetry span per FMM phase (P2M, M2M, M2L, L2L, L2P, P2P) for
+/// a realized step, and mirror each duration into a `phase.*` histogram.
+///
+/// The virtual-node executor reports only the DAG makespan, so per-phase
+/// durations are *attributed*: each far-field phase gets its share of CPU
+/// work (`counts × flops / effective core rate`) scaled to wall time by the
+/// step's observed parallel rate — the same realized-execution arithmetic
+/// [`crate::CostModel::observe`] uses. P2P takes the measured GPU makespan
+/// when devices are online and its attributed CPU share otherwise.
+pub fn record_phase_spans(
+    rec: &telemetry::Recorder,
+    counts: &octree::OpCounts,
+    flops: &OpFlops,
+    node: &HeteroNode,
+    timing: &TimingReport,
+) {
+    if !rec.is_enabled() {
+        return;
+    }
+    let eff = node.cpu.rate_flops * node.cpu.memory.rate_factor(node.cpu.cores);
+    let wall = |core_seconds: f64| core_seconds / timing.parallel_rate();
+    let phases: [(&'static str, f64, u64); 5] = [
+        (
+            "phase.p2m",
+            wall(flops.p2m_per_body * counts.p2m_bodies as f64 / eff),
+            counts.p2m_bodies,
+        ),
+        (
+            "phase.m2m",
+            wall(flops.m2m * counts.m2m_ops as f64 / eff),
+            counts.m2m_ops,
+        ),
+        (
+            "phase.m2l",
+            wall(flops.m2l * counts.m2l_ops as f64 / eff),
+            counts.m2l_ops,
+        ),
+        (
+            "phase.l2l",
+            wall(flops.l2l * counts.l2l_ops as f64 / eff),
+            counts.l2l_ops,
+        ),
+        (
+            "phase.l2p",
+            wall(flops.l2p_per_body * counts.l2p_bodies as f64 / eff),
+            counts.l2p_bodies,
+        ),
+    ];
+    for (name, dur, ops) in phases {
+        rec.span(name, dur, vec![("ops", telemetry::Value::U64(ops))]);
+        rec.hist_record(name, dur);
+    }
+    let p2p_dur = if node.num_online_gpus() > 0 {
+        timing.t_gpu
+    } else {
+        wall(flops.p2p_per_pair * counts.p2p_interactions as f64 / eff)
+    };
+    rec.span(
+        "phase.p2p",
+        p2p_dur,
+        vec![
+            ("ops", telemetry::Value::U64(counts.p2p_interactions)),
+            ("on_gpu", telemetry::Value::Bool(node.num_online_gpus() > 0)),
+        ],
+    );
+    rec.hist_record("phase.p2p", p2p_dur);
 }
 
 /// Build the GPU work list: one [`P2pJob`] per active leaf with a non-empty

@@ -144,6 +144,47 @@ mod tests {
     }
 
     #[test]
+    fn reset_mid_stream_restarts_warm_up() {
+        let mut f = TimingFilter::new(5, 0.5);
+        for x in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            f.push(x);
+        }
+        assert_eq!(f.estimate(), Some(3.0), "median active before reset");
+        f.reset();
+        assert_eq!(f.samples(), 0);
+        assert_eq!(f.estimate(), None);
+        // Warm-up restarts from scratch: the first post-reset sample seeds
+        // the EWMA, untainted by pre-reset history.
+        assert_eq!(f.push(10.0), 10.0);
+        assert_eq!(f.push(20.0), 15.0); // EWMA: 0.5·20 + 0.5·10
+        assert_eq!(f.samples(), 2);
+    }
+
+    #[test]
+    fn k1_window_never_reaches_median_and_stays_ewma() {
+        // With k = 1 the window holds a single sample, so the 3-sample
+        // median threshold is unreachable: the EWMA governs forever.
+        let mut f = TimingFilter::new(1, 0.5);
+        assert_eq!(f.push(4.0), 4.0);
+        assert_eq!(f.push(8.0), 6.0); // 0.5·8 + 0.5·4
+        assert_eq!(f.push(2.0), 4.0); // 0.5·2 + 0.5·6
+        assert_eq!(f.samples(), 1, "window capped at one sample");
+        assert_eq!(f.estimate(), Some(4.0));
+    }
+
+    #[test]
+    fn alpha_one_ewma_degenerates_to_last_sample() {
+        let mut f = TimingFilter::new(9, 1.0);
+        assert_eq!(f.push(3.0), 3.0);
+        assert_eq!(f.push(7.0), 7.0, "α = 1 keeps only the newest sample");
+        // Once the median activates it takes over from the degenerate EWMA.
+        assert_eq!(f.push(5.0), 5.0); // median of [3, 7, 5]
+        f.reset();
+        assert_eq!(f.push(0.25), 0.25);
+        assert_eq!(f.push(0.75), 0.75);
+    }
+
+    #[test]
     fn scale_equivariant() {
         let xs = [0.2, 0.5, 0.1, 0.9, 0.4, 0.3, 0.8];
         let c = 37.5;

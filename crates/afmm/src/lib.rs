@@ -57,8 +57,8 @@ pub use filter::TimingFilter;
 pub use plan::ExecutionPlan;
 // Fault-injection vocabulary, re-exported so drivers need only `afmm`.
 pub use exec::{
-    build_gpu_jobs, build_task_graph, build_task_graph_with, phase_times, time_step,
-    time_step_policy, time_step_with_jobs, ExecPolicy, PhaseTimes, TimingReport,
+    build_gpu_jobs, build_task_graph, build_task_graph_with, phase_times, record_phase_spans,
+    time_step, time_step_policy, time_step_with_jobs, ExecPolicy, PhaseTimes, TimingReport,
 };
 pub use gpu_sim::{DeviceStatus, FaultEvent, FaultSchedule, TimedFault};
 pub use simulate::{GravitySim, RunSummary, StepRecord, StokesSim, StrategyTracker};

@@ -79,7 +79,11 @@ pub struct RunSummary {
 }
 
 impl RunSummary {
+    /// Aggregate a run; empty input yields the all-zero summary (never NaN).
     pub fn from_records(records: &[StepRecord]) -> Self {
+        if records.is_empty() {
+            return RunSummary::default();
+        }
         let steps = records.len();
         let total_compute: f64 = records.iter().map(StepRecord::compute).sum();
         let total_lb: f64 = records.iter().map(|r| r.t_lb).sum();
@@ -87,11 +91,7 @@ impl RunSummary {
             steps,
             total_compute,
             total_lb,
-            mean_total_per_step: if steps == 0 {
-                0.0
-            } else {
-                (total_compute + total_lb) / steps as f64
-            },
+            mean_total_per_step: (total_compute + total_lb) / steps as f64,
             max_lb_step: records.iter().map(|r| r.t_lb).fold(0.0, f64::max),
             max_compute_step: records.iter().map(StepRecord::compute).fold(0.0, f64::max),
         }
@@ -135,6 +135,9 @@ pub struct StrategyTracker<K: Kernel> {
     noise_state: u64,
     filter_cpu: TimingFilter,
     filter_gpu: TimingFilter,
+    rec: telemetry::Recorder,
+    /// Rolling prediction-vs-actual audit of the cost model (tentpole §3).
+    audits: telemetry::AuditTrail,
 }
 
 impl<K: Kernel> StrategyTracker<K> {
@@ -168,7 +171,47 @@ impl<K: Kernel> StrategyTracker<K> {
             noise_state: 0x5DEE_CE66_D158_1F86,
             filter_cpu: TimingFilter::default(),
             filter_gpu: TimingFilter::default(),
+            rec: telemetry::Recorder::disabled(),
+            audits: telemetry::AuditTrail::new(),
         }
+    }
+
+    /// Like [`StrategyTracker::new`], but with a telemetry recorder wired
+    /// through the whole stack: the engine (solve spans, plan counters), the
+    /// balancer (state-transition flight recorder) and the tracker itself
+    /// (per-step metrics, phase spans, prediction audits).
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_telemetry(
+        kernel: K,
+        params: FmmParams,
+        node: HeteroNode,
+        strategy: Strategy,
+        cfg: LbConfig,
+        pos0: &[Vec3],
+        domain: Option<(Vec3, f64)>,
+        rec: telemetry::Recorder,
+    ) -> Self {
+        let mut tracker = Self::new(kernel, params, node, strategy, cfg, pos0, domain);
+        tracker.set_recorder(rec);
+        tracker
+    }
+
+    /// Attach a recorder after construction; shared (via clone) with the
+    /// engine, its execution plan and the balancer.
+    pub fn set_recorder(&mut self, rec: telemetry::Recorder) {
+        self.engine.set_recorder(rec.clone());
+        self.balancer.set_recorder(rec.clone());
+        self.rec = rec;
+    }
+
+    /// The tracker's telemetry handle.
+    pub fn recorder(&self) -> &telemetry::Recorder {
+        &self.rec
+    }
+
+    /// The rolling prediction-vs-actual audit trail.
+    pub fn audits(&self) -> &telemetry::AuditTrail {
+        &self.audits
     }
 
     /// Install the fault schedule; events fire at the start of the step
@@ -216,7 +259,9 @@ impl<K: Kernel> StrategyTracker<K> {
     /// re-bin moved bodies, time the solve on the (possibly degraded)
     /// virtual node, and feed the balancer *filtered* measurements.
     pub fn step(&mut self, pos: &[Vec3]) -> Result<StepRecord, Error> {
-        self.apply_faults(self.records.len())?;
+        let step_idx = self.records.len();
+        self.rec.set_step(step_idx as u64);
+        self.apply_faults(step_idx)?;
         let mut t_lb = 0.0;
         if !self.first {
             self.engine.rebin(pos);
@@ -226,6 +271,11 @@ impl<K: Kernel> StrategyTracker<K> {
         let state = self.balancer.state();
         let s = self.engine.tree().s_value();
         let counts = self.engine.refresh_lists();
+        // Predict with the model as trained through the *previous* step, on
+        // this step's op counts — the forecast the balancer would steer by —
+        // so the audit compares it against what this step actually took.
+        let predicted = (self.rec.is_enabled() && self.model.is_observed())
+            .then(|| self.model.predict(&counts, &self.node));
         let timing = self.engine.time_step(&self.flops, &self.node)?;
         self.model
             .observe(&counts, &timing, &self.flops, &self.node);
@@ -248,24 +298,51 @@ impl<K: Kernel> StrategyTracker<K> {
         let rep =
             self.balancer
                 .post_step(&mut self.engine, &self.model, &self.node, pos, f_cpu, f_gpu);
-        if rep.rebuilt || rep.enforced || rep.fgo_rounds > 0 {
+        let acted = rep.rebuilt || rep.enforced || rep.fgo_rounds > 0;
+        if acted {
             // The decomposition changed: historic samples time a dead tree.
             self.filter_cpu.reset();
             self.filter_gpu.reset();
         }
         t_lb += rep.lb_time;
+        if let Some(pred) = predicted {
+            let audit = pred.audit(step_idx as u64, &timing, acted);
+            if self.rec.is_enabled() {
+                self.rec.event(
+                    "audit.prediction",
+                    vec![
+                        ("pred_total", audit.pred_total().into()),
+                        ("actual_total", audit.actual_total().into()),
+                        ("rel_error", audit.rel_error().into()),
+                        ("acted", acted.into()),
+                    ],
+                );
+                self.rec.hist_record("audit.rel_error", audit.rel_error());
+            }
+            self.audits.push(audit);
+        }
+        if self.rec.is_enabled() {
+            crate::exec::record_phase_spans(&self.rec, &counts, &self.flops, &self.node, &timing);
+            if let Some(gpu) = timing.gpu.as_ref() {
+                gpu.record_metrics(&self.rec);
+            }
+            let tree = self.engine.tree();
+            self.rec.gauge_set("tree.depth", tree.depth() as f64);
+            self.rec
+                .gauge_set("tree.leaves", tree.active_leaves().len() as f64);
+            self.rec.gauge_set("tree.s", s as f64);
+            self.rec.hist_record("step.t_cpu", t_cpu);
+            self.rec.hist_record("step.t_gpu", t_gpu);
+            self.rec.hist_record("step.t_lb", t_lb);
+        }
         let rec = StepRecord {
-            step: self.records.len(),
+            step: step_idx,
             s,
             state,
             t_cpu,
             t_gpu,
             t_lb,
-            gpu_efficiency: timing
-                .gpu
-                .as_ref()
-                .and_then(|g| g.efficiency())
-                .unwrap_or(1.0),
+            gpu_efficiency: timing.gpu_efficiency(),
             p2p_interactions: counts.p2p_interactions,
             m2l_ops: counts.m2l_ops,
         };
@@ -379,11 +456,7 @@ impl GravitySim {
             t_cpu: timing.t_cpu,
             t_gpu: timing.t_gpu,
             t_lb,
-            gpu_efficiency: timing
-                .gpu
-                .as_ref()
-                .and_then(|g| g.efficiency())
-                .unwrap_or(1.0),
+            gpu_efficiency: timing.gpu_efficiency(),
             p2p_interactions: counts.p2p_interactions,
             m2l_ops: counts.m2l_ops,
         };
@@ -490,11 +563,7 @@ impl StokesSim {
             t_cpu: timing.t_cpu,
             t_gpu: timing.t_gpu,
             t_lb,
-            gpu_efficiency: timing
-                .gpu
-                .as_ref()
-                .and_then(|g| g.efficiency())
-                .unwrap_or(1.0),
+            gpu_efficiency: timing.gpu_efficiency(),
             p2p_interactions: counts.p2p_interactions,
             m2l_ops: counts.m2l_ops,
         };
@@ -764,5 +833,113 @@ mod tests {
         assert_eq!(s.max_compute_step, 3.0);
         assert!((s.lb_fraction() - 0.1).abs() < 1e-15);
         assert!((s.mean_total_per_step - 2.75).abs() < 1e-15);
+    }
+
+    #[test]
+    fn summary_of_empty_run_is_all_zero() {
+        let s = RunSummary::from_records(&[]);
+        assert_eq!(s.steps, 0);
+        assert_eq!(s.total_compute, 0.0);
+        assert_eq!(s.total_lb, 0.0);
+        assert_eq!(s.mean_total_per_step, 0.0);
+        assert_eq!(s.max_lb_step, 0.0);
+        assert_eq!(s.max_compute_step, 0.0);
+        assert_eq!(s.lb_fraction(), 0.0);
+        assert!(
+            s.mean_total_per_step.is_finite(),
+            "empty summary must not produce NaN"
+        );
+    }
+
+    #[test]
+    fn telemetry_tracker_records_spans_and_audits() {
+        let setup = collapsing_plummer(3000, 1.0, 508);
+        let rec = telemetry::Recorder::enabled();
+        let sink = telemetry::VecSink::new();
+        rec.set_sink(sink.clone());
+        let mut tracker = StrategyTracker::with_telemetry(
+            fmm_math::GravityKernel::default(),
+            FmmParams::default(),
+            HeteroNode::system_a(10, 2),
+            Strategy::Full,
+            small_cfg(),
+            &setup.bodies.pos,
+            Some((setup.domain_center, setup.domain_half_width)),
+            rec.clone(),
+        );
+        let mut pos = setup.bodies.pos.clone();
+        for _ in 0..12 {
+            tracker.step(&pos).unwrap();
+            for p in &mut pos {
+                *p *= 0.97;
+            }
+        }
+        // All five far-field phases plus P2P appear as spans.
+        for name in [
+            "phase.p2m",
+            "phase.m2m",
+            "phase.m2l",
+            "phase.l2l",
+            "phase.l2p",
+            "phase.p2p",
+        ] {
+            assert!(
+                !rec.events_named(name).is_empty(),
+                "missing phase span {name}"
+            );
+        }
+        // The balancer's flight recorder fired (solve spans are exercised by
+        // the numeric-solve path; the tracker times steps virtually).
+        assert!(
+            !rec.events_named("lb.transition").is_empty(),
+            "a Full-strategy run must leave Search at least once"
+        );
+        // One audit per step once the model has observed (all but step 0).
+        assert_eq!(tracker.audits().len(), 11);
+        let stats = tracker.audits().stats();
+        assert!(stats.count == 11 && stats.median.is_finite());
+        // Events carry the logical step index and reached the sink too.
+        let last = rec.events();
+        assert!(last.iter().any(|e| e.step > 0));
+        assert!(sink.lines().len() >= last.len());
+    }
+
+    #[test]
+    fn telemetry_disabled_changes_nothing() {
+        let setup = collapsing_plummer(2000, 1.0, 509);
+        let mk = |rec: Option<telemetry::Recorder>| {
+            let mut t = StrategyTracker::new(
+                fmm_math::GravityKernel::default(),
+                FmmParams::default(),
+                HeteroNode::system_a(10, 2),
+                Strategy::Full,
+                small_cfg(),
+                &setup.bodies.pos,
+                Some((setup.domain_center, setup.domain_half_width)),
+            );
+            if let Some(rec) = rec {
+                t.set_recorder(rec);
+            }
+            t
+        };
+        let mut plain = mk(None);
+        let mut traced = mk(Some(telemetry::Recorder::enabled()));
+        let mut pos = setup.bodies.pos.clone();
+        for _ in 0..8 {
+            let a = plain.step(&pos).unwrap();
+            let b = traced.step(&pos).unwrap();
+            assert_eq!(a.s, b.s);
+            assert_eq!(a.state, b.state);
+            assert_eq!(a.t_cpu.to_bits(), b.t_cpu.to_bits());
+            assert_eq!(a.t_gpu.to_bits(), b.t_gpu.to_bits());
+            assert_eq!(a.t_lb.to_bits(), b.t_lb.to_bits());
+            for p in &mut pos {
+                *p *= 0.98;
+            }
+        }
+        assert!(
+            plain.audits().is_empty(),
+            "disabled telemetry must not pay for predictions"
+        );
     }
 }

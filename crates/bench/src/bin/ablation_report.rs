@@ -49,12 +49,11 @@ fn partition_ablation() {
         for gpus in [2usize, 4] {
             let sys = gpu_sim::GpuSystem::homogeneous(gpus, gpu_sim::GpuSpec::default())
                 .expect("positive device count");
-            let smart = sys.execute(&jobs).unwrap().gpu_time().unwrap();
-            let naive = sys
-                .execute_with_partition(&jobs, partition_by_node_count(jobs.len(), gpus))
-                .unwrap()
-                .gpu_time()
-                .unwrap();
+            let smart = bench::gpu_time_or_zero(&sys.execute(&jobs).unwrap());
+            let naive = bench::gpu_time_or_zero(
+                &sys.execute_with_partition(&jobs, partition_by_node_count(jobs.len(), gpus))
+                    .unwrap(),
+            );
             rows.push(vec![
                 name.to_string(),
                 gpus.to_string(),

@@ -106,7 +106,7 @@ fn run_strategy(
         FmmParams::default(),
         node.clone(),
         strategy,
-        cfg.clone(),
+        *cfg,
         pos,
         None,
     );
@@ -153,8 +153,8 @@ fn run_strategy(
         if i + 3 > computes.len() {
             break;
         }
-        for j in i..i + 3 {
-            if computes[j] > bar {
+        for &c in &computes[i..i + 3] {
+            if c > bar {
                 continue 'outer;
             }
         }

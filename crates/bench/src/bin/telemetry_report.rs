@@ -1,0 +1,192 @@
+//! **Telemetry audit** (no paper figure — observability validation): replay
+//! the paper's dynamic-distribution workload with the full telemetry stack
+//! enabled and report
+//!
+//! 1. the *overhead* of the instrumentation: a numeric N-body solve timed
+//!    with telemetry disabled (the default — the recorder is a `None`
+//!    branch) vs enabled with a live ring buffer;
+//! 2. the *cost-model audit*: the per-step prediction-vs-actual relative
+//!    error of `CostModel::predict` over the run, once the model has
+//!    observed (`is_observed()`);
+//! 3. the balancer's *flight record*: every `LbState` transition with its
+//!    cause, and the `Enforce_S` / FGO activity counters;
+//! 4. the per-phase span histograms (P2M/M2M/M2L/L2L/L2P/P2P).
+//!
+//! Output: `BENCH_telemetry.json` in the working directory (echoed to
+//! stdout) and the raw event trace in `BENCH_telemetry_trace.jsonl`.
+//! Exit code 1 when the observed median relative prediction error exceeds
+//! 25% — the CI gate on cost-model fidelity.
+//!
+//! Override scale: `telemetry_report [steps] [bodies] [overhead_bodies]`.
+
+use afmm::{FmmEngine, FmmParams, HeteroNode, LbConfig, Strategy, StrategyTracker};
+use fmm_math::GravityKernel;
+use std::time::Instant;
+use telemetry::{push_json_f64, JsonlSink, Recorder, Value};
+
+/// Mean wall time of `reps` numeric solves on a fresh engine holding `rec`.
+fn time_solves(pos: &[geom::Vec3], mass: &[f64], rec: Option<Recorder>, reps: usize) -> f64 {
+    let mut engine = FmmEngine::new(GravityKernel::default(), FmmParams::default(), pos, 96);
+    if let Some(rec) = rec {
+        engine.set_recorder(rec);
+    }
+    // Warm-up solve: first call pays tree/plan setup for both variants.
+    std::hint::black_box(engine.solve(pos, mass));
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(engine.solve(pos, mass));
+    }
+    t0.elapsed().as_secs_f64() / reps as f64
+}
+
+fn jf(x: f64) -> String {
+    let mut s = String::new();
+    push_json_f64(&mut s, x);
+    s
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let steps: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(60);
+    let n: usize = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(20_000);
+    let n_over: usize = args.get(3).and_then(|a| a.parse().ok()).unwrap_or(60_000);
+
+    // ---- 1. Overhead A/B on the numeric solve ----
+    // `t_base` carries no recorder at all and `t_off` a disabled one; a
+    // disabled `Recorder` is a branch on `None`, so their difference is the
+    // measurement noise floor — the "≤1% disabled overhead" demonstration.
+    let b = nbody::plummer(n_over, 1.0, 1.0, 911);
+    let reps = 3;
+    let t_base = time_solves(&b.pos, &b.mass, None, reps);
+    let t_off = time_solves(&b.pos, &b.mass, Some(Recorder::disabled()), reps);
+    let t_on = time_solves(&b.pos, &b.mass, Some(Recorder::enabled()), reps);
+    let off_overhead = t_off / t_base - 1.0;
+    let on_overhead = t_on / t_base - 1.0;
+    eprintln!(
+        "# solve N={n_over}: baseline {t_base:.4}s, disabled {t_off:.4}s ({:+.2}%), \
+         enabled {t_on:.4}s ({:+.2}%)",
+        100.0 * off_overhead,
+        100.0 * on_overhead
+    );
+
+    // ---- 2+3+4. Instrumented dynamic run ----
+    let setup = nbody::collapsing_plummer(n, 1.0, 912);
+    let rec = Recorder::enabled();
+    match JsonlSink::create("BENCH_telemetry_trace.jsonl") {
+        Ok(sink) => rec.set_sink(sink),
+        Err(e) => eprintln!("# trace sink unavailable ({e}); events kept in-memory only"),
+    }
+    let mut tracker = StrategyTracker::with_telemetry(
+        GravityKernel::default(),
+        FmmParams::default(),
+        HeteroNode::system_a(10, 4),
+        Strategy::Full,
+        LbConfig {
+            eps_switch_s: 2e-3,
+            ..Default::default()
+        },
+        &setup.bodies.pos,
+        Some((setup.domain_center, setup.domain_half_width)),
+        rec.clone(),
+    );
+    // The cloud contracts toward an off-center clump — the decomposition-
+    // invalidating migration of the paper's dynamic experiment (Fig 8).
+    let clump = geom::Vec3::new(
+        0.4 * setup.domain_half_width,
+        0.4 * setup.domain_half_width,
+        0.4 * setup.domain_half_width,
+    );
+    let mut pos = setup.bodies.pos.clone();
+    for step in 0..steps {
+        tracker.step(&pos).expect("tracker step failed");
+        if step < steps / 2 {
+            for p in &mut pos {
+                *p = *p + (clump - *p) * 0.05;
+            }
+        }
+    }
+    rec.flush();
+
+    let stats = tracker.audits().stats();
+    let transitions = rec.events_named("lb.transition");
+    let timeline: Vec<String> = transitions
+        .iter()
+        .map(|e| {
+            let s = |k: &str| match e.field(k) {
+                Some(Value::Str(v)) => v.clone(),
+                _ => String::new(),
+            };
+            let sv = match e.field("s") {
+                Some(Value::U64(v)) => *v,
+                _ => 0,
+            };
+            format!(
+                "    {{\"step\": {}, \"from\": \"{}\", \"to\": \"{}\", \
+                 \"cause\": \"{}\", \"s\": {sv}}}",
+                e.step,
+                s("from"),
+                s("to"),
+                s("cause"),
+            )
+        })
+        .collect();
+
+    let metrics = rec.metrics();
+    let phase_json: Vec<String> = ["p2m", "m2m", "m2l", "l2l", "l2p", "p2p"]
+        .iter()
+        .filter_map(|ph| {
+            let h = metrics.histogram(&format!("phase.{ph}"))?;
+            Some(format!(
+                "    \"{ph}\": {{\"count\": {}, \"mean_s\": {}, \"p50_s\": {}, \"p99_s\": {}}}",
+                h.count,
+                jf(h.mean),
+                jf(h.p50),
+                jf(h.p99)
+            ))
+        })
+        .collect();
+
+    let doc = format!(
+        "{{\n  \"config\": {{\"steps\": {steps}, \"bodies\": {n}, \
+         \"overhead_bodies\": {n_over}, \"solve_reps\": {reps}}},\n  \
+         \"overhead\": {{\"solve_baseline_s\": {}, \"solve_disabled_s\": {}, \
+         \"solve_enabled_s\": {}, \"disabled_overhead_frac\": {}, \
+         \"enabled_overhead_frac\": {}}},\n  \
+         \"audit\": {},\n  \
+         \"balancer\": {{\"transitions\": {}, \"enforces\": {}, \
+         \"fgo_batches\": {}, \"plan_patches\": {}, \"plan_rebuilds\": {}}},\n  \
+         \"transitions\": [\n{}\n  ],\n  \"phases\": {{\n{}\n  }}\n}}\n",
+        jf(t_base),
+        jf(t_off),
+        jf(t_on),
+        jf(off_overhead),
+        jf(on_overhead),
+        stats.to_json(),
+        transitions.len(),
+        rec.events_named("lb.enforce").len(),
+        rec.events_named("lb.fgo_batch").len(),
+        metrics.counter("plan.patch.edit").unwrap_or(0),
+        metrics.counter("plan.rebuild").unwrap_or(0),
+        timeline.join(",\n"),
+        phase_json.join(",\n"),
+    );
+    std::fs::write("BENCH_telemetry.json", &doc).expect("write BENCH_telemetry.json");
+    print!("{doc}");
+
+    // ---- CI gate: cost-model fidelity ----
+    if stats.count > 0 && stats.median > 0.25 {
+        eprintln!(
+            "# FAIL: median prediction error {:.1}% exceeds the 25% gate over {} audited steps",
+            100.0 * stats.median,
+            stats.count
+        );
+        std::process::exit(1);
+    }
+    eprintln!(
+        "# prediction audit: {} steps, median error {:.2}%, p90 {:.2}%, balancer acted on {}",
+        stats.count,
+        100.0 * stats.median,
+        100.0 * stats.p90,
+        stats.acted
+    );
+}

@@ -5,7 +5,26 @@
 
 use afmm::{time_step, FmmParams, HeteroNode, TimingReport};
 use fmm_math::{Kernel, OpFlops};
+use gpu_sim::KernelTiming;
 use octree::{count_ops, dual_traversal, InteractionLists, Octree, OpCounts};
+
+/// GPU makespan of a timing, or 0.0 when the timing covers no devices.
+///
+/// [`KernelTiming::gpu_time`] returns `None` for a no-device timing — "no
+/// measurement", not "zero seconds". The harness binaries report aggregate
+/// times where a device-less launch genuinely contributes nothing, so they
+/// all map `None` to 0.0; do that through this one helper instead of ad-hoc
+/// `unwrap`s that panic on CPU-only configurations.
+pub fn gpu_time_or_zero(t: &KernelTiming) -> f64 {
+    t.gpu_time().unwrap_or(0.0)
+}
+
+/// Whole-system SIMT efficiency, or 1.0 when the timing covers no devices
+/// (nothing ran, so nothing ran inefficiently). The uniform `None` policy
+/// for harness binaries; see [`gpu_time_or_zero`].
+pub fn efficiency_or_one(t: &KernelTiming) -> f64 {
+    t.efficiency().unwrap_or(1.0)
+}
 
 /// A geometric grid of S values, `per_decade` points per factor of 10.
 pub fn s_grid(lo: usize, hi: usize, per_decade: usize) -> Vec<usize> {
@@ -76,5 +95,27 @@ mod tests {
     #[test]
     fn fmt_is_stable() {
         assert_eq!(fmt_s(0.1234567), "0.123457");
+    }
+
+    #[test]
+    fn empty_timing_maps_to_zero_time_and_unit_efficiency() {
+        let t = KernelTiming {
+            per_gpu: Vec::new(),
+            assignment: Vec::new(),
+        };
+        assert_eq!(t.gpu_time(), None);
+        assert_eq!(t.efficiency(), None);
+        assert_eq!(gpu_time_or_zero(&t), 0.0);
+        assert_eq!(efficiency_or_one(&t), 1.0);
+    }
+
+    #[test]
+    fn real_timing_passes_through_helpers() {
+        let sys = gpu_sim::GpuSystem::homogeneous(2, gpu_sim::GpuSpec::default()).unwrap();
+        let jobs = vec![gpu_sim::P2pJob::new(64, vec![256])];
+        let t = sys.execute(&jobs).unwrap();
+        assert_eq!(gpu_time_or_zero(&t), t.gpu_time().unwrap());
+        assert_eq!(efficiency_or_one(&t), t.efficiency().unwrap());
+        assert!(gpu_time_or_zero(&t) > 0.0);
     }
 }

@@ -49,6 +49,53 @@ impl KernelTiming {
             Some(useful as f64 / occ as f64)
         }
     }
+
+    /// Load imbalance of the launch: max over mean elapsed time across the
+    /// devices that received work. `1.0` = perfectly balanced; `None` when
+    /// no device did any work (nothing to compare).
+    pub fn imbalance(&self) -> Option<f64> {
+        let busy: Vec<f64> = self
+            .per_gpu
+            .iter()
+            .filter(|r| r.useful_pairs > 0)
+            .map(|r| r.elapsed_s)
+            .collect();
+        if busy.is_empty() {
+            return None;
+        }
+        let mean = busy.iter().sum::<f64>() / busy.len() as f64;
+        if mean <= 0.0 {
+            return Some(1.0);
+        }
+        let max = busy.iter().fold(0.0f64, |a, &b| a.max(b));
+        Some(max / mean)
+    }
+
+    /// Publish this launch into a telemetry recorder: `gpu.time` /
+    /// `gpu.imbalance` / `gpu.efficiency` gauges, a `gpu.device_util`
+    /// histogram (per busy device, elapsed / makespan), and a
+    /// `gpu.launches` counter. A disabled recorder makes this free.
+    pub fn record_metrics(&self, rec: &telemetry::Recorder) {
+        if !rec.is_enabled() {
+            return;
+        }
+        rec.counter_add("gpu.launches", 1);
+        let Some(makespan) = self.gpu_time() else {
+            return;
+        };
+        rec.gauge_set("gpu.time", makespan);
+        if let Some(e) = self.efficiency() {
+            rec.gauge_set("gpu.efficiency", e);
+        }
+        if let Some(im) = self.imbalance() {
+            rec.gauge_set("gpu.imbalance", im);
+        }
+        if makespan > 0.0 {
+            for r in self.per_gpu.iter().filter(|r| r.useful_pairs > 0) {
+                rec.hist_record("gpu.device_util", r.elapsed_s / makespan);
+            }
+        }
+    }
 }
 
 /// Health of one device, driven by [`FaultEvent`]s.
@@ -455,6 +502,36 @@ mod tests {
         };
         assert_eq!(t.gpu_time(), None);
         assert_eq!(t.efficiency(), None);
+        assert_eq!(t.imbalance(), None);
+    }
+
+    #[test]
+    fn imbalance_is_max_over_mean_of_busy_devices() {
+        let jobs = plummer_like_jobs(400);
+        let timing = homog(2).execute(&jobs).unwrap();
+        let im = timing.imbalance().unwrap();
+        assert!(im >= 1.0 && im < 1.5, "balanced walk, imbalance {im}");
+        // Force everything onto one device: the idle one must not count.
+        let sys = homog(2);
+        let skew = sys
+            .execute_with_partition(&jobs, vec![(0..jobs.len()).collect(), vec![]])
+            .unwrap();
+        assert_eq!(skew.imbalance(), Some(1.0));
+    }
+
+    #[test]
+    fn record_metrics_publishes_launch() {
+        let rec = telemetry::Recorder::enabled();
+        let jobs = plummer_like_jobs(300);
+        let timing = homog(3).execute(&jobs).unwrap();
+        timing.record_metrics(&rec);
+        let m = rec.metrics();
+        assert_eq!(m.counter("gpu.launches"), Some(1));
+        assert_eq!(m.gauge("gpu.time"), timing.gpu_time());
+        assert_eq!(m.gauge("gpu.imbalance"), timing.imbalance());
+        assert_eq!(m.histogram("gpu.device_util").unwrap().count, 3);
+        // Disabled recorder: free no-op.
+        timing.record_metrics(&telemetry::Recorder::disabled());
     }
 
     #[test]

@@ -72,6 +72,8 @@ pub struct IncrementalLists {
     /// so per-patch set membership needs no O(n) clear.
     stamp: Vec<u32>,
     epoch: u32,
+    /// Telemetry handle; `Recorder::disabled()` (the default) is free.
+    rec: telemetry::Recorder,
 }
 
 fn remove_one(v: &mut Vec<NodeId>, x: NodeId) {
@@ -119,14 +121,22 @@ impl IncrementalLists {
             body_count: Vec::new(),
             stamp: Vec::new(),
             epoch: 0,
+            rec: telemetry::Recorder::disabled(),
         };
         plan.rebuild(tree);
         plan
     }
 
+    /// Attach a telemetry recorder; plan rebuild/patch/refresh activity is
+    /// reported through its `plan.*` counters and histograms.
+    pub fn set_recorder(&mut self, rec: telemetry::Recorder) {
+        self.rec = rec;
+    }
+
     /// Throw the incremental state away and re-derive everything from a
     /// fresh traversal of `tree`.
     pub fn rebuild(&mut self, tree: &Octree) {
+        self.rec.counter_add("plan.rebuild", 1);
         let n = tree.num_nodes();
         self.lists = dual_traversal(tree, self.mac);
         self.rev_m2l = vec![Vec::new(); n];
@@ -227,9 +237,13 @@ impl IncrementalLists {
             }
         }
         if dirty.is_empty() {
+            self.rec.counter_add("plan.refresh.clean", 1);
             return PlanRefresh::Clean;
         }
         let recomputed = self.recount(tree, &dirty);
+        self.rec.counter_add("plan.refresh.patched", 1);
+        self.rec
+            .hist_record("plan.refresh.dirty", recomputed as f64);
         PlanRefresh::Patched { dirty: recomputed }
     }
 
@@ -389,6 +403,7 @@ impl IncrementalLists {
         //    old-subtree nodes drop to zero via the visibility check.
         dirty.extend(visible_subtree(tree, edit));
         self.recount(tree, &dirty);
+        self.rec.counter_add("plan.patch.edit", 1);
     }
 }
 

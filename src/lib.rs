@@ -15,7 +15,9 @@
 //!   Enforce_S;
 //! * [`gpu_sim`] / [`sched_sim`] — the virtual heterogeneous node (simulated
 //!   CUDA-like devices and an OpenMP-task-style scheduler model);
-//! * [`nbody`] — workload generators, integrators and diagnostics.
+//! * [`nbody`] — workload generators, integrators and diagnostics;
+//! * [`telemetry`] — structured tracing spans/events, a metrics registry,
+//!   and the prediction-vs-actual cost-model audit trail.
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory and
 //! paper↔module mapping, and `EXPERIMENTS.md` for paper-vs-measured results
@@ -45,6 +47,7 @@ pub use gpu_sim;
 pub use nbody;
 pub use octree;
 pub use sched_sim;
+pub use telemetry;
 
 /// The workhorse types, importable in one line.
 pub mod prelude {
@@ -59,4 +62,5 @@ pub mod prelude {
     pub use nbody::{Bodies, ElasticRing, Leapfrog};
     pub use octree::{build_adaptive, build_uniform, BuildParams, Mac, Octree};
     pub use sched_sim::{MemoryModel, SimConfig, TaskGraph};
+    pub use telemetry::{AuditTrail, MetricsRegistry, PredictionAudit, Recorder};
 }
