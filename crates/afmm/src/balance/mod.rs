@@ -39,6 +39,16 @@ pub enum Strategy {
     Full,
 }
 
+impl Strategy {
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::StaticS => "static_s",
+            Strategy::EnforceOnly => "enforce_only",
+            Strategy::Full => "full",
+        }
+    }
+}
+
 /// The load balancer's state (paper §V). Each state persists over multiple
 /// time steps; `Frozen` is the terminal state of [`Strategy::StaticS`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

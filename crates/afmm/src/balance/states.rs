@@ -315,6 +315,17 @@ impl LoadBalancer {
             return;
         }
         self.regress_count = 0;
+        // The provenance event the replay validator pairs with the enforce
+        // that follows: every Observation-state Enforce_S must be preceded
+        // by a regression (or anomaly) signal in the same step.
+        self.recorder().event(
+            "lb.regression",
+            vec![
+                ("compute", telemetry::Value::F64(compute)),
+                ("limit", telemetry::Value::F64(limit)),
+                ("best", telemetry::Value::F64(self.best_compute)),
+            ],
+        );
         // Regression: first line of defense is Enforce_S — through the plan
         // when one is live, so the interaction lists survive the repair.
         let nodes_before = engine.tree().visible_nodes().len();

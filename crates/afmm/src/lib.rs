@@ -43,6 +43,7 @@ mod error;
 pub mod exec;
 mod filter;
 mod plan;
+pub mod replay;
 mod simulate;
 
 pub use balance::{
@@ -61,4 +62,5 @@ pub use exec::{
     time_step, time_step_policy, time_step_with_jobs, ExecPolicy, PhaseTimes, TimingReport,
 };
 pub use gpu_sim::{DeviceStatus, FaultEvent, FaultSchedule, TimedFault};
+pub use replay::{diff_traces, validate_trace, DiffEntry, TraceDiff, ValidateOptions, Violation};
 pub use simulate::{GravitySim, RunSummary, StepRecord, StokesSim, StrategyTracker};

@@ -138,6 +138,12 @@ pub struct StrategyTracker<K: Kernel> {
     rec: telemetry::Recorder,
     /// Rolling prediction-vs-actual audit of the cost model (tentpole §3).
     audits: telemetry::AuditTrail,
+    /// Online anomaly detector over step time and prediction error.
+    /// Observe-only: it never feeds back into the balancer, and it is only
+    /// consulted when the recorder is enabled.
+    detector: telemetry::AnomalyDetector,
+    /// Anomalies detected so far, with the step they fired on.
+    anomalies: Vec<(usize, telemetry::Anomaly)>,
 }
 
 impl<K: Kernel> StrategyTracker<K> {
@@ -173,6 +179,8 @@ impl<K: Kernel> StrategyTracker<K> {
             filter_gpu: TimingFilter::default(),
             rec: telemetry::Recorder::disabled(),
             audits: telemetry::AuditTrail::new(),
+            detector: telemetry::AnomalyDetector::new(),
+            anomalies: Vec::new(),
         }
     }
 
@@ -197,10 +205,37 @@ impl<K: Kernel> StrategyTracker<K> {
     }
 
     /// Attach a recorder after construction; shared (via clone) with the
-    /// engine, its execution plan and the balancer.
+    /// engine, its execution plan and the balancer. Emits a `run.config`
+    /// header event so offline replay knows the bounds and thresholds the
+    /// balancer was configured with.
     pub fn set_recorder(&mut self, rec: telemetry::Recorder) {
         self.engine.set_recorder(rec.clone());
         self.balancer.set_recorder(rec.clone());
+        if rec.is_enabled() {
+            let cfg = &self.balancer.cfg;
+            rec.event(
+                "run.config",
+                vec![
+                    (
+                        "strategy",
+                        telemetry::Value::Str(self.balancer.strategy().name().into()),
+                    ),
+                    ("s_min", telemetry::Value::U64(cfg.s_min as u64)),
+                    ("s_max", telemetry::Value::U64(cfg.s_max as u64)),
+                    ("eps_switch_s", telemetry::Value::F64(cfg.eps_switch_s)),
+                    (
+                        "regression_frac",
+                        telemetry::Value::F64(cfg.regression_frac),
+                    ),
+                    ("use_fgo", telemetry::Value::Bool(cfg.use_fgo)),
+                    (
+                        "regression_hysteresis",
+                        telemetry::Value::U64(cfg.regression_hysteresis as u64),
+                    ),
+                    ("incr_factor", telemetry::Value::F64(cfg.incr_factor)),
+                ],
+            );
+        }
         self.rec = rec;
     }
 
@@ -212,6 +247,12 @@ impl<K: Kernel> StrategyTracker<K> {
     /// The rolling prediction-vs-actual audit trail.
     pub fn audits(&self) -> &telemetry::AuditTrail {
         &self.audits
+    }
+
+    /// Anomalies the online detector has flagged so far, with the step each
+    /// fired on. Empty unless the tracker runs with an enabled recorder.
+    pub fn anomalies(&self) -> &[(usize, telemetry::Anomaly)] {
+        &self.anomalies
     }
 
     /// Install the fault schedule; events fire at the start of the step
@@ -305,8 +346,10 @@ impl<K: Kernel> StrategyTracker<K> {
             self.filter_gpu.reset();
         }
         t_lb += rep.lb_time;
+        let mut audit_rel_error = None;
         if let Some(pred) = predicted {
             let audit = pred.audit(step_idx as u64, &timing, acted);
+            audit_rel_error = Some(audit.rel_error());
             if self.rec.is_enabled() {
                 self.rec.event(
                     "audit.prediction",
@@ -322,6 +365,28 @@ impl<K: Kernel> StrategyTracker<K> {
             self.audits.push(audit);
         }
         if self.rec.is_enabled() {
+            // Online anomaly detection, observe-only. A step on which the
+            // balancer acted moved the timing level on purpose, so the
+            // baseline is void (the same rule the TimingFilter applies);
+            // otherwise both monitored series get this step's sample.
+            if acted {
+                self.detector.reset();
+            } else {
+                let mut found = Vec::new();
+                if let Some(a) = self.detector.observe_step_time(t_cpu.max(t_gpu)) {
+                    found.push(a);
+                }
+                if let Some(rel) = audit_rel_error {
+                    if let Some(a) = self.detector.observe_pred_error(rel) {
+                        found.push(a);
+                    }
+                }
+                for a in found {
+                    self.rec.event(a.channel.event_name(), a.fields());
+                    self.rec.counter_add("anomaly.count", 1);
+                    self.anomalies.push((step_idx, a));
+                }
+            }
             crate::exec::record_phase_spans(&self.rec, &counts, &self.flops, &self.node, &timing);
             if let Some(gpu) = timing.gpu.as_ref() {
                 gpu.record_metrics(&self.rec);
@@ -334,6 +399,25 @@ impl<K: Kernel> StrategyTracker<K> {
             self.rec.hist_record("step.t_cpu", t_cpu);
             self.rec.hist_record("step.t_gpu", t_gpu);
             self.rec.hist_record("step.t_lb", t_lb);
+            // Per-step summary event: the replay validator's (and the Chrome
+            // exporter's S-counter-track's) per-step anchor. `state` and `s`
+            // describe the step as it ran — i.e. *before* any transition the
+            // balancer made in post_step above.
+            self.rec.event(
+                "step.record",
+                vec![
+                    ("s", telemetry::Value::U64(s as u64)),
+                    ("state", telemetry::Value::Str(state.name().into())),
+                    ("t_cpu", telemetry::Value::F64(t_cpu)),
+                    ("t_gpu", telemetry::Value::F64(t_gpu)),
+                    ("t_lb", telemetry::Value::F64(t_lb)),
+                    ("acted", telemetry::Value::Bool(acted)),
+                    (
+                        "online_gpus",
+                        telemetry::Value::U64(self.node.num_online_gpus() as u64),
+                    ),
+                ],
+            );
         }
         let rec = StepRecord {
             step: step_idx,

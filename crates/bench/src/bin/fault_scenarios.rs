@@ -36,6 +36,10 @@ struct StrategyOutcome {
     time_to_recover: Option<usize>,
     total_lb: f64,
     panicked: bool,
+    /// `anomaly.*` events the online detector emitted over the run.
+    anomalies: usize,
+    /// Step of the first anomaly — for faults, how fast it was attributed.
+    first_anomaly_step: Option<usize>,
 }
 
 struct Scenario {
@@ -101,7 +105,10 @@ fn run_strategy(
     steps: usize,
     fault_step: usize,
 ) -> StrategyOutcome {
-    let mut tracker = StrategyTracker::new(
+    // Telemetry on: the online anomaly detector watches every run, so the
+    // report can show each fault being flagged (and the baseline staying
+    // silent). Proven bit-identical to a recorder-less run in tests.
+    let mut tracker = StrategyTracker::with_telemetry(
         GravityKernel::default(),
         FmmParams::default(),
         node.clone(),
@@ -109,6 +116,7 @@ fn run_strategy(
         *cfg,
         pos,
         None,
+        telemetry::Recorder::enabled(),
     );
     let mut schedule = FaultSchedule::new();
     for f in faults {
@@ -170,6 +178,8 @@ fn run_strategy(
         time_to_recover,
         total_lb,
         panicked,
+        anomalies: tracker.anomalies().len(),
+        first_anomaly_step: tracker.anomalies().first().map(|(step, _)| *step),
     }
 }
 
@@ -204,11 +214,15 @@ fn main() {
             let ttr = out
                 .time_to_recover
                 .map_or("null".to_string(), |t| t.to_string());
+            let first_anom = out
+                .first_anomaly_step
+                .map_or("null".to_string(), |s| s.to_string());
             strategy_blobs.push(format!(
                 concat!(
                     "      {{\"strategy\": \"{}\", \"steady_before\": {}, ",
                     "\"steady_after\": {}, \"regression_frac\": {}, ",
-                    "\"time_to_recover\": {}, \"total_lb\": {}, \"panicked\": {}}}"
+                    "\"time_to_recover\": {}, \"total_lb\": {}, \"panicked\": {}, ",
+                    "\"anomalies\": {}, \"first_anomaly_step\": {}}}"
                 ),
                 out.strategy,
                 json_f64(out.steady_before),
@@ -217,6 +231,8 @@ fn main() {
                 ttr,
                 json_f64(out.total_lb),
                 out.panicked,
+                out.anomalies,
+                first_anom,
             ));
         }
         scenario_blobs.push(format!(

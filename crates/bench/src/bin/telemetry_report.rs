@@ -98,7 +98,10 @@ fn main() {
     );
     let mut pos = setup.bodies.pos.clone();
     for step in 0..steps {
-        tracker.step(&pos).expect("tracker step failed");
+        if let Err(e) = tracker.step(&pos) {
+            eprintln!("# FAIL: tracker step {step} failed: {e}");
+            std::process::exit(1);
+        }
         if step < steps / 2 {
             for p in &mut pos {
                 *p = *p + (clump - *p) * 0.05;
@@ -170,7 +173,10 @@ fn main() {
         timeline.join(",\n"),
         phase_json.join(",\n"),
     );
-    std::fs::write("BENCH_telemetry.json", &doc).expect("write BENCH_telemetry.json");
+    if let Err(e) = std::fs::write("BENCH_telemetry.json", &doc) {
+        eprintln!("# FAIL: write BENCH_telemetry.json: {e}");
+        std::process::exit(1);
+    }
     print!("{doc}");
 
     // ---- CI gate: cost-model fidelity ----

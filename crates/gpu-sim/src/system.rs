@@ -91,8 +91,24 @@ impl KernelTiming {
             rec.gauge_set("gpu.imbalance", im);
         }
         if makespan > 0.0 {
-            for r in self.per_gpu.iter().filter(|r| r.useful_pairs > 0) {
+            for (device, r) in self
+                .per_gpu
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.useful_pairs > 0)
+            {
                 rec.hist_record("gpu.device_util", r.elapsed_s / makespan);
+                // Per-device launch event: the trace exporter turns these
+                // into one Chrome timeline track per GPU.
+                rec.event(
+                    "gpu.util",
+                    vec![
+                        ("device", telemetry::Value::U64(device as u64)),
+                        ("elapsed_s", telemetry::Value::F64(r.elapsed_s)),
+                        ("util", telemetry::Value::F64(r.elapsed_s / makespan)),
+                        ("pairs", telemetry::Value::U64(r.useful_pairs)),
+                    ],
+                );
             }
         }
     }

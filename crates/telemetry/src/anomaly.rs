@@ -1,0 +1,475 @@
+//! Online anomaly detection over the step-time and prediction-error
+//! series: a rolling median/MAD z-score for spikes plus a two-sided CUSUM
+//! for slow drifts.
+//!
+//! The detector is *observe-only*: it consumes the same measurements the
+//! balancer already takes, never feeds anything back into control, and is
+//! meant to be gated on an enabled [`crate::Recorder`] exactly like the
+//! prediction audits — a telemetry-enabled run stays bit-identical to a
+//! disabled one.
+//!
+//! Why median/MAD rather than mean/stddev: the step-time series is heavy-
+//! tailed (Search probes, plan rebuilds), and a single fault spike must not
+//! inflate the dispersion estimate enough to mask the next one. The MAD is
+//! additionally floored (relative + absolute) so a near-constant window —
+//! common in deterministic steady state, where MAD is exactly zero — does
+//! not turn numerical dust into false positives. Spike samples are *not*
+//! absorbed into the window, so a sustained fault keeps firing until the
+//! balancer reacts and the caller resets the detector.
+
+use crate::event::Value;
+
+/// Which monitored series a sample belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnomalyChannel {
+    /// Measured per-step compute time (seconds).
+    StepTime,
+    /// Cost-model relative prediction error (dimensionless).
+    PredError,
+}
+
+impl AnomalyChannel {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AnomalyChannel::StepTime => "step_time",
+            AnomalyChannel::PredError => "pred_error",
+        }
+    }
+
+    /// Telemetry event name for anomalies on this channel.
+    pub fn event_name(self) -> &'static str {
+        match self {
+            AnomalyChannel::StepTime => "anomaly.step_time",
+            AnomalyChannel::PredError => "anomaly.pred_error",
+        }
+    }
+}
+
+/// What the detector saw: a point spike or an accumulated drift.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnomalyKind {
+    Spike,
+    Drift,
+}
+
+impl AnomalyKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AnomalyKind::Spike => "spike",
+            AnomalyKind::Drift => "drift",
+        }
+    }
+}
+
+/// How loud to be about it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Warn,
+    Critical,
+}
+
+impl Severity {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Warn => "warn",
+            Severity::Critical => "critical",
+        }
+    }
+}
+
+/// One detected anomaly, ready to be emitted as an `anomaly.*` event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Anomaly {
+    pub channel: AnomalyChannel,
+    pub kind: AnomalyKind,
+    pub severity: Severity,
+    /// The offending sample.
+    pub value: f64,
+    /// Rolling median at detection time.
+    pub median: f64,
+    /// Modified z-score (spike) or CUSUM statistic (drift).
+    pub score: f64,
+}
+
+impl Anomaly {
+    /// Structured fields for the `anomaly.*` telemetry event.
+    pub fn fields(&self) -> Vec<(&'static str, Value)> {
+        vec![
+            ("channel", Value::Str(self.channel.as_str().to_owned())),
+            ("kind", Value::Str(self.kind.as_str().to_owned())),
+            ("severity", Value::Str(self.severity.as_str().to_owned())),
+            ("value", Value::F64(self.value)),
+            ("median", Value::F64(self.median)),
+            ("score", Value::F64(self.score)),
+        ]
+    }
+}
+
+/// Detector thresholds. Defaults are deliberately conservative: the clean
+/// fault-scenario runs in `tests/fault_recovery.rs` must stay silent.
+#[derive(Debug, Clone, Copy)]
+pub struct AnomalyConfig {
+    /// Rolling-window length (samples) for the median/MAD baseline.
+    pub window: usize,
+    /// Minimum samples before the detector scores anything.
+    pub min_samples: usize,
+    /// Modified z-score above which a sample is a `Warn` spike.
+    pub z_warn: f64,
+    /// Modified z-score above which a spike is `Critical`.
+    pub z_critical: f64,
+    /// Relative MAD floor: sigma never drops below `mad_floor_frac·|median|`.
+    pub mad_floor_frac: f64,
+    /// Absolute sigma floor, in channel units (guards the median≈0 case).
+    pub abs_floor: f64,
+    /// CUSUM slack per standardized sample (drift must exceed this rate).
+    pub cusum_k: f64,
+    /// CUSUM decision threshold (standardized units, accumulated).
+    pub cusum_h: f64,
+}
+
+impl AnomalyConfig {
+    /// Tuning for the step-time series (seconds).
+    pub fn step_time() -> Self {
+        AnomalyConfig {
+            window: 16,
+            min_samples: 8,
+            z_warn: 4.0,
+            z_critical: 8.0,
+            mad_floor_frac: 0.05,
+            abs_floor: 1e-9,
+            cusum_k: 0.5,
+            cusum_h: 8.0,
+        }
+    }
+
+    /// Tuning for the prediction-relative-error series (dimensionless).
+    /// The absolute floor is the error band the audit gate already calls
+    /// healthy, so small-error wobble never scores.
+    pub fn pred_error() -> Self {
+        AnomalyConfig {
+            abs_floor: 0.05,
+            ..Self::step_time()
+        }
+    }
+}
+
+/// One channel's rolling state.
+#[derive(Debug, Clone)]
+struct ChannelState {
+    cfg: AnomalyConfig,
+    channel: AnomalyChannel,
+    window: Vec<f64>,
+    /// Next slot to overwrite once the window is full (ring index).
+    cursor: usize,
+    filled: bool,
+    cusum_pos: f64,
+    cusum_neg: f64,
+}
+
+impl ChannelState {
+    fn new(channel: AnomalyChannel, cfg: AnomalyConfig) -> Self {
+        ChannelState {
+            cfg,
+            channel,
+            window: Vec::with_capacity(cfg.window),
+            cursor: 0,
+            filled: false,
+            cusum_pos: 0.0,
+            cusum_neg: 0.0,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.window.clear();
+        self.cursor = 0;
+        self.filled = false;
+        self.cusum_pos = 0.0;
+        self.cusum_neg = 0.0;
+    }
+
+    fn push(&mut self, v: f64) {
+        if self.window.len() < self.cfg.window {
+            self.window.push(v);
+        } else {
+            self.window[self.cursor] = v;
+            self.cursor = (self.cursor + 1) % self.cfg.window;
+            self.filled = true;
+        }
+    }
+
+    fn observe(&mut self, v: f64) -> Option<Anomaly> {
+        if !v.is_finite() {
+            // Non-finite samples (e.g. an inf relative error against a ~0
+            // actual) are reported as critical spikes but never enter the
+            // baseline.
+            if self.window.len() >= self.cfg.min_samples {
+                return Some(Anomaly {
+                    channel: self.channel,
+                    kind: AnomalyKind::Spike,
+                    severity: Severity::Critical,
+                    value: v,
+                    median: median_of(&self.window),
+                    score: f64::INFINITY,
+                });
+            }
+            return None;
+        }
+        if self.window.len() < self.cfg.min_samples {
+            self.push(v);
+            return None;
+        }
+        let med = median_of(&self.window);
+        let mad = mad_of(&self.window, med);
+        // 1.4826 rescales MAD to a normal-consistent sigma.
+        let sigma = (1.4826 * mad)
+            .max(self.cfg.mad_floor_frac * med.abs())
+            .max(self.cfg.abs_floor);
+        let z = (v - med) / sigma;
+        if z.abs() >= self.cfg.z_warn {
+            // A spike does not contaminate the baseline or the drift
+            // accumulators: a persistent fault keeps scoring until reset.
+            let severity = if z.abs() >= self.cfg.z_critical {
+                Severity::Critical
+            } else {
+                Severity::Warn
+            };
+            return Some(Anomaly {
+                channel: self.channel,
+                kind: AnomalyKind::Spike,
+                severity,
+                value: v,
+                median: med,
+                score: z,
+            });
+        }
+        self.push(v);
+        // Two-sided CUSUM on the standardized residual catches slow drifts
+        // that never clear the spike bar.
+        self.cusum_pos = (self.cusum_pos + z - self.cfg.cusum_k).max(0.0);
+        self.cusum_neg = (self.cusum_neg - z - self.cfg.cusum_k).max(0.0);
+        let s = self.cusum_pos.max(self.cusum_neg);
+        if s >= self.cfg.cusum_h {
+            let score = if self.cusum_pos >= self.cusum_neg {
+                s
+            } else {
+                -s
+            };
+            self.cusum_pos = 0.0;
+            self.cusum_neg = 0.0;
+            return Some(Anomaly {
+                channel: self.channel,
+                kind: AnomalyKind::Drift,
+                severity: Severity::Warn,
+                value: v,
+                median: med,
+                score,
+            });
+        }
+        None
+    }
+}
+
+fn median_of(w: &[f64]) -> f64 {
+    if w.is_empty() {
+        return 0.0;
+    }
+    let mut s = w.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = s.len();
+    if n % 2 == 1 {
+        s[n / 2]
+    } else {
+        0.5 * (s[n / 2 - 1] + s[n / 2])
+    }
+}
+
+fn mad_of(w: &[f64], med: f64) -> f64 {
+    let dev: Vec<f64> = w.iter().map(|x| (x - med).abs()).collect();
+    median_of(&dev)
+}
+
+/// The online detector: one [`ChannelState`] per monitored series.
+///
+/// Usage pattern (mirrors `StrategyTracker`):
+///
+/// * after a step in which the balancer did *not* act, feed the measured
+///   compute time to [`AnomalyDetector::observe_step_time`] and the audit's
+///   relative error to [`AnomalyDetector::observe_pred_error`];
+/// * after a step in which it *did* act (rebuild / enforce / FGO), call
+///   [`AnomalyDetector::reset`] — the timing level legitimately moved, so
+///   the old baseline is void (the same rule the balancer's `TimingFilter`
+///   applies to itself).
+#[derive(Debug, Clone)]
+pub struct AnomalyDetector {
+    step_time: ChannelState,
+    pred_error: ChannelState,
+}
+
+impl Default for AnomalyDetector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AnomalyDetector {
+    pub fn new() -> Self {
+        Self::with_configs(AnomalyConfig::step_time(), AnomalyConfig::pred_error())
+    }
+
+    pub fn with_configs(step_time: AnomalyConfig, pred_error: AnomalyConfig) -> Self {
+        AnomalyDetector {
+            step_time: ChannelState::new(AnomalyChannel::StepTime, step_time),
+            pred_error: ChannelState::new(AnomalyChannel::PredError, pred_error),
+        }
+    }
+
+    /// Score a measured step compute time (seconds).
+    pub fn observe_step_time(&mut self, seconds: f64) -> Option<Anomaly> {
+        self.step_time.observe(seconds)
+    }
+
+    /// Score a cost-model relative prediction error.
+    pub fn observe_pred_error(&mut self, rel_error: f64) -> Option<Anomaly> {
+        self.pred_error.observe(rel_error)
+    }
+
+    /// Void the baselines after an intentional regime change.
+    pub fn reset(&mut self) {
+        self.step_time.reset();
+        self.pred_error.reset();
+    }
+
+    /// Samples currently in the step-time baseline (diagnostics).
+    pub fn step_time_samples(&self) -> usize {
+        self.step_time.window.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(det: &mut AnomalyDetector, xs: &[f64]) -> Vec<Anomaly> {
+        xs.iter()
+            .filter_map(|&x| det.observe_step_time(x))
+            .collect()
+    }
+
+    #[test]
+    fn constant_series_is_silent() {
+        let mut det = AnomalyDetector::new();
+        let found = feed(&mut det, &[0.01; 200]);
+        assert!(
+            found.is_empty(),
+            "false positives on constant series: {found:?}"
+        );
+    }
+
+    #[test]
+    fn small_jitter_is_silent() {
+        let mut det = AnomalyDetector::new();
+        // ±2% deterministic wobble around 10ms stays under the floored z.
+        let xs: Vec<f64> = (0..200)
+            .map(|i| 0.01 * (1.0 + 0.02 * ((i % 7) as f64 - 3.0) / 3.0))
+            .collect();
+        let found = feed(&mut det, &xs);
+        assert!(found.is_empty(), "false positives on jitter: {found:?}");
+    }
+
+    #[test]
+    fn spike_is_flagged_and_does_not_poison_baseline() {
+        let mut det = AnomalyDetector::new();
+        assert!(feed(&mut det, &[0.01; 20]).is_empty());
+        let a = det.observe_step_time(0.03).expect("3x step not flagged");
+        assert_eq!(a.kind, AnomalyKind::Spike);
+        assert_eq!(a.channel, AnomalyChannel::StepTime);
+        assert!(a.score > 0.0);
+        // The spike was not absorbed: the very next spike still fires.
+        let b = det.observe_step_time(0.03).expect("repeat spike missed");
+        assert_eq!(b.kind, AnomalyKind::Spike);
+        // And normal samples remain normal.
+        assert!(det.observe_step_time(0.01).is_none());
+    }
+
+    #[test]
+    fn severity_scales_with_magnitude() {
+        let mut det = AnomalyDetector::new();
+        feed(&mut det, &[0.01; 20]);
+        let warn = det.observe_step_time(0.0125).expect("mild spike missed");
+        assert_eq!(warn.severity, Severity::Warn);
+        let crit = det.observe_step_time(0.1).expect("huge spike missed");
+        assert_eq!(crit.severity, Severity::Critical);
+    }
+
+    #[test]
+    fn slow_drift_trips_cusum() {
+        let mut det = AnomalyDetector::new();
+        feed(&mut det, &[0.01; 16]);
+        // +2% per step: each sample is ~sub-spike but the drift accumulates.
+        let mut v = 0.01;
+        let mut hit = None;
+        for i in 0..60 {
+            v *= 1.02;
+            if let Some(a) = det.observe_step_time(v) {
+                hit = Some((i, a));
+                break;
+            }
+        }
+        let (_, a) = hit.expect("drift never detected");
+        assert!(matches!(a.kind, AnomalyKind::Drift | AnomalyKind::Spike));
+    }
+
+    #[test]
+    fn reset_voids_baseline() {
+        let mut det = AnomalyDetector::new();
+        feed(&mut det, &[0.01; 20]);
+        det.reset();
+        assert_eq!(det.step_time_samples(), 0);
+        // New regime at 3x the old level: silent, it is the new normal.
+        assert!(feed(&mut det, &[0.03; 20]).is_empty());
+    }
+
+    #[test]
+    fn nonfinite_pred_error_is_critical_after_warmup() {
+        let mut det = AnomalyDetector::new();
+        for _ in 0..10 {
+            assert!(det.observe_pred_error(0.02).is_none());
+        }
+        let a = det
+            .observe_pred_error(f64::INFINITY)
+            .expect("inf error missed");
+        assert_eq!(a.severity, Severity::Critical);
+        assert_eq!(a.channel, AnomalyChannel::PredError);
+    }
+
+    #[test]
+    fn pred_error_floor_tolerates_healthy_band() {
+        let mut det = AnomalyDetector::new();
+        // Errors bouncing in [0, 4%] — inside the healthy band, no alarms
+        // even though the relative variation is large.
+        let xs: Vec<f64> = (0..100).map(|i| 0.04 * ((i % 5) as f64) / 4.0).collect();
+        let found: Vec<_> = xs
+            .iter()
+            .filter_map(|&x| det.observe_pred_error(x))
+            .collect();
+        assert!(
+            found.is_empty(),
+            "false positives in healthy band: {found:?}"
+        );
+    }
+
+    #[test]
+    fn anomaly_fields_are_structured() {
+        let a = Anomaly {
+            channel: AnomalyChannel::StepTime,
+            kind: AnomalyKind::Spike,
+            severity: Severity::Critical,
+            value: 0.5,
+            median: 0.01,
+            score: 12.0,
+        };
+        let f = a.fields();
+        assert_eq!(f[0], ("channel", Value::Str("step_time".into())));
+        assert_eq!(f[2], ("severity", Value::Str("critical".into())));
+    }
+}

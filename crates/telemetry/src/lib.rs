@@ -28,12 +28,16 @@
 //! assert_eq!(rec.metrics().counter("plan.rebuild"), Some(1));
 //! ```
 
+mod anomaly;
 mod audit;
 mod event;
 mod metrics;
 mod recorder;
+mod trace;
 
+pub use anomaly::{Anomaly, AnomalyChannel, AnomalyConfig, AnomalyDetector, AnomalyKind, Severity};
 pub use audit::{AuditStats, AuditTrail, PredictionAudit, DEFAULT_WINDOW};
 pub use event::{push_json_f64, push_json_str, EventRecord, RecordKind, Value};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use recorder::{JsonlSink, Recorder, Sink, SpanGuard, VecSink, DEFAULT_CAPACITY};
+pub use trace::{intern, json_syntax_ok, read_trace, ChromeTraceExporter, TraceError, TraceReader};

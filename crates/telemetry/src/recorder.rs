@@ -49,6 +49,15 @@ impl Sink for JsonlSink {
     }
 }
 
+impl Drop for JsonlSink {
+    /// Belt-and-braces flush: `BufWriter` flushes on drop too, but only
+    /// best-effort inside its own `Drop`; doing it here keeps the guarantee
+    /// local and covers sinks extracted from their recorder.
+    fn drop(&mut self) {
+        let _ = self.w.flush();
+    }
+}
+
 /// Collects JSONL lines in memory; keep a clone to read them back later.
 #[derive(Clone, Default)]
 pub struct VecSink {
@@ -77,6 +86,19 @@ struct Inner {
     events: Mutex<VecDeque<EventRecord>>,
     sink: Mutex<Option<Box<dyn Sink>>>,
     metrics: MetricsRegistry,
+}
+
+impl Drop for Inner {
+    /// Flush-on-drop: when the last `Recorder` clone goes away, any lines
+    /// still buffered in the sink reach their destination — a forgotten
+    /// `rec.flush()` must not truncate the JSONL trace.
+    fn drop(&mut self) {
+        if let Ok(sink) = self.sink.get_mut() {
+            if let Some(sink) = sink.as_mut() {
+                sink.flush();
+            }
+        }
+    }
 }
 
 /// Handle to the telemetry pipeline. Clones share one buffer/registry.
@@ -340,6 +362,29 @@ mod tests {
         assert_eq!(lines.len(), 5);
         assert!(lines[0].contains("\"name\":\"e\""));
         assert_eq!(r.events().len(), 2);
+    }
+
+    #[test]
+    fn last_handle_drop_flushes_jsonl_sink() {
+        let path = std::env::temp_dir().join(format!(
+            "telemetry_flush_on_drop_{}.jsonl",
+            std::process::id()
+        ));
+        {
+            let r = Recorder::enabled();
+            let r2 = r.clone();
+            r.set_sink(JsonlSink::create(&path).unwrap());
+            for i in 0..100u64 {
+                r.event("tick", vec![("i", Value::U64(i))]);
+            }
+            // No explicit flush anywhere: dropping both handles must do it.
+            drop(r);
+            drop(r2);
+        }
+        let data = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(data.lines().count(), 100);
+        assert!(data.lines().last().unwrap().contains("\"i\":99"));
     }
 
     #[test]

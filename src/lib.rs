@@ -52,9 +52,10 @@ pub use telemetry;
 /// The workhorse types, importable in one line.
 pub mod prelude {
     pub use afmm::{
-        fine_grained_optimize, search_best_s_cpu_only, CostModel, FaultEvent, FaultSchedule,
-        FmmEngine, FmmParams, GravitySim, HeteroNode, LbConfig, LbState, LoadBalancer, Prediction,
-        StokesSim, Strategy, StrategyTracker, TimedFault, TimingFilter,
+        diff_traces, fine_grained_optimize, search_best_s_cpu_only, validate_trace, CostModel,
+        FaultEvent, FaultSchedule, FmmEngine, FmmParams, GravitySim, HeteroNode, LbConfig, LbState,
+        LoadBalancer, Prediction, StokesSim, Strategy, StrategyTracker, TimedFault, TimingFilter,
+        ValidateOptions,
     };
     pub use fmm_math::{ExpansionOps, GravityKernel, Kernel, StokesletKernel};
     pub use geom::{Aabb, Vec3};
@@ -62,5 +63,8 @@ pub mod prelude {
     pub use nbody::{Bodies, ElasticRing, Leapfrog};
     pub use octree::{build_adaptive, build_uniform, BuildParams, Mac, Octree};
     pub use sched_sim::{MemoryModel, SimConfig, TaskGraph};
-    pub use telemetry::{AuditTrail, MetricsRegistry, PredictionAudit, Recorder};
+    pub use telemetry::{
+        AnomalyDetector, AuditTrail, ChromeTraceExporter, EventRecord, JsonlSink, MetricsRegistry,
+        PredictionAudit, Recorder, TraceReader, Value, VecSink,
+    };
 }
