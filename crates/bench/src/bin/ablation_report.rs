@@ -14,6 +14,7 @@ use gpu_sim::partition_by_node_count;
 use octree::{build_adaptive, BuildParams, Mac};
 
 fn main() {
+    bench::cli::no_args("ablation_report");
     partition_ablation();
     mac_ablation();
     prediction_ablation();

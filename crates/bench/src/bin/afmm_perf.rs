@@ -1,0 +1,160 @@
+//! **afmm-perf** — the perf-lab driver: run the benchmark suite, compare
+//! two reports with the noise-aware gate, refresh the checked-in baseline.
+//!
+//! ```text
+//! afmm-perf run [--quick|--smoke] [-o out.json]   run the suite → BENCH_perf.json
+//! afmm-perf compare <old.json> <new.json>         classify deltas; exit 1 on regression
+//! afmm-perf baseline [--full] [-o path]           refresh bench/baseline.json
+//! ```
+//!
+//! Exit codes follow `afmm-trace`: 0 = ok, 1 = statistically significant
+//! regression, 2 = usage or I/O error. `compare` prints a fixed-width
+//! verdict table; a metric only fails the gate when its bootstrap CIs
+//! don't overlap *and* the median delta clears the relative-MAD threshold
+//! (see `bench::harness::compare`). Reports embed structural introspection
+//! snapshots, so a regression comes with the tree/plan/GPU/cost-model
+//! context needed to attribute it.
+
+use std::process::ExitCode;
+
+use bench::harness::{compare, run_suite, BenchReport, CompareConfig, SuiteConfig};
+
+const USAGE: &str = "usage: afmm-perf <run|compare|baseline> [...]
+  run [--quick|--smoke] [-o out.json]   run the suite, write a BenchReport JSON
+  compare <old.json> <new.json>         noise-aware comparison; exit 1 on regression
+  baseline [--full] [-o path]           run the suite and refresh the checked-in baseline";
+
+fn fail(msg: impl std::fmt::Display) -> ExitCode {
+    eprintln!("afmm-perf: {msg}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return fail(USAGE);
+    };
+    match cmd.as_str() {
+        "run" => cmd_run(&args[1..]),
+        "compare" => cmd_compare(&args[1..]),
+        "baseline" => cmd_baseline(&args[1..]),
+        other => fail(format!("unknown subcommand \"{other}\"\n{USAGE}")),
+    }
+}
+
+fn run_and_render(cfg: &SuiteConfig) -> BenchReport {
+    eprintln!(
+        "# afmm-perf: {} suite ({} scenarios pending, reps={}, warmup={})",
+        cfg.mode, 6, cfg.reps, cfg.warmup
+    );
+    run_suite(cfg, &mut |line| eprintln!("# {line}"))
+}
+
+fn write_report(report: &BenchReport, path: &std::path::Path) -> Result<(), String> {
+    std::fs::write(path, report.to_json()).map_err(|e| format!("write {}: {e}", path.display()))
+}
+
+fn load_report(path: &str) -> Result<BenchReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    BenchReport::from_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let mut cfg = SuiteConfig::full();
+    let mut output = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => cfg = SuiteConfig::quick(),
+            "--smoke" => cfg = SuiteConfig::smoke(),
+            "--full" => cfg = SuiteConfig::full(),
+            "-o" | "--output" => match it.next() {
+                Some(p) => output = Some(std::path::PathBuf::from(p)),
+                None => return fail("-o requires a path"),
+            },
+            other => return fail(format!("unexpected argument \"{other}\"\n{USAGE}")),
+        }
+    }
+    let report = run_and_render(&cfg);
+    let path = output.unwrap_or_else(|| bench::out_path("BENCH_perf.json"));
+    if let Err(e) = write_report(&report, &path) {
+        return fail(e);
+    }
+    eprintln!(
+        "# wrote {} ({} scenarios, commit {})",
+        path.display(),
+        report.scenarios.len(),
+        &report.commit[..report.commit.len().min(12)]
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_compare(args: &[String]) -> ExitCode {
+    let [old_path, new_path] = args else {
+        return fail(USAGE);
+    };
+    let (old, new) = match (load_report(old_path), load_report(new_path)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) | (_, Err(e)) => return fail(e),
+    };
+    let result = compare(&old, &new, &CompareConfig::default());
+    print!("{}", result.render());
+    let (om, nm) = bench::harness::compare::modes(&old, &new);
+    if om != nm {
+        eprintln!("# note: comparing a \"{om}\" baseline against a \"{nm}\" report");
+    }
+    if result.regressions() > 0 {
+        eprintln!(
+            "# FAIL: {} statistically significant regression(s) vs {old_path}",
+            result.regressions()
+        );
+        return ExitCode::from(1);
+    }
+    eprintln!("# OK: no significant regressions vs {old_path}");
+    ExitCode::SUCCESS
+}
+
+/// Default location of the checked-in baseline: `bench/baseline.json` at
+/// the workspace root (resolved from this crate's manifest dir so the
+/// command works from any CWD inside the repo).
+fn default_baseline_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("bench/baseline.json")
+}
+
+fn cmd_baseline(args: &[String]) -> ExitCode {
+    // The baseline is what CI's quick run gates against, so it is recorded
+    // at quick-mode sizes unless --full is given.
+    let mut cfg = SuiteConfig::quick();
+    let mut output = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--full" => cfg = SuiteConfig::full(),
+            "--smoke" => cfg = SuiteConfig::smoke(),
+            "-o" | "--output" => match it.next() {
+                Some(p) => output = Some(std::path::PathBuf::from(p)),
+                None => return fail("-o requires a path"),
+            },
+            other => return fail(format!("unexpected argument \"{other}\"\n{USAGE}")),
+        }
+    }
+    let report = run_and_render(&cfg);
+    let path = output.unwrap_or_else(default_baseline_path);
+    if let Some(dir) = path.parent() {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            return fail(format!("create {}: {e}", dir.display()));
+        }
+    }
+    if let Err(e) = write_report(&report, &path) {
+        return fail(e);
+    }
+    eprintln!(
+        "# baseline refreshed: {} ({} mode, commit {})",
+        path.display(),
+        cfg.mode,
+        &report.commit[..report.commit.len().min(12)]
+    );
+    ExitCode::SUCCESS
+}

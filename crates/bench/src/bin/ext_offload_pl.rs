@@ -14,6 +14,7 @@ use bench::{fmt_s, print_tsv, s_grid};
 use fmm_math::{GravityKernel, Kernel};
 
 fn main() {
+    bench::cli::no_args("ext_offload_pl");
     let n = 100_000;
     let bodies = nbody::plummer(n, 1.0, 1.0, 71);
     let mut engine = FmmEngine::new(

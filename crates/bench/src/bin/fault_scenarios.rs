@@ -192,9 +192,10 @@ fn json_f64(x: f64) -> String {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let steps: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(120);
-    let n: usize = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(8000);
+    let mut args = bench::cli::Args::parse("fault_scenarios", "[steps] [bodies]");
+    let steps = args.opt_usize_or_exit("steps", 120);
+    let n = args.opt_usize_or_exit("bodies", 8000);
+    args.finish_or_exit();
     let fault_step = steps / 2;
 
     let b = nbody::plummer(n, 1.0, 1.0, 9001);

@@ -16,9 +16,10 @@ use rand::prelude::*;
 use rand::rngs::StdRng;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let steps: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(200);
-    let n: usize = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(50_000);
+    let mut args = bench::cli::Args::parse("fig10_finegrained", "[steps] [bodies]");
+    let steps = args.opt_usize_or_exit("steps", 200);
+    let n = args.opt_usize_or_exit("bodies", 50_000);
+    args.finish_or_exit();
 
     let bodies = nbody::uniform_cube(n, 1.0, 48);
     let node = HeteroNode::system_a(10, 4);

@@ -10,6 +10,7 @@ use fmm_math::GravityKernel;
 use octree::{build_adaptive, BuildParams};
 
 fn main() {
+    bench::cli::no_args("fig3_adaptive_cost");
     let n = 50_000;
     let bodies = nbody::plummer(n, 1.0, 1.0, 42);
     let node = afmm::HeteroNode::system_a(10, 4);

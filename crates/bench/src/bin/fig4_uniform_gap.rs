@@ -11,6 +11,7 @@ use fmm_math::GravityKernel;
 use octree::build_uniform;
 
 fn main() {
+    bench::cli::no_args("fig4_uniform_gap");
     let n = 50_000usize;
     let bodies = nbody::uniform_cube(n, 1.0, 43);
     let node = afmm::HeteroNode::system_a(10, 4);

@@ -13,6 +13,7 @@ use fmm_math::GravityKernel;
 use octree::{build_adaptive, BuildParams, TreeStats};
 
 fn main() {
+    bench::cli::no_args("fig6_cpu_speedup");
     let n = 200_000;
     let bodies = nbody::plummer(n, 1.0, 1.0, 44);
     let flops = default_flops(&GravityKernel::default());

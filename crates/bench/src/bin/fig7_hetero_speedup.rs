@@ -15,11 +15,9 @@ use fmm_math::GravityKernel;
 use octree::{build_adaptive, BuildParams};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let n: usize = args
-        .get(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(1_000_000);
+    let mut args = bench::cli::Args::parse("fig7_hetero_speedup", "[bodies]");
+    let n = args.opt_usize_or_exit("bodies", 1_000_000);
+    args.finish_or_exit();
     let bodies = nbody::plummer(n, 1.0, 1.0, 46);
     let flops = default_flops(&GravityKernel::default());
     let grid = s_grid(8, 4096, 3);

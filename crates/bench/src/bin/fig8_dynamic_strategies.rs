@@ -28,9 +28,10 @@ use bench::print_tsv;
 use fmm_math::GravityKernel;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let steps: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(500);
-    let n: usize = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(100_000);
+    let mut args = bench::cli::Args::parse("fig8_dynamic_strategies", "[steps] [bodies]");
+    let steps = args.opt_usize_or_exit("steps", 500);
+    let n = args.opt_usize_or_exit("bodies", 100_000);
+    args.finish_or_exit();
 
     let g = 1.0;
     let setup = nbody::expanding_plummer(n, g, 47);

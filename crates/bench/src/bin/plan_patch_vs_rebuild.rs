@@ -1,35 +1,20 @@
 //! **Plan-layer economics** (no paper figure — engineering validation): how
-//! much cheaper is patching a live [`IncrementalLists`] through a single
-//! Collapse/PushDown than re-deriving the interaction lists and op counts
-//! from scratch, across the S range the balancer sweeps?
+//! much cheaper is patching a live [`octree::IncrementalLists`] through a
+//! single Collapse/PushDown than re-deriving the interaction lists and op
+//! counts from scratch, across the S range the balancer sweeps?
 //!
-//! For each S the harness builds the tree once, times the full
-//! `dual_traversal` + `count_ops` pass (the cost every tree edit used to pay),
-//! then times a batch of plan-routed collapse/push-down pairs on twig nodes —
-//! the same single-node edits `Enforce_S` and `FineGrainedOptimize` issue.
+//! Thin wrapper over [`bench::harness::measure_plan_economy`] — the same
+//! measurement the perf-lab's `plan_patch_vs_rebuild` scenario runs at one
+//! fixed S, swept here over the balancer's S range for the table. The
+//! perf-lab (`afmm-perf run`) is what gates regressions; this bin keeps the
+//! historical `BENCH_plan.json` artifact and its S-sweep shape.
 //!
-//! Output: `BENCH_plan.json` in the working directory (also echoed to
-//! stdout). Override scale: `plan_patch_vs_rebuild [bodies] [edits_per_s]`.
+//! Output: `BENCH_plan.json` (in `$BENCH_OUT_DIR` when set, CWD otherwise;
+//! also echoed to stdout). Override scale:
+//! `plan_patch_vs_rebuild [bodies] [edits_per_s]`.
 
-use octree::{
-    build_adaptive, count_ops, dual_traversal, BuildParams, IncrementalLists, Mac, NodeId, Octree,
-};
-use std::time::Instant;
-
-/// Internal non-root nodes whose visible children are all leaves — the edit
-/// sites a capacity sweep actually touches, and whose hidden children let
-/// `push_down` revert the collapse exactly.
-fn twigs(tree: &Octree, limit: usize) -> Vec<NodeId> {
-    tree.visible_nodes()
-        .into_iter()
-        .filter(|&id| {
-            id != Octree::ROOT
-                && !tree.node(id).is_leaf()
-                && tree.visible_children(id).all(|c| tree.node(c).is_leaf())
-        })
-        .take(limit)
-        .collect()
-}
+use bench::harness::measure_plan_economy;
+use octree::{build_adaptive, BuildParams, Mac};
 
 struct Row {
     s: usize,
@@ -47,9 +32,10 @@ fn json_f64(x: f64) -> String {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let n: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(120_000);
-    let edits_per_s: usize = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(48);
+    let mut args = bench::cli::Args::parse("plan_patch_vs_rebuild", "[bodies] [edits_per_s]");
+    let n = args.opt_usize_or_exit("bodies", 120_000);
+    let edits_per_s = args.opt_usize_or_exit("edits_per_s", 48);
+    args.finish_or_exit();
 
     let b = nbody::plummer(n, 1.0, 1.0, 777);
     let mac = Mac::default();
@@ -59,35 +45,20 @@ fn main() {
     let mut rows = Vec::new();
     for &s in &s_values {
         let mut tree = build_adaptive(&b.pos, BuildParams::with_s(s));
-
-        // Baseline: the full re-traversal + recount a tree edit costs
-        // without the plan layer.
-        let t0 = Instant::now();
+        // Average `reps` measurements on the same tree; every collapse is
+        // reverted by its push-down, so the passes are identical work.
+        let (mut rebuild_us, mut patch_us, mut edits) = (0.0, 0.0, 0);
         for _ in 0..reps {
-            let lists = dual_traversal(&tree, mac);
-            let counts = count_ops(&tree, &lists);
-            std::hint::black_box((lists, counts));
+            let e = measure_plan_economy(&mut tree, mac, edits_per_s);
+            rebuild_us += e.rebuild_us / reps as f64;
+            patch_us += e.patch_us_per_edit / reps as f64;
+            edits = e.edits;
         }
-        let rebuild_us = t0.elapsed().as_secs_f64() * 1e6 / reps as f64;
-
-        // Patched: collapse + reverting push-down, each a single-node edit
-        // routed through the live plan.
-        let victims = twigs(&tree, edits_per_s);
-        let mut plan = IncrementalLists::build(&tree, mac);
-        let t0 = Instant::now();
-        let mut applied = 0usize;
-        for &id in &victims {
-            applied += usize::from(plan.apply_collapse(&mut tree, id));
-            applied += usize::from(plan.apply_push_down(&mut tree, id));
-        }
-        let patch_us_per_edit = t0.elapsed().as_secs_f64() * 1e6 / applied.max(1) as f64;
-        assert_eq!(applied, 2 * victims.len(), "every twig edit must apply");
-
         rows.push(Row {
             s,
             rebuild_us,
-            patch_us_per_edit,
-            edits: applied,
+            patch_us_per_edit: patch_us,
+            edits,
         });
     }
 
@@ -112,7 +83,8 @@ fn main() {
         steps.join(",\n"),
     );
 
-    std::fs::write("BENCH_plan.json", &doc).expect("write BENCH_plan.json");
+    let path = bench::out_path("BENCH_plan.json");
+    std::fs::write(&path, &doc).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
     print!("{doc}");
 
     let worst = rows

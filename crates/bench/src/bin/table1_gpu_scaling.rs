@@ -12,6 +12,7 @@ use fmm_math::GravityKernel;
 use octree::{build_adaptive, BuildParams};
 
 fn main() {
+    bench::cli::no_args("table1_gpu_scaling");
     let n = 200_000;
     let bodies = nbody::plummer(n, 1.0, 1.0, 45);
     let flops = default_flops(&GravityKernel::default());

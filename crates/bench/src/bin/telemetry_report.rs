@@ -12,8 +12,9 @@
 //!    cause, and the `Enforce_S` / FGO activity counters;
 //! 4. the per-phase span histograms (P2M/M2M/M2L/L2L/L2P/P2P).
 //!
-//! Output: `BENCH_telemetry.json` in the working directory (echoed to
-//! stdout) and the raw event trace in `BENCH_telemetry_trace.jsonl`.
+//! Output: `BENCH_telemetry.json` (in `$BENCH_OUT_DIR` when set, CWD
+//! otherwise; echoed to stdout) and the raw event trace in
+//! `BENCH_telemetry_trace.jsonl` alongside it.
 //! Exit code 1 when the observed median relative prediction error exceeds
 //! 25% — the CI gate on cost-model fidelity.
 //!
@@ -46,10 +47,12 @@ fn jf(x: f64) -> String {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let steps: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(60);
-    let n: usize = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(20_000);
-    let n_over: usize = args.get(3).and_then(|a| a.parse().ok()).unwrap_or(60_000);
+    let mut args =
+        bench::cli::Args::parse("telemetry_report", "[steps] [bodies] [overhead_bodies]");
+    let steps = args.opt_usize_or_exit("steps", 60);
+    let n = args.opt_usize_or_exit("bodies", 20_000);
+    let n_over = args.opt_usize_or_exit("overhead_bodies", 60_000);
+    args.finish_or_exit();
 
     // ---- 1. Overhead A/B on the numeric solve ----
     // `t_base` carries no recorder at all and `t_off` a disabled one; a
@@ -72,7 +75,8 @@ fn main() {
     // ---- 2+3+4. Instrumented dynamic run ----
     let setup = nbody::collapsing_plummer(n, 1.0, 912);
     let rec = Recorder::enabled();
-    match JsonlSink::create("BENCH_telemetry_trace.jsonl") {
+    let trace_path = bench::out_path("BENCH_telemetry_trace.jsonl");
+    match JsonlSink::create(&trace_path) {
         Ok(sink) => rec.set_sink(sink),
         Err(e) => eprintln!("# trace sink unavailable ({e}); events kept in-memory only"),
     }
@@ -173,8 +177,9 @@ fn main() {
         timeline.join(",\n"),
         phase_json.join(",\n"),
     );
-    if let Err(e) = std::fs::write("BENCH_telemetry.json", &doc) {
-        eprintln!("# FAIL: write BENCH_telemetry.json: {e}");
+    let out = bench::out_path("BENCH_telemetry.json");
+    if let Err(e) = std::fs::write(&out, &doc) {
+        eprintln!("# FAIL: write {}: {e}", out.display());
         std::process::exit(1);
     }
     print!("{doc}");

@@ -1,0 +1,570 @@
+//! The scenario registry: every benchmark the perf-lab runs, parameterized
+//! by problem size, distribution, leaf capacity, GPU count, and fault
+//! schedule.
+//!
+//! Each scenario follows the same discipline: deterministic setup (seeded
+//! body distributions), `warmup` unmeasured iterations to pay one-time
+//! setup (tree build, plan build, page faults), then `reps` measured
+//! repetitions whose wall times become the metric samples. Deterministic
+//! *virtual* quantities (simulated compute times, edit counts) are recorded
+//! as single-sample `virtual` metrics — on the virtual node they cannot
+//! jitter, so any change between reports is a real code/structure change.
+//! Every scenario ends by gathering a structural introspection snapshot so
+//! perf deltas can be attributed (see [`super::snapshot`]).
+
+use std::time::Instant;
+
+use afmm::{
+    CostModel, FaultEvent, FaultSchedule, FmmEngine, FmmParams, HeteroNode, LbConfig, LbState,
+    Strategy, StrategyTracker,
+};
+use fmm_math::GravityKernel;
+use octree::{
+    build_adaptive, count_ops, dual_traversal, BuildParams, IncrementalLists, Mac, NodeId, Octree,
+};
+
+use super::json::{obj, Json};
+use super::report::{BenchReport, Metric, Scenario, SCHEMA_VERSION};
+use super::snapshot::{gather, SnapshotParts};
+
+/// Suite-wide configuration; every scenario scales from these knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct SuiteConfig {
+    /// "full", "quick", or "smoke" — echoed into the report and required
+    /// to match between compared reports.
+    pub mode: &'static str,
+    /// Measured repetitions per wall metric.
+    pub reps: usize,
+    /// Unmeasured warmup iterations (≥ 1 so first-call setup never lands
+    /// in a sample).
+    pub warmup: usize,
+    /// Master seed for body distributions and bootstrap resampling.
+    pub seed: u64,
+    /// CPU cores / GPU count of the virtual node.
+    pub cores: usize,
+    pub gpus: usize,
+    pub n_solve: usize,
+    pub n_plan: usize,
+    pub plan_edits: usize,
+    pub n_enforce: usize,
+    pub n_balance: usize,
+    pub balance_steps: usize,
+    pub n_overhead: usize,
+    pub n_fault: usize,
+    pub fault_steps: usize,
+}
+
+impl SuiteConfig {
+    /// Full-size suite for interactive use (~minutes).
+    pub fn full() -> Self {
+        SuiteConfig {
+            mode: "full",
+            reps: 7,
+            warmup: 2,
+            seed: 7,
+            cores: 10,
+            gpus: 4,
+            n_solve: 60_000,
+            n_plan: 120_000,
+            plan_edits: 48,
+            n_enforce: 60_000,
+            n_balance: 20_000,
+            balance_steps: 60,
+            n_overhead: 60_000,
+            n_fault: 8_000,
+            fault_steps: 60,
+        }
+    }
+
+    /// Small fixed sizes for the CI gate (~tens of seconds). The
+    /// checked-in `bench/baseline.json` is produced at these sizes.
+    pub fn quick() -> Self {
+        SuiteConfig {
+            mode: "quick",
+            reps: 5,
+            warmup: 1,
+            seed: 7,
+            cores: 10,
+            gpus: 4,
+            n_solve: 12_000,
+            n_plan: 30_000,
+            plan_edits: 32,
+            n_enforce: 20_000,
+            n_balance: 6_000,
+            balance_steps: 24,
+            n_overhead: 12_000,
+            n_fault: 3_000,
+            fault_steps: 30,
+        }
+    }
+
+    /// Tiny sizes for the test suite (~seconds); exercises every scenario
+    /// end to end without meaningful timing resolution.
+    pub fn smoke() -> Self {
+        SuiteConfig {
+            mode: "smoke",
+            reps: 2,
+            warmup: 1,
+            seed: 7,
+            cores: 4,
+            gpus: 2,
+            n_solve: 2_000,
+            n_plan: 4_000,
+            plan_edits: 8,
+            n_enforce: 3_000,
+            n_balance: 1_500,
+            balance_steps: 8,
+            n_overhead: 2_000,
+            n_fault: 1_200,
+            fault_steps: 12,
+        }
+    }
+}
+
+/// Run the whole registry; `progress` receives one line per scenario.
+pub fn run_suite(cfg: &SuiteConfig, progress: &mut dyn FnMut(&str)) -> BenchReport {
+    let runners: [(&str, fn(&SuiteConfig) -> Scenario); 6] = [
+        ("solve_step", solve_step),
+        ("plan_patch_vs_rebuild", plan_patch_vs_rebuild),
+        ("enforce_s", enforce_s),
+        ("balancer_convergence", balancer_convergence),
+        ("telemetry_overhead", telemetry_overhead),
+        ("balancer_faults", balancer_faults),
+    ];
+    let mut scenarios = Vec::with_capacity(runners.len());
+    for (name, run) in runners {
+        progress(&format!("running {name} ..."));
+        let t0 = Instant::now();
+        let sc = run(cfg);
+        progress(&format!(
+            "  {name} done in {:.1}s",
+            t0.elapsed().as_secs_f64()
+        ));
+        scenarios.push(sc);
+    }
+    BenchReport {
+        schema_version: SCHEMA_VERSION,
+        host: BenchReport::current_host(),
+        commit: BenchReport::current_commit(),
+        config: obj(vec![
+            ("mode", Json::Str(cfg.mode.to_string())),
+            ("reps", Json::Num(cfg.reps as f64)),
+            ("warmup", Json::Num(cfg.warmup as f64)),
+            ("seed", Json::Num(cfg.seed as f64)),
+        ]),
+        scenarios,
+    }
+}
+
+/// Time `f` once, in seconds.
+fn wall<T>(f: impl FnOnce() -> T) -> (f64, T) {
+    let t0 = Instant::now();
+    let out = std::hint::black_box(f());
+    (t0.elapsed().as_secs_f64(), out)
+}
+
+/// `warmup` unmeasured + `reps` measured runs of `f`.
+fn sample(warmup: usize, reps: usize, mut f: impl FnMut()) -> Vec<f64> {
+    for _ in 0..warmup.max(1) {
+        f();
+    }
+    (0..reps).map(|_| wall(&mut f).0).collect()
+}
+
+/// **solve_step** — one numeric FMM solve (gravity, Plummer sphere) plus
+/// the virtual-node timing of the same tree. The core "is the solver
+/// getting slower" scenario; its snapshot carries the full structural
+/// context including the observed cost-model coefficients.
+fn solve_step(cfg: &SuiteConfig) -> Scenario {
+    let s = 96;
+    let b = nbody::plummer(cfg.n_solve, 1.0, 1.0, cfg.seed);
+    let mut engine = FmmEngine::new(GravityKernel::default(), FmmParams::default(), &b.pos, s);
+    let samples = sample(cfg.warmup, cfg.reps, || {
+        std::hint::black_box(engine.solve(&b.pos, &b.mass));
+    });
+
+    let node = HeteroNode::system_a(cfg.cores, cfg.gpus);
+    let flops = crate::default_flops(&GravityKernel::default());
+    let timing = engine
+        .time_step(&flops, &node)
+        .expect("healthy virtual node");
+    let counts = engine.counts();
+    let mut cost = CostModel::new();
+    cost.observe(&counts, &timing, &flops, &node);
+
+    let snapshot = gather(&SnapshotParts {
+        tree: Some(engine.tree()),
+        lists: Some(engine.lists()),
+        counts: Some(counts),
+        cost: Some(&cost),
+        timing: timing.gpu.as_ref(),
+        metrics_json: None,
+    });
+    Scenario {
+        name: "solve_step".to_string(),
+        params: obj(vec![
+            ("n", Json::Num(cfg.n_solve as f64)),
+            ("distribution", Json::Str("plummer".to_string())),
+            ("s", Json::Num(s as f64)),
+            ("cores", Json::Num(cfg.cores as f64)),
+            ("gpus", Json::Num(cfg.gpus as f64)),
+        ]),
+        metrics: vec![
+            Metric::wall("wall_solve_s", "s", samples, cfg.seed),
+            Metric::virtual_point("virtual_compute_s", "s", timing.compute()),
+            Metric::virtual_point("virtual_cpu_s", "s", timing.t_cpu),
+            Metric::virtual_point("virtual_gpu_s", "s", timing.t_gpu),
+        ],
+        snapshot,
+    }
+}
+
+/// Result of one plan-economy measurement at a fixed S — shared with the
+/// legacy `plan_patch_vs_rebuild` bin, which sweeps it over S values.
+pub struct PlanEconomy {
+    /// One full `dual_traversal` + `count_ops` pass, microseconds.
+    pub rebuild_us: f64,
+    /// One plan-routed collapse or push-down, microseconds.
+    pub patch_us_per_edit: f64,
+    /// Edits applied (collapse + reverting push-down per twig).
+    pub edits: usize,
+}
+
+/// Internal non-root nodes whose visible children are all leaves — the
+/// edit sites a capacity sweep actually touches, and whose hidden children
+/// let `push_down` revert the collapse exactly.
+pub fn twigs(tree: &Octree, limit: usize) -> Vec<NodeId> {
+    tree.visible_nodes()
+        .into_iter()
+        .filter(|&id| {
+            id != Octree::ROOT
+                && !tree.node(id).is_leaf()
+                && tree.visible_children(id).all(|c| tree.node(c).is_leaf())
+        })
+        .take(limit)
+        .collect()
+}
+
+/// Measure rebuild-vs-patch once on `tree` (left structurally unchanged:
+/// every collapse is reverted by its push-down).
+pub fn measure_plan_economy(tree: &mut Octree, mac: Mac, max_edits: usize) -> PlanEconomy {
+    let (rebuild_s, _) = wall(|| {
+        let lists = dual_traversal(tree, mac);
+        count_ops(tree, &lists)
+    });
+    let victims = twigs(tree, max_edits);
+    let mut plan = IncrementalLists::build(tree, mac);
+    let mut applied = 0usize;
+    let (patch_s, _) = wall(|| {
+        for &id in &victims {
+            applied += usize::from(plan.apply_collapse(tree, id));
+            applied += usize::from(plan.apply_push_down(tree, id));
+        }
+    });
+    assert_eq!(applied, 2 * victims.len(), "every twig edit must apply");
+    PlanEconomy {
+        rebuild_us: rebuild_s * 1e6,
+        patch_us_per_edit: patch_s * 1e6 / applied.max(1) as f64,
+        edits: applied,
+    }
+}
+
+/// **plan_patch_vs_rebuild** — the plan layer's economics at one fixed S:
+/// patching a live plan through single-node edits vs re-deriving lists and
+/// counts from scratch.
+fn plan_patch_vs_rebuild(cfg: &SuiteConfig) -> Scenario {
+    let s = 256;
+    let b = nbody::plummer(cfg.n_plan, 1.0, 1.0, cfg.seed + 1);
+    let mut tree = build_adaptive(&b.pos, BuildParams::with_s(s));
+    let mac = Mac::default();
+
+    // Warmup pass, then paired samples from the same tree (edits revert).
+    for _ in 0..cfg.warmup.max(1) {
+        measure_plan_economy(&mut tree, mac, cfg.plan_edits);
+    }
+    let mut rebuilds = Vec::with_capacity(cfg.reps);
+    let mut patches = Vec::with_capacity(cfg.reps);
+    let mut speedups = Vec::with_capacity(cfg.reps);
+    let mut edits = 0usize;
+    for _ in 0..cfg.reps {
+        let e = measure_plan_economy(&mut tree, mac, cfg.plan_edits);
+        rebuilds.push(e.rebuild_us);
+        patches.push(e.patch_us_per_edit);
+        speedups.push(e.rebuild_us / e.patch_us_per_edit);
+        edits = e.edits;
+    }
+
+    let lists = dual_traversal(&tree, mac);
+    let snapshot = gather(&SnapshotParts {
+        tree: Some(&tree),
+        lists: Some(&lists),
+        counts: None,
+        ..Default::default()
+    });
+    Scenario {
+        name: "plan_patch_vs_rebuild".to_string(),
+        params: obj(vec![
+            ("n", Json::Num(cfg.n_plan as f64)),
+            ("distribution", Json::Str("plummer".to_string())),
+            ("s", Json::Num(s as f64)),
+            ("edits", Json::Num(edits as f64)),
+        ]),
+        metrics: vec![
+            Metric::wall("rebuild_us", "us", rebuilds, cfg.seed),
+            Metric::wall("patch_us_per_edit", "us", patches, cfg.seed + 1),
+            Metric::wall("patch_speedup", "x", speedups, cfg.seed + 2)
+                .higher_is_better()
+                .informational(),
+        ],
+        snapshot,
+    }
+}
+
+/// **enforce_s** — the cost of the paper's `Enforce_S` walk through the
+/// live plan: rebuild the tree at S=128 (outside the timer), drop the
+/// target to S=64, and time one full plan-patching enforcement pass.
+fn enforce_s(cfg: &SuiteConfig) -> Scenario {
+    let (s_from, s_to) = (128usize, 64usize);
+    let b = nbody::plummer(cfg.n_enforce, 1.0, 1.0, cfg.seed + 2);
+    let mut engine = FmmEngine::new(
+        GravityKernel::default(),
+        FmmParams::default(),
+        &b.pos,
+        s_from,
+    );
+    let mut samples = Vec::with_capacity(cfg.reps);
+    let mut edits = 0u64;
+    for rep in 0..cfg.warmup.max(1) + cfg.reps {
+        engine.rebuild(&b.pos, s_from);
+        engine.refresh_plan();
+        engine.set_s(s_to);
+        let (t, (out, patched)) = wall(|| engine.enforce_s());
+        assert!(patched, "enforce_s must take the plan path here");
+        if rep >= cfg.warmup.max(1) {
+            samples.push(t * 1e3);
+            edits = (out.collapses + out.pushdowns) as u64;
+        }
+    }
+
+    let counts = engine.counts();
+    let snapshot = gather(&SnapshotParts {
+        tree: Some(engine.tree()),
+        lists: Some(engine.lists()),
+        counts: Some(counts),
+        ..Default::default()
+    });
+    Scenario {
+        name: "enforce_s".to_string(),
+        params: obj(vec![
+            ("n", Json::Num(cfg.n_enforce as f64)),
+            ("distribution", Json::Str("plummer".to_string())),
+            ("s_from", Json::Num(s_from as f64)),
+            ("s_to", Json::Num(s_to as f64)),
+        ]),
+        metrics: vec![
+            Metric::wall("enforce_ms", "ms", samples, cfg.seed),
+            Metric::virtual_point("edits", "count", edits as f64),
+        ],
+        snapshot,
+    }
+}
+
+/// **balancer_convergence** — the full Strategy-3 loop on the paper's
+/// contracting-cloud workload: wall time of the whole run plus the
+/// deterministic virtual compute/LB totals and the settle step.
+fn balancer_convergence(cfg: &SuiteConfig) -> Scenario {
+    let run = |record: bool| -> (f64, afmm::RunSummary, Option<String>, u64, usize) {
+        let setup = nbody::collapsing_plummer(cfg.n_balance, 1.0, cfg.seed + 3);
+        let rec = if record {
+            telemetry::Recorder::enabled()
+        } else {
+            telemetry::Recorder::disabled()
+        };
+        let mut tracker = StrategyTracker::with_telemetry(
+            GravityKernel::default(),
+            FmmParams::default(),
+            HeteroNode::system_a(cfg.cores, cfg.gpus),
+            Strategy::Full,
+            LbConfig::default(),
+            &setup.bodies.pos,
+            Some((setup.domain_center, setup.domain_half_width)),
+            rec.clone(),
+        );
+        let clump = geom::Vec3::new(
+            0.4 * setup.domain_half_width,
+            0.4 * setup.domain_half_width,
+            0.4 * setup.domain_half_width,
+        );
+        let mut pos = setup.bodies.pos.clone();
+        let (t, ()) = wall(|| {
+            for step in 0..cfg.balance_steps {
+                tracker.step(&pos).expect("healthy node cannot fail");
+                if step < cfg.balance_steps / 2 {
+                    for p in &mut pos {
+                        *p = *p + (clump - *p) * 0.05;
+                    }
+                }
+            }
+        });
+        let settle = tracker
+            .records()
+            .iter()
+            .position(|r| r.state == LbState::Observation)
+            .unwrap_or(cfg.balance_steps);
+        let s_final = tracker.balancer().s() as u64;
+        let metrics_json = record.then(|| rec.metrics_json());
+        (t, tracker.summary(), metrics_json, s_final, settle)
+    };
+
+    for _ in 0..cfg.warmup.max(1) {
+        run(false);
+    }
+    let mut samples = Vec::with_capacity(cfg.reps);
+    let mut last = None;
+    for _ in 0..cfg.reps {
+        let (t, summary, metrics_json, s_final, settle) = run(true);
+        samples.push(t);
+        last = Some((summary, metrics_json, s_final, settle));
+    }
+    let (summary, metrics_json, s_final, settle) = last.expect("reps >= 1");
+
+    let snapshot = gather(&SnapshotParts {
+        metrics_json: metrics_json.clone(),
+        ..Default::default()
+    });
+    Scenario {
+        name: "balancer_convergence".to_string(),
+        params: obj(vec![
+            ("n", Json::Num(cfg.n_balance as f64)),
+            ("distribution", Json::Str("collapsing_plummer".to_string())),
+            ("steps", Json::Num(cfg.balance_steps as f64)),
+            ("strategy", Json::Str("full".to_string())),
+            ("cores", Json::Num(cfg.cores as f64)),
+            ("gpus", Json::Num(cfg.gpus as f64)),
+        ]),
+        metrics: vec![
+            Metric::wall("wall_run_s", "s", samples, cfg.seed),
+            Metric::virtual_point("virtual_total_compute_s", "s", summary.total_compute),
+            Metric::virtual_point("virtual_total_lb_s", "s", summary.total_lb),
+            Metric::virtual_point("settle_step", "step", settle as f64),
+            Metric::virtual_point("final_s", "bodies", s_final as f64).informational(),
+        ],
+        snapshot,
+    }
+}
+
+/// **telemetry_overhead** — the cost of observability itself: numeric
+/// solves with no recorder vs an enabled recorder with a live ring buffer.
+fn telemetry_overhead(cfg: &SuiteConfig) -> Scenario {
+    let b = nbody::plummer(cfg.n_overhead, 1.0, 1.0, cfg.seed + 4);
+    let time_variant = |rec: Option<telemetry::Recorder>| -> Vec<f64> {
+        let mut engine = FmmEngine::new(GravityKernel::default(), FmmParams::default(), &b.pos, 96);
+        if let Some(rec) = rec {
+            engine.set_recorder(rec);
+        }
+        sample(cfg.warmup, cfg.reps, || {
+            std::hint::black_box(engine.solve(&b.pos, &b.mass));
+        })
+    };
+    let base = time_variant(None);
+    let rec = telemetry::Recorder::enabled();
+    let enabled = time_variant(Some(rec.clone()));
+    let overhead: Vec<f64> = enabled
+        .iter()
+        .zip(&base)
+        .map(|(e, b)| e / b - 1.0)
+        .collect();
+
+    let snapshot = gather(&SnapshotParts {
+        metrics_json: Some(rec.metrics_json()),
+        ..Default::default()
+    });
+    Scenario {
+        name: "telemetry_overhead".to_string(),
+        params: obj(vec![
+            ("n", Json::Num(cfg.n_overhead as f64)),
+            ("distribution", Json::Str("plummer".to_string())),
+            ("s", Json::Num(96.0)),
+        ]),
+        metrics: vec![
+            Metric::wall("wall_base_s", "s", base, cfg.seed),
+            Metric::wall("wall_enabled_s", "s", enabled, cfg.seed + 1),
+            Metric::wall("overhead_frac", "frac", overhead, cfg.seed + 2).informational(),
+        ],
+        snapshot,
+    }
+}
+
+/// **balancer_faults** — resilience cost: a device dropout mid-run and its
+/// recovery, on the virtual node. Wall time covers the whole faulted run;
+/// virtual metrics capture the deterministic recovery trajectory.
+fn balancer_faults(cfg: &SuiteConfig) -> Scenario {
+    let fault_step = cfg.fault_steps / 3;
+    let recover_step = 2 * cfg.fault_steps / 3;
+    let run = || -> (f64, afmm::RunSummary, usize, String) {
+        let b = nbody::plummer(cfg.n_fault, 1.0, 1.0, cfg.seed + 5);
+        let rec = telemetry::Recorder::enabled();
+        let mut tracker = StrategyTracker::with_telemetry(
+            GravityKernel::default(),
+            FmmParams::default(),
+            HeteroNode::system_a(cfg.cores, cfg.gpus.max(2)),
+            Strategy::Full,
+            LbConfig::default(),
+            &b.pos,
+            None,
+            rec.clone(),
+        );
+        let mut schedule = FaultSchedule::new();
+        schedule.push(fault_step, FaultEvent::GpuDropout { device: 0 });
+        schedule.push(recover_step, FaultEvent::GpuRecover { device: 0 });
+        tracker.set_fault_schedule(schedule);
+        let (t, ()) = wall(|| {
+            for _ in 0..cfg.fault_steps {
+                tracker
+                    .step(&b.pos)
+                    .expect("dropout must degrade, not fail");
+            }
+        });
+        let recovery_steps = tracker
+            .records()
+            .iter()
+            .filter(|r| r.state == LbState::Recovery)
+            .count();
+        (t, tracker.summary(), recovery_steps, rec.metrics_json())
+    };
+
+    for _ in 0..cfg.warmup.max(1) {
+        run();
+    }
+    let mut samples = Vec::with_capacity(cfg.reps);
+    let mut last = None;
+    for _ in 0..cfg.reps {
+        let (t, summary, recovery_steps, metrics_json) = run();
+        samples.push(t);
+        last = Some((summary, recovery_steps, metrics_json));
+    }
+    let (summary, recovery_steps, metrics_json) = last.expect("reps >= 1");
+    let snapshot = gather(&SnapshotParts {
+        metrics_json: Some(metrics_json),
+        ..Default::default()
+    });
+
+    Scenario {
+        name: "balancer_faults".to_string(),
+        params: obj(vec![
+            ("n", Json::Num(cfg.n_fault as f64)),
+            ("distribution", Json::Str("plummer".to_string())),
+            ("steps", Json::Num(cfg.fault_steps as f64)),
+            ("fault_step", Json::Num(fault_step as f64)),
+            ("recover_step", Json::Num(recover_step as f64)),
+            ("gpus", Json::Num(cfg.gpus.max(2) as f64)),
+        ]),
+        metrics: vec![
+            Metric::wall("wall_run_s", "s", samples, cfg.seed),
+            Metric::virtual_point("virtual_total_compute_s", "s", summary.total_compute),
+            Metric::virtual_point("virtual_total_lb_s", "s", summary.total_lb),
+            Metric::virtual_point("recovery_steps", "step", recovery_steps as f64),
+        ],
+        snapshot,
+    }
+}

@@ -1,0 +1,344 @@
+//! Structural introspection snapshots: *why* did a perf number move?
+//!
+//! A bare timing delta between two reports is unattributable — did the
+//! solve get slower because the code regressed, or because the tree came
+//! out one level deeper and M2L list lengths doubled? Each scenario result
+//! therefore embeds a snapshot of the structures that determine its cost:
+//!
+//! * **tree** — per-level node/leaf/body counts and a power-of-two leaf
+//!   occupancy histogram from `octree` ([`TreeStats`] plus level walks);
+//! * **plan** — the [`OpCounts`] totals and the M2L/P2P interaction-list
+//!   length distributions the execution plan will run;
+//! * **gpu** — per-device interaction share and makespan imbalance from
+//!   [`gpu_sim::KernelTiming`] (the quantity the paper's partitioner
+//!   balances);
+//! * **cost_model** — the current observational coefficient table from
+//!   [`afmm::CostModel`], so coefficient drift between baselines is visible;
+//! * **metrics** — the telemetry registry dump
+//!   ([`telemetry::MetricsRegistry::snapshot_json`]) when a recorder was
+//!   live during the scenario.
+
+use super::json::{obj, Json};
+use super::stats::median;
+use afmm::CostModel;
+use gpu_sim::KernelTiming;
+use octree::{InteractionLists, Octree, OpCounts, TreeStats};
+
+/// Everything a scenario can attach; absent parts are simply omitted from
+/// the snapshot object.
+#[derive(Default)]
+pub struct SnapshotParts<'a> {
+    pub tree: Option<&'a Octree>,
+    pub lists: Option<&'a InteractionLists>,
+    pub counts: Option<OpCounts>,
+    pub cost: Option<&'a CostModel>,
+    pub timing: Option<&'a KernelTiming>,
+    /// Pre-rendered metrics registry JSON (from
+    /// [`telemetry::MetricsRegistry::snapshot_json`]).
+    pub metrics_json: Option<String>,
+}
+
+/// Assemble the snapshot object from whichever parts the scenario has.
+pub fn gather(parts: &SnapshotParts<'_>) -> Json {
+    let mut fields: Vec<(&str, Json)> = Vec::new();
+    if let Some(tree) = parts.tree {
+        fields.push(("tree", tree_snapshot(tree)));
+    }
+    if let (Some(tree), Some(lists)) = (parts.tree, parts.lists) {
+        fields.push(("plan", plan_snapshot(tree, lists, parts.counts)));
+    }
+    if let Some(timing) = parts.timing {
+        fields.push(("gpu", gpu_snapshot(timing)));
+    }
+    if let Some(cost) = parts.cost {
+        fields.push(("cost_model", cost_snapshot(cost)));
+    }
+    if let Some(mj) = &parts.metrics_json {
+        // The registry dump is already canonical JSON; parse so it nests as
+        // structure rather than as an escaped string.
+        if let Ok(v) = Json::parse(mj) {
+            fields.push(("metrics", v));
+        }
+    }
+    obj(fields)
+}
+
+/// Per-level counts plus a power-of-two leaf-occupancy histogram.
+fn tree_snapshot(tree: &Octree) -> Json {
+    let st = TreeStats::gather(tree);
+    let mut levels: Vec<Json> = Vec::new();
+    for (level, ids) in tree.levels().iter().enumerate() {
+        if ids.is_empty() {
+            continue;
+        }
+        let leaves = ids.iter().filter(|&&id| tree.node(id).is_leaf()).count();
+        let bodies: usize = ids
+            .iter()
+            .filter(|&&id| tree.node(id).is_leaf())
+            .map(|&id| tree.node(id).count())
+            .sum();
+        levels.push(obj(vec![
+            ("level", Json::Num(level as f64)),
+            ("nodes", Json::Num(ids.len() as f64)),
+            ("leaves", Json::Num(leaves as f64)),
+            ("bodies", Json::Num(bodies as f64)),
+        ]));
+    }
+
+    // Occupancy histogram: bucket 0 holds empty leaves, bucket k>0 holds
+    // counts in [2^(k-1), 2^k).
+    let occupancies: Vec<usize> = tree
+        .visible_leaves()
+        .into_iter()
+        .map(|id| tree.node(id).count())
+        .collect();
+    let max_bucket = occupancies
+        .iter()
+        .map(|&c| if c == 0 { 0 } else { c.ilog2() as usize + 1 })
+        .max()
+        .unwrap_or(0);
+    let mut hist = vec![0usize; max_bucket + 1];
+    for &c in &occupancies {
+        let b = if c == 0 { 0 } else { c.ilog2() as usize + 1 };
+        hist[b] += 1;
+    }
+    let hist_json: Vec<Json> = hist
+        .iter()
+        .enumerate()
+        .filter(|(_, &n)| n > 0)
+        .map(|(b, &n)| {
+            let (lo, hi) = if b == 0 {
+                (0, 0)
+            } else {
+                (1 << (b - 1), (1 << b) - 1)
+            };
+            obj(vec![
+                ("lo", Json::Num(lo as f64)),
+                ("hi", Json::Num(hi as f64)),
+                ("leaves", Json::Num(n as f64)),
+            ])
+        })
+        .collect();
+
+    obj(vec![
+        ("s", Json::Num(tree.s_value() as f64)),
+        ("bodies", Json::Num(tree.num_bodies() as f64)),
+        ("visible_nodes", Json::Num(st.visible_nodes as f64)),
+        ("visible_leaves", Json::Num(st.visible_leaves as f64)),
+        ("nonempty_leaves", Json::Num(st.nonempty_leaves as f64)),
+        ("depth", Json::Num(st.depth as f64)),
+        ("max_leaf", Json::Num(st.max_leaf as f64)),
+        ("mean_leaf", Json::Num(st.mean_leaf)),
+        ("levels", Json::Arr(levels)),
+        ("leaf_occupancy", Json::Arr(hist_json)),
+    ])
+}
+
+/// Min/median/p90/max of a length distribution.
+fn length_dist(lens: &[usize]) -> Json {
+    if lens.is_empty() {
+        return obj(vec![("count", Json::Num(0.0))]);
+    }
+    let mut sorted: Vec<f64> = lens.iter().map(|&l| l as f64).collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let p90 = sorted[((0.90 * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1)];
+    obj(vec![
+        ("count", Json::Num(sorted.len() as f64)),
+        ("total", Json::Num(sorted.iter().sum::<f64>())),
+        ("min", Json::Num(sorted[0])),
+        ("median", Json::Num(median(&sorted))),
+        ("p90", Json::Num(p90)),
+        ("max", Json::Num(*sorted.last().expect("nonempty"))),
+    ])
+}
+
+/// Interaction-list shape plus the op-count totals the cost model prices.
+fn plan_snapshot(tree: &Octree, lists: &InteractionLists, counts: Option<OpCounts>) -> Json {
+    let visible = tree.visible_nodes();
+    let m2l_lens: Vec<usize> = visible
+        .iter()
+        .map(|&id| lists.m2l[id as usize].len())
+        .filter(|&l| l > 0)
+        .collect();
+    let p2p_lens: Vec<usize> = tree
+        .active_leaves()
+        .into_iter()
+        .map(|id| lists.p2p[id as usize].len())
+        .filter(|&l| l > 0)
+        .collect();
+    let counts = counts.unwrap_or_else(|| octree::count_ops(tree, lists));
+    obj(vec![
+        (
+            "op_counts",
+            obj(vec![
+                ("p2m_bodies", Json::Num(counts.p2m_bodies as f64)),
+                ("m2m_ops", Json::Num(counts.m2m_ops as f64)),
+                ("m2l_ops", Json::Num(counts.m2l_ops as f64)),
+                ("l2l_ops", Json::Num(counts.l2l_ops as f64)),
+                ("l2p_bodies", Json::Num(counts.l2p_bodies as f64)),
+                (
+                    "p2p_interactions",
+                    Json::Num(counts.p2p_interactions as f64),
+                ),
+                ("active_nodes", Json::Num(counts.active_nodes as f64)),
+            ]),
+        ),
+        ("m2l_list_len", length_dist(&m2l_lens)),
+        ("p2p_list_len", length_dist(&p2p_lens)),
+    ])
+}
+
+/// Per-device interaction share and the makespan imbalance of one launch.
+fn gpu_snapshot(timing: &KernelTiming) -> Json {
+    let total: u64 = timing.total_pairs();
+    let shares: Vec<Json> = timing
+        .per_gpu
+        .iter()
+        .enumerate()
+        .map(|(device, r)| {
+            let share = if total > 0 {
+                r.useful_pairs as f64 / total as f64
+            } else {
+                0.0
+            };
+            obj(vec![
+                ("device", Json::Num(device as f64)),
+                ("pairs", Json::Num(r.useful_pairs as f64)),
+                ("share", Json::Num(share)),
+                ("elapsed_s", Json::Num(r.elapsed_s)),
+            ])
+        })
+        .collect();
+    obj(vec![
+        ("devices", Json::Num(timing.per_gpu.len() as f64)),
+        ("total_pairs", Json::Num(total as f64)),
+        (
+            "makespan_s",
+            timing.gpu_time().map(Json::Num).unwrap_or(Json::Null),
+        ),
+        (
+            "imbalance",
+            timing.imbalance().map(Json::Num).unwrap_or(Json::Null),
+        ),
+        (
+            "efficiency",
+            timing.efficiency().map(Json::Num).unwrap_or(Json::Null),
+        ),
+        ("interaction_share", Json::Arr(shares)),
+    ])
+}
+
+/// The observational coefficient table (paper §IV.D).
+fn cost_snapshot(cost: &CostModel) -> Json {
+    obj(vec![
+        ("observed", Json::Bool(cost.is_observed())),
+        ("c_p2m", Json::Num(cost.c_p2m)),
+        ("c_m2m", Json::Num(cost.c_m2m)),
+        ("c_m2l", Json::Num(cost.c_m2l)),
+        ("c_l2l", Json::Num(cost.c_l2l)),
+        ("c_l2p", Json::Num(cost.c_l2p)),
+        ("c_cpu_pair", Json::Num(cost.c_cpu_pair)),
+        ("c_node", Json::Num(cost.c_node)),
+        ("c_gpu_pair", Json::Num(cost.c_gpu_pair)),
+        ("parallel_rate", Json::Num(cost.parallel_rate)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octree::{build_adaptive, dual_traversal, BuildParams, Mac};
+
+    fn small_tree() -> (Octree, InteractionLists) {
+        let b = nbody::plummer(2000, 1.0, 1.0, 5);
+        let tree = build_adaptive(&b.pos, BuildParams::with_s(32));
+        let lists = dual_traversal(&tree, Mac::default());
+        (tree, lists)
+    }
+
+    #[test]
+    fn snapshot_contains_all_requested_parts() {
+        let (tree, lists) = small_tree();
+        let node = afmm::HeteroNode::system_a(4, 2);
+        let counts = octree::count_ops(&tree, &lists);
+        let flops = crate::default_flops(&fmm_math::GravityKernel::default());
+        let timing = afmm::time_step(&tree, &lists, &flops, &node).unwrap();
+        let mut cost = CostModel::new();
+        cost.observe(&counts, &timing, &flops, &node);
+        let reg = telemetry::MetricsRegistry::default();
+        reg.counter("x").add(3);
+
+        let snap = gather(&SnapshotParts {
+            tree: Some(&tree),
+            lists: Some(&lists),
+            counts: Some(counts),
+            cost: Some(&cost),
+            timing: timing.gpu.as_ref(),
+            metrics_json: Some(reg.snapshot_json()),
+        });
+
+        let t = snap.get("tree").expect("tree part");
+        assert_eq!(t.get("bodies").unwrap().as_f64(), Some(2000.0));
+        assert!(!t.get("levels").unwrap().as_arr().unwrap().is_empty());
+        assert!(!t
+            .get("leaf_occupancy")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .is_empty());
+
+        let p = snap.get("plan").expect("plan part");
+        assert_eq!(
+            p.get("op_counts")
+                .unwrap()
+                .get("p2m_bodies")
+                .unwrap()
+                .as_f64(),
+            Some(2000.0)
+        );
+        assert!(p.get("m2l_list_len").unwrap().get("max").unwrap().as_f64() > Some(0.0));
+
+        let g = snap.get("gpu").expect("gpu part");
+        assert_eq!(g.get("devices").unwrap().as_f64(), Some(2.0));
+        let shares = g.get("interaction_share").unwrap().as_arr().unwrap();
+        let total: f64 = shares
+            .iter()
+            .map(|s| s.get("share").unwrap().as_f64().unwrap())
+            .sum();
+        assert!((total - 1.0).abs() < 1e-9, "shares sum to 1, got {total}");
+
+        let c = snap.get("cost_model").expect("cost part");
+        assert_eq!(c.get("observed").unwrap().as_bool(), Some(true));
+        assert!(c.get("c_m2l").unwrap().as_f64().unwrap() > 0.0);
+
+        let m = snap.get("metrics").expect("metrics part");
+        assert_eq!(
+            m.get("counters").unwrap().get("x").unwrap().as_f64(),
+            Some(3.0)
+        );
+
+        // The whole snapshot is valid JSON.
+        assert!(telemetry::json_syntax_ok(&snap.to_json()));
+    }
+
+    #[test]
+    fn absent_parts_are_omitted() {
+        let snap = gather(&SnapshotParts::default());
+        assert_eq!(snap, Json::Obj(Vec::new()));
+        let (tree, _) = small_tree();
+        let snap = gather(&SnapshotParts {
+            tree: Some(&tree),
+            ..Default::default()
+        });
+        assert!(snap.get("tree").is_some());
+        assert!(snap.get("plan").is_none());
+        assert!(snap.get("gpu").is_none());
+    }
+
+    #[test]
+    fn length_dist_handles_empty() {
+        let d = length_dist(&[]);
+        assert_eq!(d.get("count").unwrap().as_f64(), Some(0.0));
+        assert!(d.get("median").is_none());
+    }
+}

@@ -1,0 +1,161 @@
+//! Robust sample statistics for noisy timing data: median, MAD, and a
+//! bootstrap confidence interval for the median.
+//!
+//! Wall-clock benchmark samples are short-tailed on a quiet machine but
+//! grow arbitrary outliers under load (page cache misses, scheduler
+//! preemption), so every summary here is median-based — the mean of 5
+//! repetitions is one bad sample away from meaningless, the median is not.
+//! The bootstrap is deterministic (seeded SplitMix64 via the vendored
+//! `rand` shim) so identical sample vectors always produce identical CIs,
+//! which the comparator's self-comparison guarantee relies on.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of bootstrap resamples; 200 keeps the quick suite fast while the
+/// percentile CI of a median stabilizes well before that.
+pub const BOOTSTRAP_RESAMPLES: usize = 200;
+
+/// Robust summary of one metric's samples.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MetricStats {
+    /// Sample median.
+    pub median: f64,
+    /// Median absolute deviation from the median (unscaled).
+    pub mad: f64,
+    /// 2.5th percentile of the bootstrap distribution of the median.
+    pub ci_lo: f64,
+    /// 97.5th percentile of the bootstrap distribution of the median.
+    pub ci_hi: f64,
+}
+
+impl MetricStats {
+    /// MAD relative to the median magnitude — the comparator's per-metric
+    /// noise estimate. Zero for an empty or zero-median sample set.
+    pub fn rel_mad(&self) -> f64 {
+        if self.median.abs() > 0.0 {
+            self.mad / self.median.abs()
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Median of a sample set; 0.0 for an empty slice (callers treat "no
+/// samples" as "no measurement", never as NaN).
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        0.5 * (v[n / 2 - 1] + v[n / 2])
+    }
+}
+
+/// Median absolute deviation from the median (unscaled — multiply by
+/// 1.4826 for a normal-consistent sigma, which the comparator never needs).
+pub fn mad(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = median(xs);
+    let dev: Vec<f64> = xs.iter().map(|x| (x - m).abs()).collect();
+    median(&dev)
+}
+
+/// Percentile-method bootstrap CI for the median: resample with
+/// replacement `resamples` times, take the 2.5/97.5 percentiles of the
+/// resampled medians. Deterministic for a fixed `seed`. Degenerates to the
+/// point median for singleton or empty input.
+pub fn bootstrap_ci_median(xs: &[f64], resamples: usize, seed: u64) -> (f64, f64) {
+    if xs.len() <= 1 {
+        let m = median(xs);
+        return (m, m);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut medians = Vec::with_capacity(resamples);
+    let mut buf = vec![0.0; xs.len()];
+    for _ in 0..resamples {
+        for slot in buf.iter_mut() {
+            *slot = xs[rng.random_range(0..xs.len())];
+        }
+        medians.push(median(&buf));
+    }
+    medians.sort_by(|a, b| a.partial_cmp(b).expect("finite medians"));
+    let pick = |q: f64| {
+        let idx = ((q * (medians.len() - 1) as f64).round() as usize).min(medians.len() - 1);
+        medians[idx]
+    };
+    (pick(0.025), pick(0.975))
+}
+
+/// Full robust summary of one metric's samples.
+pub fn summarize(samples: &[f64], seed: u64) -> MetricStats {
+    let (ci_lo, ci_hi) = bootstrap_ci_median(samples, BOOTSTRAP_RESAMPLES, seed);
+    MetricStats {
+        median: median(samples),
+        mad: mad(samples),
+        ci_lo,
+        ci_hi,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_even_empty() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(median(&[7.0]), 7.0);
+    }
+
+    #[test]
+    fn mad_known_values() {
+        // median 3, deviations [2,1,0,1,2] -> mad 1.
+        assert_eq!(mad(&[1.0, 2.0, 3.0, 4.0, 5.0]), 1.0);
+        assert_eq!(mad(&[5.0, 5.0, 5.0]), 0.0);
+        assert_eq!(mad(&[]), 0.0);
+    }
+
+    #[test]
+    fn median_shrugs_off_outlier() {
+        let clean = [1.0, 1.01, 0.99, 1.02, 0.98];
+        let mut dirty = clean;
+        dirty[4] = 50.0; // one preempted run
+        assert!((median(&dirty) - median(&clean)).abs() < 0.02);
+    }
+
+    #[test]
+    fn bootstrap_is_deterministic_and_brackets_median() {
+        let xs = [1.0, 1.1, 0.9, 1.05, 0.95, 1.2, 0.8];
+        let (lo1, hi1) = bootstrap_ci_median(&xs, BOOTSTRAP_RESAMPLES, 42);
+        let (lo2, hi2) = bootstrap_ci_median(&xs, BOOTSTRAP_RESAMPLES, 42);
+        assert_eq!((lo1, hi1), (lo2, hi2));
+        let m = median(&xs);
+        assert!(lo1 <= m && m <= hi1);
+        assert!(lo1 >= 0.8 && hi1 <= 1.2);
+    }
+
+    #[test]
+    fn bootstrap_degenerate_inputs() {
+        assert_eq!(bootstrap_ci_median(&[], 100, 1), (0.0, 0.0));
+        assert_eq!(bootstrap_ci_median(&[3.0], 100, 1), (3.0, 3.0));
+    }
+
+    #[test]
+    fn summarize_ties_the_pieces_together() {
+        let s = summarize(&[2.0, 2.0, 2.0, 2.0], 7);
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.mad, 0.0);
+        assert_eq!((s.ci_lo, s.ci_hi), (2.0, 2.0));
+        assert_eq!(s.rel_mad(), 0.0);
+    }
+}

@@ -7,6 +7,34 @@ use afmm::{time_step, FmmParams, HeteroNode, TimingReport};
 use fmm_math::{Kernel, OpFlops};
 use gpu_sim::KernelTiming;
 use octree::{count_ops, dual_traversal, InteractionLists, Octree, OpCounts};
+use std::path::PathBuf;
+
+pub mod cli;
+pub mod harness;
+
+/// Where a bench artifact named `name` should be written: `$BENCH_OUT_DIR/
+/// name` when the variable is set and non-empty (the directory is created
+/// on demand), the current working directory otherwise.
+///
+/// Every bin that emits a `BENCH_*.json` goes through here — previously
+/// each wrote into whatever CWD it was launched from, littering the repo
+/// root during local runs.
+pub fn out_path(name: &str) -> PathBuf {
+    match std::env::var_os("BENCH_OUT_DIR") {
+        Some(dir) if !dir.is_empty() => {
+            let dir = PathBuf::from(dir);
+            if let Err(e) = std::fs::create_dir_all(&dir) {
+                eprintln!(
+                    "# warning: cannot create BENCH_OUT_DIR {}: {e}; writing to CWD",
+                    dir.display()
+                );
+                return PathBuf::from(name);
+            }
+            dir.join(name)
+        }
+        _ => PathBuf::from(name),
+    }
+}
 
 /// GPU makespan of a timing, or 0.0 when the timing covers no devices.
 ///

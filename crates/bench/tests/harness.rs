@@ -1,0 +1,202 @@
+//! End-to-end tests of the perf-lab: comparator behavior on synthetic
+//! reports with known regressions / improvements / pure noise, the
+//! self-comparison invariant, and one real (smoke-sized) suite run with
+//! populated snapshots.
+
+use bench::harness::{
+    compare, summarize, BenchReport, CompareConfig, Json, Metric, Scenario, SuiteConfig, Verdict,
+    SCHEMA_VERSION,
+};
+use proptest::prelude::*;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// A one-scenario report whose single wall metric has the given samples.
+fn report_with(samples: Vec<f64>) -> BenchReport {
+    BenchReport {
+        schema_version: SCHEMA_VERSION,
+        host: BenchReport::current_host(),
+        commit: "test".to_string(),
+        config: Json::Obj(vec![("mode".to_string(), Json::Str("test".to_string()))]),
+        scenarios: vec![Scenario {
+            name: "synthetic".to_string(),
+            params: Json::Obj(vec![("n".to_string(), Json::Num(1000.0))]),
+            metrics: vec![Metric::wall("wall_s", "s", samples, 11)],
+            snapshot: Json::Obj(Vec::new()),
+        }],
+    }
+}
+
+/// `reps` samples around `center` with ±`jitter` relative uniform noise.
+fn noisy_samples(center: f64, jitter: f64, reps: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..reps)
+        .map(|_| center * (1.0 + rng.random_range(-jitter..jitter)))
+        .collect()
+}
+
+#[test]
+fn injected_2x_slowdown_regresses() {
+    let old = report_with(noisy_samples(1.0, 0.03, 7, 1));
+    let new = report_with(noisy_samples(2.2, 0.03, 7, 2));
+    let result = compare(&old, &new, &CompareConfig::default());
+    assert_eq!(result.regressions(), 1, "{}", result.render());
+    let row = &result.rows[0];
+    assert_eq!(row.verdict, Verdict::Regressed);
+    assert!(row.rel_delta > 1.0, "delta {}", row.rel_delta);
+}
+
+#[test]
+fn injected_2x_speedup_improves() {
+    let old = report_with(noisy_samples(1.0, 0.03, 7, 3));
+    let new = report_with(noisy_samples(0.45, 0.03, 7, 4));
+    let result = compare(&old, &new, &CompareConfig::default());
+    assert_eq!(result.regressions(), 0, "{}", result.render());
+    assert_eq!(result.improvements(), 1, "{}", result.render());
+}
+
+/// Pure measurement noise must never fail the gate: rerun the same
+/// "benchmark" many times with fresh jitter and count false positives.
+#[test]
+fn pure_noise_false_positive_rate_is_zero() {
+    let old = report_with(noisy_samples(1.0, 0.05, 7, 100));
+    for seed in 0..40 {
+        let new = report_with(noisy_samples(1.0, 0.05, 7, 200 + seed));
+        let result = compare(&old, &new, &CompareConfig::default());
+        assert_eq!(
+            result.regressions(),
+            0,
+            "false positive at seed {seed}:\n{}",
+            result.render()
+        );
+    }
+}
+
+#[test]
+fn informational_metrics_never_gate() {
+    let mut old = report_with(noisy_samples(1.0, 0.01, 7, 5));
+    let mut new = report_with(noisy_samples(3.0, 0.01, 7, 6));
+    for r in [&mut old, &mut new] {
+        let m = &mut r.scenarios[0].metrics[0];
+        m.gate = false;
+    }
+    let result = compare(&old, &new, &CompareConfig::default());
+    assert_eq!(result.regressions(), 0, "{}", result.render());
+    // Still *reported* as regressed — just not gated.
+    assert_eq!(result.rows[0].verdict, Verdict::Regressed);
+}
+
+#[test]
+fn params_mismatch_skips_instead_of_gating() {
+    let old = report_with(noisy_samples(1.0, 0.01, 7, 7));
+    let mut new = report_with(noisy_samples(9.0, 0.01, 7, 8));
+    new.scenarios[0].params = Json::Obj(vec![("n".to_string(), Json::Num(2000.0))]);
+    let result = compare(&old, &new, &CompareConfig::default());
+    assert_eq!(result.regressions(), 0, "{}", result.render());
+    assert!(result.rows.iter().all(|r| r.verdict == Verdict::Skipped));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Self-comparison is always clean: identical reports can never
+    /// regress (or improve), whatever the sample values.
+    #[test]
+    fn self_compare_is_always_unchanged(
+        samples in prop::collection::vec(1e-9f64..1e6, 1..12)
+    ) {
+        let r = report_with(samples);
+        let result = compare(&r, &r, &CompareConfig::default());
+        prop_assert_eq!(result.regressions(), 0);
+        prop_assert_eq!(result.improvements(), 0);
+        for row in &result.rows {
+            prop_assert_eq!(row.verdict, Verdict::Unchanged);
+        }
+    }
+}
+
+/// One real end-to-end suite run at smoke sizes: every scenario produces
+/// stats and a populated snapshot, the report survives a JSON round trip,
+/// and both the round-tripped and the doctored variants gate correctly.
+#[test]
+fn smoke_suite_runs_and_gates() {
+    let cfg = SuiteConfig::smoke();
+    let report = bench::harness::run_suite(&cfg, &mut |_| {});
+    assert!(
+        report.scenarios.len() >= 5,
+        "expected >=5 scenarios, got {}",
+        report.scenarios.len()
+    );
+    for sc in &report.scenarios {
+        assert!(!sc.metrics.is_empty(), "{} has no metrics", sc.name);
+        for m in &sc.metrics {
+            assert!(
+                m.stats.median.is_finite() && m.stats.ci_lo <= m.stats.ci_hi,
+                "{}/{} has bad stats {:?}",
+                sc.name,
+                m.name,
+                m.stats
+            );
+        }
+        let snap = sc.snapshot.as_obj().expect("snapshot is an object");
+        assert!(!snap.is_empty(), "{} has an empty snapshot", sc.name);
+        assert!(
+            sc.params.get("n").and_then(Json::as_u64).is_some(),
+            "{} params lack n",
+            sc.name
+        );
+    }
+    // Structural snapshot spot checks on the core scenario.
+    let solve = report.scenario("solve_step").unwrap();
+    let tree = solve.snapshot.get("tree").expect("tree snapshot");
+    assert!(tree.get("levels").and_then(Json::as_arr).is_some());
+    assert!(tree.get("leaf_occupancy").and_then(Json::as_arr).is_some());
+    let plan = solve.snapshot.get("plan").expect("plan snapshot");
+    assert!(plan.get("op_counts").is_some());
+    assert!(solve.snapshot.get("gpu").is_some());
+    assert!(solve.snapshot.get("cost_model").is_some());
+
+    // Round trip.
+    let text = report.to_json();
+    assert!(telemetry::json_syntax_ok(text.trim_end()));
+    let back = BenchReport::from_json(&text).unwrap();
+    assert_eq!(back.scenarios.len(), report.scenarios.len());
+
+    // Self-gate: a report never regresses against itself.
+    let self_cmp = compare(&report, &back, &CompareConfig::default());
+    assert_eq!(self_cmp.regressions(), 0, "{}", self_cmp.render());
+
+    // Injected slowdown: double every gated wall metric of one scenario.
+    let mut slow = back.clone();
+    let sc = &mut slow.scenarios[0];
+    for m in &mut sc.metrics {
+        if m.gate {
+            for s in &mut m.samples {
+                *s *= 2.5;
+            }
+            m.stats = summarize(&m.samples, 11);
+        }
+    }
+    let gated = compare(&report, &slow, &CompareConfig::default());
+    assert!(gated.regressions() > 0, "{}", gated.render());
+}
+
+/// `out_path` honors `BENCH_OUT_DIR`. One test owns the env var (env is
+/// process-global; splitting this across tests would race).
+#[test]
+fn out_path_routes_through_bench_out_dir() {
+    // Unset: bare filename in CWD.
+    std::env::remove_var("BENCH_OUT_DIR");
+    assert_eq!(
+        bench::out_path("BENCH_x.json"),
+        std::path::PathBuf::from("BENCH_x.json")
+    );
+
+    let dir = std::env::temp_dir().join("afmm_bench_out_test");
+    std::env::set_var("BENCH_OUT_DIR", &dir);
+    let p = bench::out_path("BENCH_x.json");
+    std::env::remove_var("BENCH_OUT_DIR");
+    assert_eq!(p, dir.join("BENCH_x.json"));
+    assert!(dir.is_dir(), "out_path must create the directory");
+    std::fs::remove_dir_all(&dir).ok();
+}

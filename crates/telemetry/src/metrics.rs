@@ -243,6 +243,14 @@ impl MetricsRegistry {
                 .collect(),
         }
     }
+
+    /// One-call JSON dump of the whole registry — counters, gauges, and
+    /// histogram quantiles as one stable object (same shape as
+    /// [`MetricsSnapshot::to_json`]). The canonical per-run metrics dump
+    /// for harnesses and reports.
+    pub fn snapshot_json(&self) -> String {
+        self.snapshot().to_json()
+    }
 }
 
 /// Point-in-time view of the whole registry.
@@ -398,5 +406,7 @@ mod tests {
         assert!(j.contains("\"counters\":{\"c\":1}"));
         assert!(j.contains("\"g\":null"));
         assert!(j.contains("\"count\":1"));
+        // The one-call dump is identical to snapshotting then encoding.
+        assert_eq!(reg.snapshot_json(), j);
     }
 }

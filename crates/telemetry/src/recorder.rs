@@ -272,6 +272,16 @@ impl Recorder {
             .unwrap_or_default()
     }
 
+    /// The registry's one-call JSON dump
+    /// ([`MetricsRegistry::snapshot_json`]); an empty-but-valid object for
+    /// a disabled recorder.
+    pub fn metrics_json(&self) -> String {
+        self.inner
+            .as_ref()
+            .map(|i| i.metrics.snapshot_json())
+            .unwrap_or_else(|| MetricsSnapshot::default().to_json())
+    }
+
     pub fn flush(&self) {
         if let Some(i) = &self.inner {
             if let Some(sink) = i.sink.lock().unwrap().as_mut() {
