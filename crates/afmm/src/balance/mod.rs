@@ -136,6 +136,26 @@ pub struct LbReport {
     pub fgo_rounds: usize,
 }
 
+/// Plain-data image of a [`LoadBalancer`] for checkpointing: every field of
+/// the state machine, so a restored balancer makes bit-identical decisions
+/// from the next step onward.
+#[derive(Clone, Debug)]
+pub struct BalancerSnapshot {
+    pub cfg: LbConfig,
+    pub strategy: Strategy,
+    pub state: LbState,
+    pub s: usize,
+    pub lo: usize,
+    pub hi: usize,
+    pub best_compute: f64,
+    pub incr_best: Option<(usize, f64)>,
+    pub incr_dir_up: Option<bool>,
+    pub incr_flipped: bool,
+    pub regress_count: usize,
+    pub last_online: Option<usize>,
+    pub reset_best_next: bool,
+}
+
 /// The dynamic load balancer of §V–VII. Construction and per-step dispatch
 /// live here; the state-step bodies are in [`states`].
 #[derive(Clone, Debug)]
@@ -230,6 +250,46 @@ impl LoadBalancer {
             self.rec.counter_add("lb.transitions", 1);
         }
         self.state = to;
+    }
+
+    /// Capture the complete state-machine state for checkpointing.
+    pub fn snapshot(&self) -> BalancerSnapshot {
+        BalancerSnapshot {
+            cfg: self.cfg,
+            strategy: self.strategy,
+            state: self.state,
+            s: self.s,
+            lo: self.lo,
+            hi: self.hi,
+            best_compute: self.best_compute,
+            incr_best: self.incr_best,
+            incr_dir_up: self.incr_dir_up,
+            incr_flipped: self.incr_flipped,
+            regress_count: self.regress_count,
+            last_online: self.last_online,
+            reset_best_next: self.reset_best_next,
+        }
+    }
+
+    /// Reconstruct a balancer from a snapshot verbatim (recorder starts
+    /// disabled; reattach one with [`LoadBalancer::set_recorder`]).
+    pub fn from_snapshot(snap: BalancerSnapshot) -> Self {
+        LoadBalancer {
+            cfg: snap.cfg,
+            strategy: snap.strategy,
+            state: snap.state,
+            s: snap.s,
+            lo: snap.lo,
+            hi: snap.hi,
+            best_compute: snap.best_compute,
+            incr_best: snap.incr_best,
+            incr_dir_up: snap.incr_dir_up,
+            incr_flipped: snap.incr_flipped,
+            regress_count: snap.regress_count,
+            last_online: snap.last_online,
+            reset_best_next: snap.reset_best_next,
+            rec: telemetry::Recorder::disabled(),
+        }
     }
 
     pub fn strategy(&self) -> Strategy {

@@ -92,6 +92,12 @@ impl CostModel {
         self.observed
     }
 
+    /// Restore the observation flag on a model rebuilt from a checkpoint
+    /// (the coefficients themselves are public fields).
+    pub fn set_observed(&mut self, observed: bool) {
+        self.observed = observed;
+    }
+
     /// Derive coefficients from a realized solve: its operation counts and
     /// its virtual-node timing.
     pub fn observe(

@@ -322,6 +322,115 @@ impl<K: Kernel> FmmEngine<K> {
         time_step_with_jobs(&self.tree, plan.lists(), plan.jobs(), flops, node)
     }
 
+    // ---- resilience: audits, checkpointing, chaos hooks ----
+
+    /// Verify the octree's structural invariants (root coverage, order
+    /// permutation, child tiling/levels/geometry).
+    pub fn audit_tree(&self) -> Result<(), crate::Error> {
+        self.tree
+            .check_invariants()
+            .map_err(|detail| crate::Error::AuditFailed {
+                what: "tree",
+                detail,
+            })
+    }
+
+    /// Verify the live plan's invariants (inverse-list symmetry, per-node
+    /// `OpCounts` consistency, stamp/epoch monotonicity, population
+    /// snapshot). A missing or stale plan passes vacuously — nothing cached
+    /// is being trusted.
+    pub fn audit_plan(&self) -> Result<(), crate::Error> {
+        match &self.plan {
+            Some(plan) if !self.plan_stale => {
+                plan.audit(&self.tree)
+                    .map_err(|detail| crate::Error::AuditFailed {
+                        what: "plan",
+                        detail,
+                    })
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Verify every body coordinate is finite — NaN positions silently
+    /// poison Morton codes, rebins and every downstream float sum.
+    pub fn audit_bodies(pos: &[Vec3]) -> Result<(), crate::Error> {
+        for (i, p) in pos.iter().enumerate() {
+            if !(p.x.is_finite() && p.y.is_finite() && p.z.is_finite()) {
+                return Err(crate::Error::AuditFailed {
+                    what: "bodies",
+                    detail: format!("body {i} has non-finite coordinates {p:?}"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Patch/refresh epoch of the live plan (`None` without one). The
+    /// supervisor tracks this across steps to verify the plan clock never
+    /// runs backwards.
+    pub fn plan_epoch(&self) -> Option<u32> {
+        match &self.plan {
+            Some(plan) if !self.plan_stale => Some(plan.epoch()),
+            _ => None,
+        }
+    }
+
+    /// Capture the complete engine state for checkpointing. Scratch buffers
+    /// (tree-ordered gathers, expansion storage) are excluded: every solve
+    /// resizes and overwrites them in full, so they carry no state across
+    /// steps. The plan's lists are captured *verbatim* — list order drives
+    /// float-summation order, so a restored engine must not re-traverse.
+    pub fn checkpoint_state(&self) -> crate::checkpoint::EngineSnapshot {
+        crate::checkpoint::EngineSnapshot {
+            params: self.params,
+            domain: self.domain,
+            tree: self.tree.snapshot(),
+            plan: self
+                .plan
+                .as_ref()
+                .filter(|_| !self.plan_stale)
+                .map(ExecutionPlan::snapshot),
+            plan_stale: self.plan_stale,
+        }
+    }
+
+    /// Reconstruct an engine from a snapshot. The kernel is configuration
+    /// (stateless), so the caller supplies it; everything stateful comes
+    /// from the snapshot, validated on the way in.
+    pub fn restore_state(
+        kernel: K,
+        snap: crate::checkpoint::EngineSnapshot,
+    ) -> Result<Self, crate::Error> {
+        let tree = Octree::from_snapshot(snap.tree).map_err(crate::Error::Checkpoint)?;
+        let plan = match snap.plan {
+            Some(ps) => {
+                let plan = ExecutionPlan::from_snapshot(ps).map_err(crate::Error::Checkpoint)?;
+                plan.audit(&tree).map_err(|detail| {
+                    crate::Error::Checkpoint(format!("restored plan: {detail}"))
+                })?;
+                Some(plan)
+            }
+            None => None,
+        };
+        let plan_stale = snap.plan_stale || plan.is_none();
+        let mut engine = Self::from_tree(kernel, snap.params, tree, snap.domain);
+        engine.plan = plan;
+        engine.plan_stale = plan_stale;
+        Ok(engine)
+    }
+
+    /// Chaos-harness access to the live plan for corruption injection. This
+    /// deliberately does *not* mark the plan stale — the whole point is to
+    /// rot cached state behind the engine's back and prove the audits catch
+    /// it. Returns `None` when there is no live plan to corrupt.
+    pub fn plan_mut_for_chaos(&mut self) -> Option<&mut ExecutionPlan> {
+        if self.plan_stale {
+            return None;
+        }
+        self.plan.as_mut()
+    }
+
     /// Run one full FMM solve: gather bodies into tree order, traverse,
     /// upsweep, downsweep, near field, scatter back.
     ///

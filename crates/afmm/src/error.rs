@@ -17,6 +17,21 @@ pub enum Error {
     BodyCountChanged { expected: usize, got: usize },
     /// `solve` was called with a strength slice of the wrong length.
     StrengthLengthMismatch { expected: usize, got: usize },
+    /// An integrity audit found corrupted engine state. `what` names the
+    /// audited structure (`"tree"`, `"plan"`, `"bodies"`, `"epoch"`);
+    /// `detail` is the violated invariant.
+    AuditFailed { what: &'static str, detail: String },
+    /// A checkpoint could not be parsed, failed its checksum, carried an
+    /// unsupported schema version, or disagreed with the restore target.
+    Checkpoint(String),
+    /// The supervisor's last escalation rung needs a checkpoint but none has
+    /// been taken.
+    NoCheckpoint,
+    /// A step panicked and was contained by the supervisor.
+    StepPanicked,
+    /// The supervisor exhausted every escalation rung without producing a
+    /// healthy step; the boxed error is the last rung's failure.
+    Unrecoverable(Box<Error>),
 }
 
 impl fmt::Display for Error {
@@ -37,6 +52,17 @@ impl fmt::Display for Error {
             }
             Error::StrengthLengthMismatch { expected, got } => {
                 write!(f, "strength slice has {got} values, solve needs {expected}")
+            }
+            Error::AuditFailed { what, detail } => {
+                write!(f, "integrity audit of {what} failed: {detail}")
+            }
+            Error::Checkpoint(detail) => write!(f, "checkpoint error: {detail}"),
+            Error::NoCheckpoint => {
+                write!(f, "restore requested but no checkpoint has been taken")
+            }
+            Error::StepPanicked => write!(f, "step panicked (contained by supervisor)"),
+            Error::Unrecoverable(e) => {
+                write!(f, "supervisor exhausted every escalation rung: {e}")
             }
         }
     }

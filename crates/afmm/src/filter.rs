@@ -21,6 +21,19 @@ pub struct TimingFilter {
     k: usize,
     alpha: f64,
     ewma: Option<f64>,
+    rejected: u64,
+}
+
+/// Plain-data image of a [`TimingFilter`] for checkpointing: the exact
+/// window contents (order matters — it is a FIFO), warm-up EWMA and
+/// configuration, so a restored filter produces bit-identical estimates.
+#[derive(Clone, Debug)]
+pub struct FilterSnapshot {
+    pub window: Vec<f64>,
+    pub k: usize,
+    pub alpha: f64,
+    pub ewma: Option<f64>,
+    pub rejected: u64,
 }
 
 impl Default for TimingFilter {
@@ -44,14 +57,18 @@ impl TimingFilter {
             k: k.max(1),
             alpha,
             ewma: None,
+            rejected: 0,
         }
     }
 
     /// Ingest one raw measurement and return the filtered estimate.
-    /// Non-finite or negative samples are rejected: the previous estimate
-    /// (or 0.0 before any valid sample) is returned unchanged.
+    /// Non-finite or negative samples are rejected — counted in
+    /// [`TimingFilter::rejected`] so the caller can surface them as a
+    /// telemetry counter — and the previous estimate (or 0.0 before any
+    /// valid sample) is returned unchanged.
     pub fn push(&mut self, raw: f64) -> f64 {
         if !raw.is_finite() || raw < 0.0 {
+            self.rejected += 1;
             return self.estimate().unwrap_or(0.0);
         }
         self.ewma = Some(match self.ewma {
@@ -87,10 +104,39 @@ impl TimingFilter {
         self.window.len()
     }
 
+    /// Lifetime count of rejected (NaN / infinite / negative) samples.
+    /// Survives [`TimingFilter::reset`]: rejection is a property of the
+    /// measurement stream, not of the current decomposition.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
     /// Drop all history (the decomposition changed; old times are stale).
     pub fn reset(&mut self) {
         self.window.clear();
         self.ewma = None;
+    }
+
+    /// Capture the filter's complete state for checkpointing.
+    pub fn snapshot(&self) -> FilterSnapshot {
+        FilterSnapshot {
+            window: self.window.clone(),
+            k: self.k,
+            alpha: self.alpha,
+            ewma: self.ewma,
+            rejected: self.rejected,
+        }
+    }
+
+    /// Reconstruct a filter from a snapshot verbatim.
+    pub fn from_snapshot(snap: FilterSnapshot) -> Self {
+        TimingFilter {
+            window: snap.window,
+            k: snap.k.max(1),
+            alpha: snap.alpha,
+            ewma: snap.ewma,
+            rejected: snap.rejected,
+        }
     }
 }
 
@@ -131,6 +177,36 @@ mod tests {
         f.push(2.0);
         assert_eq!(f.push(f64::NAN), 2.0);
         assert_eq!(f.samples(), 1);
+    }
+
+    #[test]
+    fn rejection_counter_tracks_garbage_across_resets() {
+        let mut f = TimingFilter::default();
+        f.push(f64::NAN);
+        f.push(1.0);
+        f.push(-3.0);
+        f.push(f64::INFINITY);
+        assert_eq!(f.rejected(), 3);
+        f.reset();
+        assert_eq!(f.rejected(), 3, "rejections outlive a decomposition reset");
+        f.push(f64::NEG_INFINITY);
+        assert_eq!(f.rejected(), 4);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_is_bit_identical() {
+        let mut f = TimingFilter::new(4, 0.3);
+        for x in [0.5, f64::NAN, 0.7, 0.1, 0.9, 0.2] {
+            f.push(x);
+        }
+        let mut g = TimingFilter::from_snapshot(f.snapshot());
+        assert_eq!(g.rejected(), f.rejected());
+        assert_eq!(g.estimate(), f.estimate());
+        for x in [0.4, 0.6, 0.8] {
+            let a = f.push(x);
+            let b = g.push(x);
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

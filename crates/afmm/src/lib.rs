@@ -36,6 +36,8 @@
 //! ```
 
 mod balance;
+pub mod chaos;
+pub mod checkpoint;
 mod config;
 mod cost;
 mod engine;
@@ -45,17 +47,21 @@ mod filter;
 mod plan;
 pub mod replay;
 mod simulate;
+pub mod supervisor;
 
 pub use balance::{
-    fine_grained_optimize, lbtime, search_best_s_cpu_only, FgoOutcome, LbConfig, LbReport, LbState,
-    LoadBalancer, Strategy,
+    fine_grained_optimize, lbtime, search_best_s_cpu_only, BalancerSnapshot, FgoOutcome, LbConfig,
+    LbReport, LbState, LoadBalancer, Strategy,
 };
+pub use chaos::{ChaosEvent, ChaosPlan, TimedChaos};
+pub use checkpoint::{EngineSnapshot, TrackerSnapshot, SCHEMA_VERSION};
 pub use config::{CpuSpec, FmmParams, HeteroNode};
 pub use cost::{CostModel, Prediction};
 pub use engine::{FmmEngine, FmmSolution};
 pub use error::Error;
-pub use filter::TimingFilter;
+pub use filter::{FilterSnapshot, TimingFilter};
 pub use plan::ExecutionPlan;
+pub use supervisor::{RecoveryAction, Supervisor, SupervisorConfig, SupervisorReport};
 // Fault-injection vocabulary, re-exported so drivers need only `afmm`.
 pub use exec::{
     build_gpu_jobs, build_task_graph, build_task_graph_with, phase_times, record_phase_spans,

@@ -103,6 +103,47 @@ impl ExecutionPlan {
         self.ensure_jobs(tree);
         &self.jobs
     }
+
+    /// Monotone patch/refresh epoch of the underlying incremental lists.
+    pub fn epoch(&self) -> u32 {
+        self.inc.epoch()
+    }
+
+    /// Capture the list state for checkpointing. The GPU job cache is *not*
+    /// part of the snapshot: [`crate::build_gpu_jobs`] is a deterministic
+    /// function of tree + lists, so a restored plan regenerates the exact
+    /// same jobs lazily.
+    pub fn snapshot(&self) -> octree::ListsSnapshot {
+        self.inc.snapshot()
+    }
+
+    /// Reconstruct a plan from a snapshot verbatim, with the job cache
+    /// marked dirty for lazy regeneration.
+    pub fn from_snapshot(snap: octree::ListsSnapshot) -> Result<Self, String> {
+        Ok(ExecutionPlan {
+            inc: IncrementalLists::from_snapshot(snap)?,
+            jobs: Vec::new(),
+            jobs_dirty: true,
+        })
+    }
+
+    /// Verify list invariants against `tree` (see
+    /// [`IncrementalLists::audit`]).
+    pub fn audit(&self, tree: &Octree) -> Result<(), String> {
+        self.inc.audit(tree)
+    }
+
+    /// Chaos-harness corruption hook: see
+    /// [`IncrementalLists::corrupt_truncate_list`].
+    pub fn corrupt_truncate_list(&mut self) -> bool {
+        self.inc.corrupt_truncate_list()
+    }
+
+    /// Chaos-harness corruption hook: see
+    /// [`IncrementalLists::corrupt_stale_epoch`].
+    pub fn corrupt_stale_epoch(&mut self) -> bool {
+        self.inc.corrupt_stale_epoch()
+    }
 }
 
 #[cfg(test)]

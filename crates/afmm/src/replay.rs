@@ -171,6 +171,11 @@ pub fn validate_trace(records: &[EventRecord], opts: &ValidateOptions) -> Vec<Vi
     let mut cur_state = "search".to_string();
     let mut cur_step: Option<u64> = None;
     let mut state_at_step_start = cur_state.clone();
+    // A supervisor restore rewinds the run to a checkpoint: step numbers
+    // repeat and the balancer state jumps to whatever was checkpointed.
+    // Resync the reconstruction at the next stateful record instead of
+    // reporting the jump as a continuity violation.
+    let mut resync = false;
     // Most recent lb.regression / anomaly.* seen, as (step, seq).
     let mut last_regression: Option<(u64, u64)> = None;
     let mut last_anomaly: Option<(u64, u64)> = None;
@@ -197,10 +202,16 @@ pub fn validate_trace(records: &[EventRecord], opts: &ValidateOptions) -> Vec<Vi
         }
 
         match r.name {
+            "supervisor.restore" => resync = true,
             "lb.transition" => {
                 let from = str_field(r, "from").unwrap_or("?");
                 let to = str_field(r, "to").unwrap_or("?");
                 let cause = str_field(r, "cause").unwrap_or("?");
+                if resync {
+                    cur_state = from.to_string();
+                    state_at_step_start = cur_state.clone();
+                    resync = false;
+                }
                 if !LEGAL_TRANSITIONS
                     .iter()
                     .any(|&(f, t, c)| f == from && t == to && c == cause)
@@ -265,6 +276,11 @@ pub fn validate_trace(records: &[EventRecord], opts: &ValidateOptions) -> Vec<Vi
             }
             "step.record" => {
                 let state = str_field(r, "state").unwrap_or("?");
+                if resync {
+                    cur_state = state.to_string();
+                    state_at_step_start = cur_state.clone();
+                    resync = false;
+                }
                 if state != state_at_step_start {
                     out.push(Violation {
                         invariant: "state_continuity",
@@ -289,8 +305,11 @@ pub fn validate_trace(records: &[EventRecord], opts: &ValidateOptions) -> Vec<Vi
             "lb.regression" => last_regression = Some((r.step, r.seq)),
             "lb.enforce" => {
                 // Only Observation-state enforces need provenance — the
-                // Incremental walk enforces on every probe by design.
-                if cur_state == "observation" {
+                // Incremental walk enforces on every probe by design. While
+                // a restore resync is pending the state is unknown (the
+                // enforce of a replayed step precedes its step.record), so
+                // the check waits for the machine to resync.
+                if cur_state == "observation" && !resync {
                     let reg_ok = matches!(
                         last_regression,
                         Some((s, q)) if s == r.step && q < r.seq

@@ -334,8 +334,13 @@ impl<K: Kernel> StrategyTracker<K> {
         }
         // The balancer steers by outlier-filtered times so a lone spike
         // cannot fire its regression trigger.
+        let rejected_before = self.filter_rejected();
         let f_cpu = self.filter_cpu.push(t_cpu);
         let f_gpu = self.filter_gpu.push(t_gpu);
+        let rejected_delta = self.filter_rejected() - rejected_before;
+        if rejected_delta > 0 && self.rec.is_enabled() {
+            self.rec.counter_add("filter.rejected", rejected_delta);
+        }
         let rep =
             self.balancer
                 .post_step(&mut self.engine, &self.model, &self.node, pos, f_cpu, f_gpu);
@@ -448,6 +453,126 @@ impl<K: Kernel> StrategyTracker<K> {
 
     pub fn engine(&self) -> &FmmEngine<K> {
         &self.engine
+    }
+
+    /// Mutable engine access for the chaos harness's corruption hooks and
+    /// the supervisor's healing rungs.
+    pub fn engine_mut(&mut self) -> &mut FmmEngine<K> {
+        &mut self.engine
+    }
+
+    /// Total garbage (NaN/inf/negative) timing samples the filters have
+    /// skipped so far.
+    pub fn filter_rejected(&self) -> u64 {
+        self.filter_cpu.rejected() + self.filter_gpu.rejected()
+    }
+
+    // ---- resilience: checkpoint / restore / healing ----
+
+    /// Serialize the complete tracker state — engine, cost model, balancer,
+    /// filters, fault script, device status, noise RNG, step history and the
+    /// current positions — as checkpoint text ([`crate::checkpoint`]).
+    pub fn checkpoint(&self, pos: &[Vec3]) -> String {
+        let snap = crate::checkpoint::TrackerSnapshot {
+            engine: self.engine.checkpoint_state(),
+            model: self.model,
+            balancer: self.balancer.snapshot(),
+            records: self.records.clone(),
+            first: self.first,
+            faults: self.faults.clone(),
+            gpu_status: self.node.gpus.as_ref().map(|g| g.statuses().to_vec()),
+            cpu_load: self.cpu_load,
+            noise_sigma: self.noise_sigma,
+            noise_state: self.noise_state,
+            filter_cpu: self.filter_cpu.snapshot(),
+            filter_gpu: self.filter_gpu.snapshot(),
+            pos: pos.to_vec(),
+        };
+        crate::checkpoint::tracker_to_json(&snap)
+    }
+
+    /// Rebuild a tracker from checkpoint text. The caller supplies the
+    /// *configuration* — the (stateless) kernel and the node as configured —
+    /// and the checkpoint supplies every piece of *state*, including the
+    /// device statuses the fault script had produced and the body positions
+    /// at checkpoint time (returned alongside, so a driver whose live buffer
+    /// was corrupted can resume from a known-good trajectory point).
+    ///
+    /// A restored tracker continues **bit-identically** with the run it was
+    /// captured from: interaction lists come back verbatim, the noise RNG
+    /// state and filter windows are exact, and all floats round-trip by bit
+    /// pattern. Telemetry (recorder, audits, anomaly detector) restarts
+    /// fresh — it observes the trajectory but never feeds back into it.
+    pub fn restore(
+        kernel: K,
+        mut node: HeteroNode,
+        text: &str,
+    ) -> Result<(Self, Vec<Vec3>), Error> {
+        let snap = crate::checkpoint::tracker_from_json(text)?;
+        let engine = FmmEngine::restore_state(kernel, snap.engine)?;
+        if snap.pos.len() != engine.tree().num_bodies() {
+            return Err(Error::Checkpoint(format!(
+                "checkpoint has {} positions but its tree holds {} bodies",
+                snap.pos.len(),
+                engine.tree().num_bodies()
+            )));
+        }
+        match (&snap.gpu_status, node.gpus.as_mut()) {
+            (Some(saved), Some(gpus)) => gpus.restore_statuses(saved)?,
+            (Some(_), None) => {
+                return Err(Error::Checkpoint(
+                    "checkpoint carries GPU status but the restore node has no GPUs".into(),
+                ))
+            }
+            (None, Some(_)) => {
+                return Err(Error::Checkpoint(
+                    "checkpoint is CPU-only but the restore node has GPUs".into(),
+                ))
+            }
+            (None, None) => {}
+        }
+        let flops = engine.kernel.op_flops(engine.expansion_ops());
+        let tracker = StrategyTracker {
+            engine,
+            flops,
+            model: snap.model,
+            balancer: LoadBalancer::from_snapshot(snap.balancer),
+            node,
+            records: snap.records,
+            first: snap.first,
+            faults: snap.faults,
+            cpu_load: snap.cpu_load,
+            noise_sigma: snap.noise_sigma,
+            noise_state: snap.noise_state,
+            filter_cpu: TimingFilter::from_snapshot(snap.filter_cpu),
+            filter_gpu: TimingFilter::from_snapshot(snap.filter_gpu),
+            rec: telemetry::Recorder::disabled(),
+            audits: telemetry::AuditTrail::new(),
+            detector: telemetry::AnomalyDetector::new(),
+            anomalies: Vec::new(),
+        };
+        Ok((tracker, snap.pos))
+    }
+
+    /// Healing rung: throw away the (possibly corrupted) tree and plan and
+    /// re-derive both from the given positions at the balancer's current S.
+    /// The decomposition changes, so the timing filters are reset exactly as
+    /// they are after any balancer-driven rebuild.
+    pub fn heal_rebuild(&mut self, pos: &[Vec3]) {
+        let s = self.balancer.s();
+        self.engine.rebuild(pos, s);
+        self.filter_cpu.reset();
+        self.filter_gpu.reset();
+    }
+
+    /// Last-line degradation: drop the GPU system and run everything —
+    /// including P2P — on the CPU cores. The balancer sees the device count
+    /// change and re-optimizes S for the new machine. Irreversible for this
+    /// tracker; a later restore from checkpoint brings the GPUs back.
+    pub fn force_cpu_only(&mut self) {
+        self.node.gpus = None;
+        self.filter_cpu.reset();
+        self.filter_gpu.reset();
     }
 }
 

@@ -18,8 +18,10 @@
 //! no-op StaticS balancer keeps its stale decomposition and never gets back
 //! under the bar.
 //!
-//! Output: a single JSON document on stdout (hand-rolled — no serde in the
-//! container). Override scale: `fault_scenarios [steps] [bodies]`.
+//! Output: a single JSON document (hand-rolled — no serde in the
+//! container), written to `BENCH_fault_scenarios.json` via
+//! [`bench::out_path`] (honours `$BENCH_OUT_DIR`) and echoed to stdout.
+//! Override scale: `fault_scenarios [steps] [bodies]`.
 
 use afmm::{
     FaultEvent, FaultSchedule, FmmParams, HeteroNode, LbConfig, Strategy, StrategyTracker,
@@ -244,10 +246,17 @@ fn main() {
         ));
     }
 
-    println!(
+    let doc = format!(
         "{{\n  \"config\": {{\"steps\": {steps}, \"bodies\": {n}, \
          \"fault_step\": {fault_step}, \"node\": \"system_a(10, 2)\"}},\n  \
-         \"scenarios\": [\n{}\n  ]\n}}",
+         \"scenarios\": [\n{}\n  ]\n}}\n",
         scenario_blobs.join(",\n"),
     );
+    let path = bench::out_path("BENCH_fault_scenarios.json");
+    if let Err(e) = std::fs::write(&path, &doc) {
+        eprintln!("# FAIL: write {}: {e}", path.display());
+        std::process::exit(2);
+    }
+    print!("{doc}");
+    eprintln!("# report: {}", path.display());
 }

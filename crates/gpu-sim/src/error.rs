@@ -18,6 +18,17 @@ pub enum Error {
     PartitionMismatch { expected: usize, got: usize },
     /// An explicit partition assigned work to an offline device.
     OfflineDeviceAssigned { device: usize },
+    /// A fault schedule opened a new dropout window for a device that is
+    /// already inside one (dropout before the matching recover).
+    OverlappingFaultWindow { device: usize, step: usize },
+    /// A fault schedule recovered a device that had no open dropout window.
+    UnmatchedRecover { device: usize, step: usize },
+    /// A fault script handed to a validating constructor was not sorted by
+    /// step.
+    OutOfOrderFaults { step: usize, after: usize },
+    /// A saved device-status vector does not match the system it is being
+    /// restored onto.
+    StatusCountMismatch { expected: usize, got: usize },
 }
 
 impl fmt::Display for Error {
@@ -44,6 +55,30 @@ impl fmt::Display for Error {
             }
             Error::OfflineDeviceAssigned { device } => {
                 write!(f, "partition assigns work to offline device {device}")
+            }
+            Error::OverlappingFaultWindow { device, step } => {
+                write!(
+                    f,
+                    "device {device} dropped out again at step {step} while already offline"
+                )
+            }
+            Error::UnmatchedRecover { device, step } => {
+                write!(
+                    f,
+                    "device {device} recovered at step {step} without an open dropout window"
+                )
+            }
+            Error::OutOfOrderFaults { step, after } => {
+                write!(
+                    f,
+                    "fault at step {step} scheduled after one at step {after}"
+                )
+            }
+            Error::StatusCountMismatch { expected, got } => {
+                write!(
+                    f,
+                    "device status restore got {got} entries, system has {expected} devices"
+                )
             }
         }
     }

@@ -13,6 +13,8 @@
 //! events ([`FaultEvent::ExternalCpuLoad`], [`FaultEvent::TimingNoise`])
 //! are interpreted by the driver that owns the CPU timing model.
 
+use crate::error::Error;
+
 /// One disturbance to the virtual node.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum FaultEvent {
@@ -77,6 +79,74 @@ impl FaultSchedule {
         self
     }
 
+    /// Validating constructor: accept a raw fault script and reject ill-formed
+    /// ones with a structured [`Error`] instead of letting them silently
+    /// misbehave at run time. Rejected shapes:
+    ///
+    /// * events out of step order ([`Error::OutOfOrderFaults`]) — a raw
+    ///   script is a literal timeline, so order is meaning;
+    /// * a second [`FaultEvent::GpuDropout`] for a device whose previous
+    ///   dropout window is still open ([`Error::OverlappingFaultWindow`]);
+    /// * a [`FaultEvent::GpuRecover`] for a device with no open window
+    ///   ([`Error::UnmatchedRecover`]);
+    /// * non-finite or out-of-range factors / sigmas ([`Error::BadFactor`]),
+    ///   caught here instead of mid-run.
+    ///
+    /// A window left open at the end of the script is fine — permanent
+    /// dropout is a legitimate scenario.
+    pub fn try_with(events: Vec<TimedFault>) -> Result<Self, Error> {
+        for w in events.windows(2) {
+            if w[1].step < w[0].step {
+                return Err(Error::OutOfOrderFaults {
+                    step: w[1].step,
+                    after: w[0].step,
+                });
+            }
+        }
+        let mut down: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+        for tf in &events {
+            match tf.event {
+                FaultEvent::GpuDropout { device } => {
+                    if !down.insert(device) {
+                        return Err(Error::OverlappingFaultWindow {
+                            device,
+                            step: tf.step,
+                        });
+                    }
+                }
+                FaultEvent::GpuRecover { device } => {
+                    if !down.remove(&device) {
+                        return Err(Error::UnmatchedRecover {
+                            device,
+                            step: tf.step,
+                        });
+                    }
+                }
+                FaultEvent::GpuSlowdown { factor, .. } => {
+                    if !factor.is_finite() || factor < 1.0 {
+                        return Err(Error::BadFactor { factor });
+                    }
+                }
+                FaultEvent::ExternalCpuLoad { factor } => {
+                    if !factor.is_finite() || factor < 1.0 {
+                        return Err(Error::BadFactor { factor });
+                    }
+                }
+                FaultEvent::TimingNoise { sigma } => {
+                    if !sigma.is_finite() || sigma < 0.0 {
+                        return Err(Error::BadFactor { factor: sigma });
+                    }
+                }
+            }
+        }
+        Ok(FaultSchedule { events })
+    }
+
+    /// Run [`FaultSchedule::try_with`]'s checks on an already-built schedule.
+    pub fn validate(&self) -> Result<(), Error> {
+        FaultSchedule::try_with(self.events.clone()).map(|_| ())
+    }
+
     /// All events scheduled for exactly `step`, in insertion order.
     pub fn events_at(&self, step: usize) -> impl Iterator<Item = &FaultEvent> {
         let lo = self.events.partition_point(|e| e.step < step);
@@ -125,6 +195,81 @@ mod tests {
         );
         assert_eq!(s.events_at(4).count(), 0);
         assert_eq!(s.max_step(), Some(10));
+    }
+
+    #[test]
+    fn try_with_accepts_well_formed_scripts() {
+        let s = FaultSchedule::try_with(vec![
+            TimedFault {
+                step: 3,
+                event: FaultEvent::GpuDropout { device: 0 },
+            },
+            TimedFault {
+                step: 8,
+                event: FaultEvent::GpuRecover { device: 0 },
+            },
+            TimedFault {
+                step: 8,
+                event: FaultEvent::GpuDropout { device: 1 },
+            },
+        ])
+        .unwrap();
+        assert_eq!(s.len(), 3);
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn try_with_rejects_overlapping_windows() {
+        let err = FaultSchedule::try_with(vec![
+            TimedFault {
+                step: 3,
+                event: FaultEvent::GpuDropout { device: 0 },
+            },
+            TimedFault {
+                step: 5,
+                event: FaultEvent::GpuDropout { device: 0 },
+            },
+        ])
+        .unwrap_err();
+        assert_eq!(err, Error::OverlappingFaultWindow { device: 0, step: 5 });
+    }
+
+    #[test]
+    fn try_with_rejects_unmatched_recover_and_disorder() {
+        let err = FaultSchedule::try_with(vec![TimedFault {
+            step: 4,
+            event: FaultEvent::GpuRecover { device: 2 },
+        }])
+        .unwrap_err();
+        assert_eq!(err, Error::UnmatchedRecover { device: 2, step: 4 });
+
+        let err = FaultSchedule::try_with(vec![
+            TimedFault {
+                step: 9,
+                event: FaultEvent::TimingNoise { sigma: 0.1 },
+            },
+            TimedFault {
+                step: 2,
+                event: FaultEvent::TimingNoise { sigma: 0.1 },
+            },
+        ])
+        .unwrap_err();
+        assert_eq!(err, Error::OutOfOrderFaults { step: 2, after: 9 });
+    }
+
+    #[test]
+    fn try_with_rejects_bad_factors_up_front() {
+        for ev in [
+            FaultEvent::GpuSlowdown {
+                device: 0,
+                factor: 0.5,
+            },
+            FaultEvent::ExternalCpuLoad { factor: f64::NAN },
+            FaultEvent::TimingNoise { sigma: -0.1 },
+        ] {
+            let err = FaultSchedule::try_with(vec![TimedFault { step: 1, event: ev }]).unwrap_err();
+            assert!(matches!(err, Error::BadFactor { .. }), "{ev:?}");
+        }
     }
 
     #[test]

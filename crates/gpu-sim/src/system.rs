@@ -185,6 +185,31 @@ impl GpuSystem {
         self.status.get(i)
     }
 
+    /// Per-device health, index = device — the piece of GPU state a
+    /// checkpoint must carry (specs are configuration, health is state).
+    pub fn statuses(&self) -> &[DeviceStatus] {
+        &self.status
+    }
+
+    /// Restore a saved health vector onto this system, validating shape and
+    /// values so a tampered checkpoint cannot smuggle in an impossible
+    /// status (e.g. a negative slowdown).
+    pub fn restore_statuses(&mut self, saved: &[DeviceStatus]) -> Result<(), Error> {
+        if saved.len() != self.status.len() {
+            return Err(Error::StatusCountMismatch {
+                expected: self.status.len(),
+                got: saved.len(),
+            });
+        }
+        for s in saved {
+            if !s.slowdown.is_finite() || s.slowdown < 1.0 {
+                return Err(Error::BadFactor { factor: s.slowdown });
+            }
+        }
+        self.status.copy_from_slice(saved);
+        Ok(())
+    }
+
     pub fn spec(&self, i: usize) -> &GpuSpec {
         &self.gpus[i].spec
     }

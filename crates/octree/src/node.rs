@@ -55,6 +55,20 @@ impl Node {
     }
 }
 
+/// Plain-data image of an [`Octree`] for checkpointing: every field needed
+/// to reconstruct the tree bit-for-bit, with public fields so a serializer
+/// outside this crate can encode it without reflection.
+#[derive(Clone, Debug)]
+pub struct TreeSnapshot {
+    pub nodes: Vec<Node>,
+    pub order: Vec<u32>,
+    pub codes: Vec<u64>,
+    pub s_value: usize,
+    pub root_center: Vec3,
+    pub root_half_width: f64,
+    pub max_level: u16,
+}
+
 /// The adaptive octree: a node arena plus the body permutation that gives
 /// every subtree a contiguous range.
 #[derive(Clone, Debug)]
@@ -211,6 +225,49 @@ impl Octree {
             n.center.y + if octant & 2 != 0 { q } else { -q },
             n.center.z + if octant & 4 != 0 { q } else { -q },
         )
+    }
+
+    /// Capture the complete tree state for checkpointing. The snapshot is an
+    /// exact image: [`Octree::from_snapshot`] reconstructs a tree whose every
+    /// field — including the Morton codes that drive re-binning — is
+    /// bit-identical to the original.
+    pub fn snapshot(&self) -> TreeSnapshot {
+        TreeSnapshot {
+            nodes: self.nodes.clone(),
+            order: self.order.clone(),
+            codes: self.codes.clone(),
+            s_value: self.s_value,
+            root_center: self.root_center,
+            root_half_width: self.root_half_width,
+            max_level: self.max_level,
+        }
+    }
+
+    /// Reconstruct a tree from a snapshot, validating structural invariants
+    /// so a corrupted or tampered checkpoint is rejected instead of producing
+    /// an inconsistent tree.
+    pub fn from_snapshot(snap: TreeSnapshot) -> Result<Octree, String> {
+        if snap.codes.len() != snap.order.len() {
+            return Err(format!(
+                "snapshot codes/order length mismatch: {} vs {}",
+                snap.codes.len(),
+                snap.order.len()
+            ));
+        }
+        if snap.s_value == 0 {
+            return Err("snapshot S value must be >= 1".into());
+        }
+        let tree = Octree {
+            nodes: snap.nodes,
+            order: snap.order,
+            codes: snap.codes,
+            s_value: snap.s_value,
+            root_center: snap.root_center,
+            root_half_width: snap.root_half_width,
+            max_level: snap.max_level,
+        };
+        tree.check_invariants()?;
+        Ok(tree)
     }
 
     /// Debug-check structural invariants; used by tests and property tests.

@@ -41,6 +41,24 @@ pub enum PlanRefresh {
     Rebuilt,
 }
 
+/// Plain-data image of an [`IncrementalLists`] for checkpointing. The list
+/// *order* is part of the state: downstream float summation follows list
+/// iteration order, so a restored plan must replay entries verbatim — never
+/// re-derive them from a fresh traversal — for bit-identical continuation.
+#[derive(Clone, Debug)]
+pub struct ListsSnapshot {
+    pub theta: f64,
+    pub m2l: Vec<Vec<NodeId>>,
+    pub p2p: Vec<Vec<NodeId>>,
+    pub rev_m2l: Vec<Vec<NodeId>>,
+    pub rev_p2p: Vec<Vec<NodeId>>,
+    pub node_counts: Vec<OpCounts>,
+    pub totals: OpCounts,
+    pub body_count: Vec<u32>,
+    pub stamp: Vec<u32>,
+    pub epoch: u32,
+}
+
 /// Relatedness of a traversal-state endpoint to the edited node: outside its
 /// story entirely, a (strict or non-strict) ancestor, or inside the post-edit
 /// visible subtree.
@@ -175,6 +193,197 @@ impl IncrementalLists {
     /// [`crate::count_ops`] on the current tree and lists.
     pub fn counts(&self) -> OpCounts {
         self.totals
+    }
+
+    /// Monotone patch/refresh epoch; the supervisor reads it to verify the
+    /// plan's clock never runs backwards across steps.
+    #[inline]
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Capture the complete plan state — lists in their exact stored order,
+    /// inverse lists, cached per-node counts, stamps and epoch — for
+    /// checkpointing.
+    pub fn snapshot(&self) -> ListsSnapshot {
+        ListsSnapshot {
+            theta: self.mac.theta,
+            m2l: self.lists.m2l.clone(),
+            p2p: self.lists.p2p.clone(),
+            rev_m2l: self.rev_m2l.clone(),
+            rev_p2p: self.rev_p2p.clone(),
+            node_counts: self.node_counts.clone(),
+            totals: self.totals,
+            body_count: self.body_count.clone(),
+            stamp: self.stamp.clone(),
+            epoch: self.epoch,
+        }
+    }
+
+    /// Reconstruct a plan from a snapshot verbatim. Validation is the
+    /// caller's job (run [`IncrementalLists::audit`] against the restored
+    /// tree); this constructor only checks array-shape agreement.
+    pub fn from_snapshot(snap: ListsSnapshot) -> Result<IncrementalLists, String> {
+        let n = snap.m2l.len();
+        if snap.p2p.len() != n
+            || snap.rev_m2l.len() != n
+            || snap.rev_p2p.len() != n
+            || snap.node_counts.len() != n
+            || snap.body_count.len() != n
+            || snap.stamp.len() != n
+        {
+            return Err("plan snapshot arrays disagree on node count".into());
+        }
+        Ok(IncrementalLists {
+            mac: Mac::new(snap.theta),
+            lists: InteractionLists {
+                m2l: snap.m2l,
+                p2p: snap.p2p,
+            },
+            rev_m2l: snap.rev_m2l,
+            rev_p2p: snap.rev_p2p,
+            node_counts: snap.node_counts,
+            totals: snap.totals,
+            body_count: snap.body_count,
+            stamp: snap.stamp,
+            epoch: snap.epoch,
+            rec: telemetry::Recorder::disabled(),
+        })
+    }
+
+    /// Verify the plan's internal invariants against `tree`. Valid on a
+    /// *quiescent* plan — one whose last operation was a build, patch or
+    /// [`IncrementalLists::refresh_counts`] — which is how the supervisor
+    /// calls it (after a completed step, before trusting cached state).
+    ///
+    /// Checks, in order: array shapes; stamp/epoch monotonicity (no scratch
+    /// mark may postdate the epoch clock); inverse-list symmetry as exact
+    /// multiset equality in both directions; per-node [`OpCounts`] agreement
+    /// with a recount of every visible node (and zero contributions from
+    /// hidden ones); totals equal to the sum of cached contributions; and the
+    /// population snapshot matching the tree.
+    pub fn audit(&self, tree: &Octree) -> Result<(), String> {
+        let n = tree.num_nodes();
+        if self.lists.m2l.len() != n
+            || self.lists.p2p.len() != n
+            || self.rev_m2l.len() != n
+            || self.rev_p2p.len() != n
+            || self.node_counts.len() != n
+            || self.body_count.len() != n
+            || self.stamp.len() != n
+        {
+            return Err(format!(
+                "plan arrays sized for {} nodes but tree has {n}",
+                self.lists.m2l.len()
+            ));
+        }
+        for (i, &s) in self.stamp.iter().enumerate() {
+            if s > self.epoch {
+                return Err(format!(
+                    "stamp[{i}] = {s} postdates plan epoch {}",
+                    self.epoch
+                ));
+            }
+        }
+        // Inverse-list symmetry: rebuild the reverse mapping from the forward
+        // lists and require multiset equality per node.
+        let mut want_rev_m2l: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        let mut want_rev_p2p: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for a in 0..n {
+            for &b in &self.lists.m2l[a] {
+                if b as usize >= n {
+                    return Err(format!("m2l[{a}] references node {b} out of range"));
+                }
+                want_rev_m2l[b as usize].push(a as NodeId);
+            }
+            for &b in &self.lists.p2p[a] {
+                if b as usize >= n {
+                    return Err(format!("p2p[{a}] references node {b} out of range"));
+                }
+                want_rev_p2p[b as usize].push(a as NodeId);
+            }
+        }
+        for b in 0..n {
+            let mut want = want_rev_m2l[b].clone();
+            let mut got = self.rev_m2l[b].clone();
+            want.sort_unstable();
+            got.sort_unstable();
+            if want != got {
+                return Err(format!("rev_m2l[{b}] is not the mirror of the M2L lists"));
+            }
+            let mut want = want_rev_p2p[b].clone();
+            let mut got = self.rev_p2p[b].clone();
+            want.sort_unstable();
+            got.sort_unstable();
+            if want != got {
+                return Err(format!("rev_p2p[{b}] is not the mirror of the P2P lists"));
+            }
+        }
+        // OpCounts consistency: cached contributions must recount, and the
+        // totals must be their sum.
+        let mut sum = OpCounts::default();
+        let mut visible = vec![false; n];
+        for id in tree.visible_nodes() {
+            visible[id as usize] = true;
+            let want = node_op_counts(tree, &self.lists, id);
+            if self.node_counts[id as usize] != want {
+                return Err(format!(
+                    "node_counts[{id}] = {:?} but recount gives {want:?}",
+                    self.node_counts[id as usize]
+                ));
+            }
+        }
+        for (i, c) in self.node_counts.iter().enumerate() {
+            if !visible[i] && *c != OpCounts::default() {
+                return Err(format!("hidden node {i} carries nonzero counts"));
+            }
+            sum += *c;
+        }
+        if sum != self.totals {
+            return Err(format!(
+                "totals {:?} differ from per-node sum {sum:?}",
+                self.totals
+            ));
+        }
+        for i in 0..n {
+            let now = tree.node(i as NodeId).count() as u32;
+            if self.body_count[i] != now {
+                return Err(format!(
+                    "body_count[{i}] = {} but tree holds {now}",
+                    self.body_count[i]
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Chaos-harness corruption hook: silently drop the tail entry of the
+    /// first non-empty M2L (or, failing that, P2P) list *without* updating
+    /// the inverse lists or counts — exactly the kind of rot
+    /// [`IncrementalLists::audit`] must catch. Returns false when there was
+    /// nothing to truncate.
+    pub fn corrupt_truncate_list(&mut self) -> bool {
+        if let Some(l) = self.lists.m2l.iter_mut().find(|l| !l.is_empty()) {
+            l.pop();
+            return true;
+        }
+        if let Some(l) = self.lists.p2p.iter_mut().find(|l| !l.is_empty()) {
+            l.pop();
+            return true;
+        }
+        false
+    }
+
+    /// Chaos-harness corruption hook: wind the epoch clock backwards while
+    /// leaving newer scratch stamps in place — a stale-epoch cache whose
+    /// dedup marks no longer mean what they claim. Returns false when the
+    /// plan has never been stamped (nothing to go stale).
+    pub fn corrupt_stale_epoch(&mut self) -> bool {
+        if self.stamp.iter().all(|&s| s == 0) {
+            return false;
+        }
+        self.epoch = 0;
+        true
     }
 
     /// Patch the plan through `tree.collapse(id)`. Returns false (tree and

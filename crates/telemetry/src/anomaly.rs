@@ -96,7 +96,8 @@ impl Anomaly {
     pub fn fields(&self) -> Vec<(&'static str, Value)> {
         vec![
             ("channel", Value::Str(self.channel.as_str().to_owned())),
-            ("kind", Value::Str(self.kind.as_str().to_owned())),
+            // Not "kind": that name belongs to the record envelope.
+            ("anomaly_kind", Value::Str(self.kind.as_str().to_owned())),
             ("severity", Value::Str(self.severity.as_str().to_owned())),
             ("value", Value::F64(self.value)),
             ("median", Value::F64(self.median)),

@@ -119,7 +119,14 @@ impl EventRecord {
             push_json_f64(&mut out, d);
         }
         for (k, v) in &self.fields {
-            let _ = write!(out, ",\"{k}\":");
+            // A payload field named like an envelope key would produce a
+            // duplicate JSON key and break the reader; prefix it instead of
+            // silently emitting an unreadable line.
+            if matches!(*k, "seq" | "step" | "kind" | "name" | "dur_s") {
+                let _ = write!(out, ",\"field_{k}\":");
+            } else {
+                let _ = write!(out, ",\"{k}\":");
+            }
             push_json_value(&mut out, v);
         }
         out.push('}');

@@ -52,10 +52,11 @@ pub use telemetry;
 /// The workhorse types, importable in one line.
 pub mod prelude {
     pub use afmm::{
-        diff_traces, fine_grained_optimize, search_best_s_cpu_only, validate_trace, CostModel,
-        FaultEvent, FaultSchedule, FmmEngine, FmmParams, GravitySim, HeteroNode, LbConfig, LbState,
-        LoadBalancer, Prediction, StokesSim, Strategy, StrategyTracker, TimedFault, TimingFilter,
-        ValidateOptions,
+        diff_traces, fine_grained_optimize, search_best_s_cpu_only, validate_trace, ChaosEvent,
+        ChaosPlan, CostModel, FaultEvent, FaultSchedule, FmmEngine, FmmParams, GravitySim,
+        HeteroNode, LbConfig, LbState, LoadBalancer, Prediction, RecoveryAction, StokesSim,
+        Strategy, StrategyTracker, Supervisor, SupervisorConfig, SupervisorReport, TimedFault,
+        TimingFilter, ValidateOptions,
     };
     pub use fmm_math::{ExpansionOps, GravityKernel, Kernel, StokesletKernel};
     pub use geom::{Aabb, Vec3};

@@ -1,0 +1,255 @@
+//! Checkpoint/restore end-to-end: a run that is killed and restored from a
+//! snapshot must continue **bit-identically** to one that never stopped —
+//! same S trajectory, same balancer states, same timing floats to the last
+//! bit — through rebins, S changes and balancer phase transitions.
+
+use afmm_repro::prelude::*;
+
+const STEPS: usize = 80;
+const KILL_AT: usize = 30;
+
+fn tracker(pos: &[Vec3]) -> StrategyTracker<GravityKernel> {
+    StrategyTracker::new(
+        GravityKernel::default(),
+        FmmParams::default(),
+        HeteroNode::system_a(10, 2),
+        Strategy::Full,
+        LbConfig {
+            eps_switch_s: 2e-3,
+            ..Default::default()
+        },
+        pos,
+        None,
+    )
+}
+
+/// Deterministic drift: positions as a pure function of the step index.
+/// The contraction forces rebins (bodies cross leaf boundaries) while the
+/// searching balancer changes S — the two events the snapshot must survive.
+fn trajectory(base: &[Vec3], step: usize) -> Vec<Vec3> {
+    let f = 0.996_f64.powi(step as i32);
+    base.iter().map(|p| *p * f).collect()
+}
+
+fn assert_records_bit_identical(a: &[afmm::StepRecord], b: &[afmm::StepRecord]) {
+    assert_eq!(a.len(), b.len(), "record counts differ");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.step, y.step);
+        assert_eq!(x.s, y.s, "step {}: S diverged", x.step);
+        assert_eq!(x.state, y.state, "step {}: state diverged", x.step);
+        for (name, u, v) in [
+            ("t_cpu", x.t_cpu, y.t_cpu),
+            ("t_gpu", x.t_gpu, y.t_gpu),
+            ("t_lb", x.t_lb, y.t_lb),
+            ("gpu_efficiency", x.gpu_efficiency, y.gpu_efficiency),
+        ] {
+            assert_eq!(
+                u.to_bits(),
+                v.to_bits(),
+                "step {}: {name} diverged ({u:e} vs {v:e})",
+                x.step
+            );
+        }
+        assert_eq!(x.p2p_interactions, y.p2p_interactions, "step {}", x.step);
+        assert_eq!(x.m2l_ops, y.m2l_ops, "step {}", x.step);
+    }
+}
+
+/// The tentpole guarantee: checkpoint → kill → restore → continue equals an
+/// uninterrupted run, bit for bit, over a trajectory with rebins and S
+/// changes on both sides of the kill point.
+#[test]
+fn restored_run_is_bit_identical_to_uninterrupted() {
+    let b = nbody::plummer(3000, 1.0, 1.0, 4242);
+    // A dropout after the kill point forces the balancer back into
+    // Search — an S change the *restored* run must reproduce, which also
+    // proves the fault schedule travels with the snapshot.
+    let schedule = || {
+        let mut s = FaultSchedule::new();
+        s.push(45, FaultEvent::GpuDropout { device: 1 });
+        s
+    };
+
+    // Run A: uninterrupted.
+    let mut a = tracker(&b.pos);
+    a.set_fault_schedule(schedule());
+    for step in 0..STEPS {
+        a.step(&trajectory(&b.pos, step)).unwrap();
+    }
+
+    // Run B: same tracker config, killed at KILL_AT and restored.
+    let mut b1 = tracker(&b.pos);
+    b1.set_fault_schedule(schedule());
+    for step in 0..KILL_AT {
+        b1.step(&trajectory(&b.pos, step)).unwrap();
+    }
+    let snapshot = b1.checkpoint(&trajectory(&b.pos, KILL_AT - 1));
+    drop(b1); // the "kill"
+
+    let (mut b2, saved_pos) = StrategyTracker::restore(
+        GravityKernel::default(),
+        HeteroNode::system_a(10, 2),
+        &snapshot,
+    )
+    .expect("restore must succeed");
+    // The snapshot hands back the positions it was taken with.
+    let expect = trajectory(&b.pos, KILL_AT - 1);
+    assert_eq!(saved_pos.len(), expect.len());
+    for (p, q) in saved_pos.iter().zip(&expect) {
+        assert_eq!(p.x.to_bits(), q.x.to_bits());
+        assert_eq!(p.y.to_bits(), q.y.to_bits());
+        assert_eq!(p.z.to_bits(), q.z.to_bits());
+    }
+    assert_eq!(
+        b2.records().len(),
+        KILL_AT,
+        "history travels with the snapshot"
+    );
+    for step in KILL_AT..STEPS {
+        b2.step(&trajectory(&b.pos, step)).unwrap();
+    }
+
+    assert_records_bit_identical(a.records(), b2.records());
+
+    // The trajectory actually exercised what it claims: S changed both
+    // before and after the kill point.
+    let distinct = |r: &[afmm::StepRecord]| {
+        let mut s: Vec<usize> = r.iter().map(|x| x.s).collect();
+        s.dedup();
+        s.len()
+    };
+    assert!(
+        distinct(&a.records()[..KILL_AT]) > 1,
+        "no S change before the kill point — trajectory too tame"
+    );
+    assert!(
+        distinct(&a.records()[KILL_AT..]) > 1,
+        "no S change after the kill point — trajectory too tame"
+    );
+}
+
+/// Serialization is deterministic and the envelope self-verifies: same
+/// state → same bytes; any payload tamper → checksum refusal.
+#[test]
+fn snapshot_is_deterministic_and_tamper_evident() {
+    let b = nbody::plummer(1200, 1.0, 1.0, 777);
+    let mut t = tracker(&b.pos);
+    for step in 0..12 {
+        t.step(&trajectory(&b.pos, step)).unwrap();
+    }
+    let s1 = t.checkpoint(&trajectory(&b.pos, 11));
+    let s2 = t.checkpoint(&trajectory(&b.pos, 11));
+    assert_eq!(s1, s2, "checkpointing is a pure read of tracker state");
+
+    // Tamper with one digit inside the payload.
+    let idx = s1.find("\"records\"").unwrap();
+    let mut bytes = s1.clone().into_bytes();
+    for c in &mut bytes[idx..] {
+        if c.is_ascii_digit() {
+            *c = if *c == b'7' { b'8' } else { b'7' };
+            break;
+        }
+    }
+    let tampered = String::from_utf8(bytes).unwrap();
+    let err = match StrategyTracker::<GravityKernel>::restore(
+        GravityKernel::default(),
+        HeteroNode::system_a(10, 2),
+        &tampered,
+    ) {
+        Err(e) => e,
+        Ok(_) => panic!("tampered snapshot must be refused"),
+    };
+    let msg = err.to_string();
+    assert!(
+        msg.contains("checksum"),
+        "tamper must be caught by the checksum, got: {msg}"
+    );
+}
+
+/// A snapshot from a different schema version is refused up front, and a
+/// node that does not match the snapshot's device count is refused too.
+#[test]
+fn version_and_node_mismatches_are_refused() {
+    let b = nbody::plummer(900, 1.0, 1.0, 881);
+    let mut t = tracker(&b.pos);
+    for step in 0..6 {
+        t.step(&trajectory(&b.pos, step)).unwrap();
+    }
+    let snap = t.checkpoint(&trajectory(&b.pos, 5));
+
+    let bumped = snap.replacen(
+        &format!("\"schema_version\":{}", afmm::SCHEMA_VERSION),
+        &format!("\"schema_version\":{}", afmm::SCHEMA_VERSION + 1),
+        1,
+    );
+    assert_ne!(snap, bumped, "version field must be present to rewrite");
+    let err = match StrategyTracker::<GravityKernel>::restore(
+        GravityKernel::default(),
+        HeteroNode::system_a(10, 2),
+        &bumped,
+    ) {
+        Err(e) => e,
+        Ok(_) => panic!("future-version snapshot must be refused"),
+    };
+    assert!(
+        err.to_string().contains("schema"),
+        "unexpected error: {err}"
+    );
+
+    // 2-GPU snapshot into a CPU-only node: refused, not silently degraded.
+    let err = match StrategyTracker::<GravityKernel>::restore(
+        GravityKernel::default(),
+        HeteroNode::system_b(16),
+        &snap,
+    ) {
+        Err(e) => e,
+        Ok(_) => panic!("node-shape mismatch must be refused"),
+    };
+    assert!(
+        err.to_string().to_lowercase().contains("gpu"),
+        "unexpected error: {err}"
+    );
+}
+
+/// The supervisor's auto-checkpoint + restore rung rewinds a poisoned run
+/// to its last good state and the run then matches the clean continuation.
+#[test]
+fn supervisor_restore_continues_bit_identically() {
+    let b = nbody::plummer(1500, 1.0, 1.0, 992);
+
+    // Reference: clean supervised run, no faults.
+    let mut reference = Supervisor::new(
+        tracker(&b.pos),
+        SupervisorConfig {
+            checkpoint_every: 10,
+            ..Default::default()
+        },
+    );
+    while reference.step_index() < 40 {
+        let pos = trajectory(&b.pos, reference.step_index());
+        reference.step(&pos).unwrap();
+    }
+
+    // Victim: same run, but positions are poisoned at step 25. The
+    // supervisor restores from the step-20 checkpoint and the driver
+    // (keying the trajectory off `step_index`) replays forward.
+    let mut victim = Supervisor::new(
+        tracker(&b.pos),
+        SupervisorConfig {
+            checkpoint_every: 10,
+            ..Default::default()
+        },
+    );
+    let mut poisoned = false;
+    while victim.step_index() < 40 {
+        let idx = victim.step_index();
+        let mut pos = trajectory(&b.pos, idx);
+        if idx == 25 && !poisoned {
+            poisoned = true;
+            pos[7].y = f64::NAN;
+        }
+        victim.step(&pos).unwrap();
+    }
+    assert_eq!(victim.report().restores, 1, "the poison forced one restore");
+    assert_records_bit_identical(reference.tracker().records(), victim.tracker().records());
+}

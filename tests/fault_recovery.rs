@@ -320,3 +320,91 @@ proptest! {
         }
     }
 }
+
+/// Back-to-back dropouts on a 4-GPU node: the second device dies while the
+/// balancer is still in Recovery from the first. The run must absorb both,
+/// finish with exactly two devices online, and re-settle.
+#[test]
+fn double_dropout_during_recovery_reconverges() {
+    let b = nbody::plummer(6000, 1.0, 1.0, 7010);
+    let mut t = tracker(HeteroNode::system_a(10, 4), afmm::Strategy::Full, &b.pos);
+    let mut sched = FaultSchedule::new();
+    sched.push(40, FaultEvent::GpuDropout { device: 1 });
+    sched.push(41, FaultEvent::GpuDropout { device: 3 });
+    t.set_fault_schedule(sched);
+
+    let mut state_at = Vec::new();
+    let mut computes = Vec::new();
+    for _ in 0..120 {
+        let rec = t.step(&b.pos).unwrap();
+        state_at.push(rec.state);
+        computes.push(rec.compute());
+        assert!(rec.compute().is_finite() && rec.compute() > 0.0);
+    }
+    assert_eq!(
+        t.node().num_online_gpus(),
+        2,
+        "both dropped devices stay offline"
+    );
+    assert!(
+        state_at[40..].contains(&LbState::Recovery),
+        "the dropouts must push the balancer through Recovery"
+    );
+    assert_eq!(
+        state_at[41],
+        LbState::Recovery,
+        "test premise: the second dropout lands while still in Recovery"
+    );
+    assert!(
+        state_at[60..].contains(&LbState::Observation),
+        "balancer must re-settle after the double fault"
+    );
+    let steady_before: f64 = computes[30..40].iter().sum::<f64>() / 10.0;
+    let steady_after: f64 = computes[110..].iter().sum::<f64>() / 10.0;
+    assert!(
+        steady_after <= 3.0 * steady_before,
+        "post-double-fault steady state {steady_after} vs pre-fault {steady_before}"
+    );
+}
+
+/// Corruption injected while incremental plan patches are in flight (the
+/// positions drift every step, so stamps are live): the supervisor's
+/// pre-step audit must catch it and the rebuild rung must heal it without
+/// aborting the run.
+#[test]
+fn corruption_mid_patch_is_audited_and_healed() {
+    let b = nbody::plummer(2500, 1.0, 1.0, 7011);
+    let traj = |step: usize| -> Vec<Vec3> {
+        let f = 0.996_f64.powi(step as i32);
+        b.pos.iter().map(|p| *p * f).collect()
+    };
+    let mut sup = Supervisor::new(
+        tracker(HeteroNode::system_a(10, 2), afmm::Strategy::Full, &b.pos),
+        SupervisorConfig::default(),
+    );
+    // Drift long enough that the balancer settles and every step runs
+    // incremental patches against the cached plan.
+    for step in 0..45 {
+        sup.step(&traj(step)).unwrap();
+    }
+    let corrupted = sup
+        .tracker_mut()
+        .engine_mut()
+        .plan_mut_for_chaos()
+        .map(|p| p.corrupt_truncate_list())
+        .unwrap_or(false);
+    assert!(corrupted, "live patched plan must be available to corrupt");
+
+    let (_, action) = sup.step(&traj(45)).unwrap();
+    assert_eq!(
+        action,
+        RecoveryAction::Rebuild,
+        "audit must catch the truncation and the rebuild rung must heal it"
+    );
+    assert!(sup.report().audit_failures >= 1);
+    // Healed: the run continues clean.
+    for step in 46..55 {
+        let (_, action) = sup.step(&traj(step)).unwrap();
+        assert_eq!(action, RecoveryAction::None, "step {step} not clean");
+    }
+}
