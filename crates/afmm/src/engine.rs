@@ -1,5 +1,5 @@
 use crate::config::{FmmParams, HeteroNode};
-use crate::exec::{time_step_with_jobs, TimingReport};
+use crate::exec::{time_step_with_jobs_policy, ExecPolicy, TimingReport};
 use crate::plan::ExecutionPlan;
 use fmm_math::{DerivScratch, ExpansionOps, Kernel, OpFlops};
 use geom::Vec3;
@@ -66,6 +66,11 @@ pub struct FmmEngine<K: Kernel> {
     plan_stale: bool,
     /// Telemetry handle, shared with the plan; disabled by default.
     rec: telemetry::Recorder,
+    /// How [`FmmEngine::time_step`] schedules the virtual solve (Barrier
+    /// oracle by default; Dag for dependency-driven pipelining). Physics
+    /// ([`FmmEngine::solve`]) never consults this — forces are identical
+    /// under every policy.
+    exec_policy: ExecPolicy,
 }
 
 impl<K: Kernel> FmmEngine<K> {
@@ -123,7 +128,18 @@ impl<K: Kernel> FmmEngine<K> {
             plan: None,
             plan_stale: true,
             rec: telemetry::Recorder::disabled(),
+            exec_policy: ExecPolicy::default(),
         }
+    }
+
+    /// Set the execution policy [`FmmEngine::time_step`] schedules under.
+    pub fn set_exec_policy(&mut self, policy: ExecPolicy) {
+        self.exec_policy = policy;
+    }
+
+    /// The engine's current execution policy.
+    pub fn exec_policy(&self) -> ExecPolicy {
+        self.exec_policy
     }
 
     /// Attach a telemetry recorder. Solve-phase wall spans are emitted
@@ -310,7 +326,8 @@ impl<K: Kernel> FmmEngine<K> {
 
     /// Time one virtual solve of the current tree on `node`, reusing the
     /// plan's cached interaction lists and GPU job list (regenerated only
-    /// if a tree edit invalidated them).
+    /// if a tree edit invalidated them), scheduled under the engine's
+    /// [`ExecPolicy`] (see [`FmmEngine::set_exec_policy`]).
     pub fn time_step(
         &mut self,
         flops: &OpFlops,
@@ -319,7 +336,14 @@ impl<K: Kernel> FmmEngine<K> {
         self.refresh_plan();
         let plan = self.plan.as_mut().expect("plan refreshed above");
         plan.ensure_jobs(&self.tree);
-        time_step_with_jobs(&self.tree, plan.lists(), plan.jobs(), flops, node)
+        time_step_with_jobs_policy(
+            &self.tree,
+            plan.lists(),
+            plan.jobs(),
+            flops,
+            node,
+            self.exec_policy,
+        )
     }
 
     // ---- resilience: audits, checkpointing, chaos hooks ----

@@ -1,9 +1,10 @@
 use crate::config::HeteroNode;
+use crate::dag::{lower_plan, measure_spans, PhaseSpans, PhaseTag};
 use crate::error::Error;
 use fmm_math::OpFlops;
 use gpu_sim::{KernelTiming, P2pJob};
 use octree::{InteractionLists, NodeId, Octree, NONE};
-use sched_sim::{simulate, TaskGraph, TaskId};
+use sched_sim::{schedule, simulate, DagConfig, TaskGraph, TaskId};
 
 /// Virtual-node timing of one FMM solve on a heterogeneous node.
 #[derive(Clone, Debug)]
@@ -21,6 +22,9 @@ pub struct TimingReport {
     pub cpu_work_seconds: f64,
     /// Per-device kernel details, when GPUs are present.
     pub gpu: Option<KernelTiming>,
+    /// Measured per-phase spans of the schedule — `Some` only under
+    /// [`SchedMode::Dag`], where per-task completion times exist.
+    pub phases: Option<PhaseSpans>,
 }
 
 impl TimingReport {
@@ -30,8 +34,11 @@ impl TimingReport {
     }
 
     /// Observed effective parallelism (core-equivalents actually engaged).
+    /// Non-finite inputs (a NaN/∞ makespan or work sum from a corrupted
+    /// report) read as serial rather than poisoning downstream cost-model
+    /// observations.
     pub fn parallel_rate(&self) -> f64 {
-        if self.t_cpu > 0.0 {
+        if self.t_cpu > 0.0 && self.t_cpu.is_finite() && self.cpu_work_seconds.is_finite() {
             (self.cpu_work_seconds / self.t_cpu).max(1.0)
         } else {
             1.0
@@ -52,12 +59,16 @@ impl TimingReport {
 /// Emit one telemetry span per FMM phase (P2M, M2M, M2L, L2L, L2P, P2P) for
 /// a realized step, and mirror each duration into a `phase.*` histogram.
 ///
-/// The virtual-node executor reports only the DAG makespan, so per-phase
-/// durations are *attributed*: each far-field phase gets its share of CPU
-/// work (`counts × flops / effective core rate`) scaled to wall time by the
-/// step's observed parallel rate — the same realized-execution arithmetic
+/// Under [`SchedMode::Dag`] the timing carries *measured* per-phase spans
+/// (aggregated from per-task completion times), so each far-field phase
+/// reports its measured busy time scaled to wall time by the step's
+/// parallel rate — the far-field durations then sum to exactly `t_cpu`.
+/// Under [`SchedMode::Barrier`] the executor reports only the DAG
+/// makespan, so per-phase durations are *attributed*: each phase gets its
+/// share of CPU work (`counts × flops / effective core rate`) scaled the
+/// same way — the same realized-execution arithmetic
 /// [`crate::CostModel::observe`] uses. P2P takes the measured GPU makespan
-/// when devices are online and its attributed CPU share otherwise.
+/// when devices are online and its CPU share otherwise.
 pub fn record_phase_spans(
     rec: &telemetry::Recorder,
     counts: &octree::OpCounts,
@@ -70,30 +81,40 @@ pub fn record_phase_spans(
     }
     let eff = node.cpu.rate_flops * node.cpu.memory.rate_factor(node.cpu.cores);
     let wall = |core_seconds: f64| core_seconds / timing.parallel_rate();
+    let far = |tag: PhaseTag, attributed: f64| match &timing.phases {
+        Some(ph) => wall(ph.get(tag).busy),
+        None => wall(attributed),
+    };
     let phases: [(&'static str, f64, u64); 5] = [
         (
             "phase.p2m",
-            wall(flops.p2m_per_body * counts.p2m_bodies as f64 / eff),
+            far(
+                PhaseTag::P2m,
+                flops.p2m_per_body * counts.p2m_bodies as f64 / eff,
+            ),
             counts.p2m_bodies,
         ),
         (
             "phase.m2m",
-            wall(flops.m2m * counts.m2m_ops as f64 / eff),
+            far(PhaseTag::M2m, flops.m2m * counts.m2m_ops as f64 / eff),
             counts.m2m_ops,
         ),
         (
             "phase.m2l",
-            wall(flops.m2l * counts.m2l_ops as f64 / eff),
+            far(PhaseTag::M2l, flops.m2l * counts.m2l_ops as f64 / eff),
             counts.m2l_ops,
         ),
         (
             "phase.l2l",
-            wall(flops.l2l * counts.l2l_ops as f64 / eff),
+            far(PhaseTag::L2l, flops.l2l * counts.l2l_ops as f64 / eff),
             counts.l2l_ops,
         ),
         (
             "phase.l2p",
-            wall(flops.l2p_per_body * counts.l2p_bodies as f64 / eff),
+            far(
+                PhaseTag::L2p,
+                flops.l2p_per_body * counts.l2p_bodies as f64 / eff,
+            ),
             counts.l2p_bodies,
         ),
     ];
@@ -104,7 +125,10 @@ pub fn record_phase_spans(
     let p2p_dur = if node.num_online_gpus() > 0 {
         timing.t_gpu
     } else {
-        wall(flops.p2p_per_pair * counts.p2p_interactions as f64 / eff)
+        far(
+            PhaseTag::P2p,
+            flops.p2p_per_pair * counts.p2p_interactions as f64 / eff,
+        )
     };
     rec.span(
         "phase.p2p",
@@ -134,15 +158,33 @@ pub fn build_gpu_jobs(tree: &Octree, lists: &InteractionLists) -> Vec<P2pJob> {
         .collect()
 }
 
-/// What runs where — [`ExecPolicy::default`] is the paper's split (all
-/// expansion work on the CPU); `offload_pl` implements the paper's §VIII.E
-/// proposal: "move additional work to the GPU that can be performed more
-/// efficiently... the P2M expansion formation and L2P expansion
-/// evaluation", which helps CPU-starved configurations like 4C4G.
+/// How the far-field task graph is scheduled on the virtual node.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SchedMode {
+    /// The paper's phase-barriered model: merged per-node sweep tasks, the
+    /// whole downward sweep gated on the upward sweep's root (`taskwait`),
+    /// GPU kernels timed separately. The oracle the Dag path is checked
+    /// against.
+    #[default]
+    Barrier,
+    /// Dependency-driven list scheduling over the fine-grained lowering in
+    /// [`crate::dag`]: M2L gated only on its sources' M2M, bottom-level
+    /// priorities, GPU kernels as device-lane tasks pipelined with CPU work.
+    Dag,
+}
+
+/// What runs where and how it is scheduled — [`ExecPolicy::default`] is the
+/// paper's split (all expansion work on the CPU, barrier scheduling);
+/// `offload_pl` implements the paper's §VIII.E proposal: "move additional
+/// work to the GPU that can be performed more efficiently... the P2M
+/// expansion formation and L2P expansion evaluation", which helps
+/// CPU-starved configurations like 4C4G.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ExecPolicy {
     /// Move P2M and L2P to the GPUs (no effect on CPU-only nodes).
     pub offload_pl: bool,
+    /// Barrier (oracle) vs dependency-driven scheduling.
+    pub mode: SchedMode,
 }
 
 /// Build the far-field task DAG exactly as the paper's recursive OpenMP
@@ -306,6 +348,19 @@ pub fn time_step_with_jobs(
     time_step_impl(tree, lists, Some(jobs), flops, node, ExecPolicy::default())
 }
 
+/// As [`time_step_with_jobs`], under an explicit execution policy — the
+/// entry point [`crate::FmmEngine::time_step`] routes through.
+pub fn time_step_with_jobs_policy(
+    tree: &Octree,
+    lists: &InteractionLists,
+    jobs: &[P2pJob],
+    flops: &OpFlops,
+    node: &HeteroNode,
+    policy: ExecPolicy,
+) -> Result<TimingReport, Error> {
+    time_step_impl(tree, lists, Some(jobs), flops, node, policy)
+}
+
 fn time_step_impl(
     tree: &Octree,
     lists: &InteractionLists,
@@ -316,9 +371,11 @@ fn time_step_impl(
 ) -> Result<TimingReport, Error> {
     let gpu_active = node.num_online_gpus() > 0;
     let offload = policy.offload_pl && gpu_active;
-    let graph = build_task_graph_with(tree, lists, flops, !gpu_active, !offload);
-    let sim = simulate(&graph, &node.cpu.to_sim_config());
-    let (t_gpu, gpu) = match &node.gpus {
+    // Simulate the near-field (and optional expansion) kernels first: the
+    // barrier path needs only their makespans, the Dag path additionally
+    // feeds the per-device durations into the unified schedule as lane
+    // tasks.
+    let (t_gpu_serial, gpu_secs, gpu) = match &node.gpus {
         Some(gpus) if gpu_active => {
             let built;
             let jobs = match jobs {
@@ -330,6 +387,7 @@ fn time_step_impl(
             };
             let timing = gpus.execute(jobs)?;
             let mut t = timing.gpu_time().ok_or(Error::MissingGpuTiming)?;
+            let mut secs: Vec<f64> = timing.per_gpu.iter().map(|r| r.elapsed_s).collect();
             if offload {
                 let cyc = gpus.spec(0).expansion_cycles_per_flop
                     * (flops.p2m_per_body + flops.l2p_per_body);
@@ -341,21 +399,52 @@ fn time_step_impl(
                         cycles_per_body: cyc,
                     })
                     .collect();
-                t += gpus
-                    .execute_expansions(&ex_jobs)?
-                    .gpu_time()
-                    .ok_or(Error::MissingGpuTiming)?;
+                let ex = gpus.execute_expansions(&ex_jobs)?;
+                t += ex.gpu_time().ok_or(Error::MissingGpuTiming)?;
+                for (s, r) in secs.iter_mut().zip(&ex.per_gpu) {
+                    *s += r.elapsed_s;
+                }
             }
-            (t, Some(timing))
+            (t, secs, Some(timing))
         }
-        _ => (0.0, None),
+        _ => (0.0, Vec::new(), None),
     };
-    Ok(TimingReport {
-        t_cpu: sim.makespan,
-        t_gpu,
-        cpu_work_seconds: sim.busy.iter().sum(),
-        gpu,
-    })
+    match policy.mode {
+        SchedMode::Barrier => {
+            let graph = build_task_graph_with(tree, lists, flops, !gpu_active, !offload);
+            let sim = simulate(&graph, &node.cpu.to_sim_config());
+            Ok(TimingReport {
+                t_cpu: sim.makespan,
+                t_gpu: t_gpu_serial,
+                cpu_work_seconds: sim.busy.iter().sum(),
+                gpu,
+                phases: None,
+            })
+        }
+        SchedMode::Dag => {
+            let mut low = lower_plan(tree, lists, flops, !gpu_active, !offload);
+            for (d, &s) in gpu_secs.iter().enumerate() {
+                if s > 0.0 {
+                    low.add_gpu_task(d as u16, s);
+                }
+            }
+            let res = schedule(
+                &low.graph,
+                &DagConfig {
+                    cpu: node.cpu.to_sim_config(),
+                    gpu_lanes: gpu_secs.len(),
+                },
+            );
+            let phases = measure_spans(&low, &res);
+            Ok(TimingReport {
+                t_cpu: res.cpu_makespan,
+                t_gpu: res.gpu_makespan,
+                cpu_work_seconds: res.busy.iter().sum(),
+                gpu,
+                phases: Some(phases),
+            })
+        }
+    }
 }
 
 #[cfg(test)]
@@ -533,7 +622,10 @@ mod offload_tests {
             e.lists(),
             &flops,
             &node,
-            ExecPolicy { offload_pl: true },
+            ExecPolicy {
+                offload_pl: true,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(off.t_cpu < base.t_cpu, "P2M/L2P must leave the CPU DAG");
@@ -564,7 +656,10 @@ mod offload_tests {
                 e.lists(),
                 &flops,
                 &node,
-                ExecPolicy { offload_pl: true },
+                ExecPolicy {
+                    offload_pl: true,
+                    ..Default::default()
+                },
             )
             .unwrap()
             .compute();
@@ -591,7 +686,10 @@ mod offload_tests {
             e.lists(),
             &flops,
             &node,
-            ExecPolicy { offload_pl: true },
+            ExecPolicy {
+                offload_pl: true,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(base.t_cpu, off.t_cpu);

@@ -24,8 +24,10 @@
 //! | `enforce_provenance`   | Observation-state enforce with no recorded       |
 //! |                        | regression/anomaly signal                        |
 //! | `audit_drift`          | audited prediction error beyond tolerance        |
+//! | `phase_reconciliation` | per-step `phase.*` span durations do not sum to  |
+//! |                        | the step's reported scheduler makespan           |
 
-use telemetry::{EventRecord, Value};
+use telemetry::{EventRecord, RecordKind, Value};
 
 /// One invariant violation found during replay.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,6 +62,14 @@ pub struct ValidateOptions {
     /// How many steps back an `anomaly.*` event still counts as provenance
     /// for an Observation-state enforce.
     pub anomaly_window: u64,
+    /// Maximum tolerated relative gap between a step's summed CPU-side
+    /// `phase.*` span durations and its reported scheduler makespan
+    /// (`step.record.t_sched`). Measured DAG spans sum to the makespan
+    /// exactly; attributed Barrier spans undershoot by the task-overhead
+    /// share — both land well inside this bound, while a zeroed or scaled
+    /// span from a corrupted trace does not. Steps missing either side
+    /// (older traces) are skipped.
+    pub phase_tolerance: f64,
 }
 
 impl Default for ValidateOptions {
@@ -67,6 +77,7 @@ impl Default for ValidateOptions {
         ValidateOptions {
             audit_tolerance: 10.0,
             anomaly_window: 3,
+            phase_tolerance: 0.2,
         }
     }
 }
@@ -179,6 +190,10 @@ pub fn validate_trace(records: &[EventRecord], opts: &ValidateOptions) -> Vec<Vi
     // Most recent lb.regression / anomaly.* seen, as (step, seq).
     let mut last_regression: Option<(u64, u64)> = None;
     let mut last_anomaly: Option<(u64, u64)> = None;
+    // CPU-side phase.* span durations accumulated within the current step
+    // (phase spans precede their step's step.record in emission order).
+    let mut phase_sum = 0.0f64;
+    let mut phase_spans = 0usize;
 
     for r in records {
         if let Some(prev) = last_seq {
@@ -199,6 +214,19 @@ pub fn validate_trace(records: &[EventRecord], opts: &ValidateOptions) -> Vec<Vi
             // in post_step, before the step's own step.record).
             cur_step = Some(r.step);
             state_at_step_start = cur_state.clone();
+            phase_sum = 0.0;
+            phase_spans = 0;
+        }
+
+        if r.kind == RecordKind::Span && r.name.starts_with("phase.") {
+            // P2P on the GPUs runs on device lanes, not the CPU makespan.
+            let on_gpu = r.name == "phase.p2p" && bool_field(r, "on_gpu").unwrap_or(false);
+            if !on_gpu {
+                if let Some(d) = r.dur_s {
+                    phase_sum += d;
+                    phase_spans += 1;
+                }
+            }
         }
 
         match r.name {
@@ -299,6 +327,25 @@ pub fn validate_trace(records: &[EventRecord], opts: &ValidateOptions) -> Vec<Vi
                             step: r.step,
                             detail: format!("step at S={s} outside [{lo}, {hi}]"),
                         });
+                    }
+                }
+                // Phase-span reconciliation: the step's CPU-side phase
+                // durations must sum to the undisturbed scheduler makespan.
+                // Needs both sides present — older traces carry neither.
+                if let Some(t_sched) = f64_field(r, "t_sched") {
+                    if phase_spans > 0 && t_sched.is_finite() {
+                        let gap = (phase_sum - t_sched).abs();
+                        if gap > opts.phase_tolerance * t_sched.max(1e-12) + 1e-12 {
+                            out.push(Violation {
+                                invariant: "phase_reconciliation",
+                                seq: r.seq,
+                                step: r.step,
+                                detail: format!(
+                                    "phase spans sum to {phase_sum:.6e} but the step \
+                                     reports a scheduler makespan of {t_sched:.6e}"
+                                ),
+                            });
+                        }
                     }
                 }
             }
@@ -690,6 +737,96 @@ mod tests {
         assert!(v.iter().any(|x| x.invariant == "missing_config"), "{v:?}");
         // An empty trace, by contrast, is trivially legal.
         assert!(validate_trace(&[], &ValidateOptions::default()).is_empty());
+    }
+
+    fn phase_span(seq: u64, step: u64, name: &'static str, dur: f64) -> EventRecord {
+        EventRecord {
+            seq,
+            step,
+            kind: RecordKind::Span,
+            name: intern(name),
+            dur_s: Some(dur),
+            fields: vec![("ops", Value::U64(10))],
+        }
+    }
+
+    fn step_record_with_sched(
+        seq: u64,
+        step: u64,
+        s: u64,
+        state: &str,
+        t_sched: f64,
+    ) -> EventRecord {
+        let mut r = step_record(seq, step, s, state, 2);
+        r.fields.push(("t_sched", Value::F64(t_sched)));
+        r
+    }
+
+    #[test]
+    fn reconciled_phase_spans_pass() {
+        let recs = vec![
+            config(0),
+            phase_span(1, 0, "phase.p2m", 0.1),
+            phase_span(2, 0, "phase.m2m", 0.2),
+            phase_span(3, 0, "phase.m2l", 0.5),
+            phase_span(4, 0, "phase.l2l", 0.1),
+            phase_span(5, 0, "phase.l2p", 0.1),
+            step_record_with_sched(6, 0, 64, "search", 1.0),
+        ];
+        let v = validate_trace(&recs, &ValidateOptions::default());
+        assert!(v.is_empty(), "unexpected violations: {v:?}");
+    }
+
+    #[test]
+    fn corrupted_phase_span_is_flagged() {
+        // The M2L span was zeroed (dominant phase lost): the sum no longer
+        // covers the reported makespan.
+        let recs = vec![
+            config(0),
+            phase_span(1, 0, "phase.p2m", 0.1),
+            phase_span(2, 0, "phase.m2m", 0.2),
+            phase_span(3, 0, "phase.m2l", 0.0),
+            phase_span(4, 0, "phase.l2l", 0.1),
+            phase_span(5, 0, "phase.l2p", 0.1),
+            step_record_with_sched(6, 0, 64, "search", 1.0),
+        ];
+        let v = validate_trace(&recs, &ValidateOptions::default());
+        assert!(
+            v.iter().any(|x| x.invariant == "phase_reconciliation"),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn gpu_p2p_span_stays_out_of_cpu_reconciliation() {
+        // phase.p2p with on_gpu=true is device time; including it would blow
+        // the CPU-side sum. A trace where it is correctly excluded passes.
+        let mut p2p = phase_span(5, 0, "phase.p2p", 3.0);
+        p2p.fields.push(("on_gpu", Value::Bool(true)));
+        let recs = vec![
+            config(0),
+            phase_span(1, 0, "phase.p2m", 0.2),
+            phase_span(2, 0, "phase.m2m", 0.2),
+            phase_span(3, 0, "phase.m2l", 0.4),
+            phase_span(4, 0, "phase.l2l", 0.2),
+            p2p,
+            step_record_with_sched(6, 0, 64, "search", 1.0),
+        ];
+        let v = validate_trace(&recs, &ValidateOptions::default());
+        assert!(v.is_empty(), "unexpected violations: {v:?}");
+    }
+
+    #[test]
+    fn traces_without_t_sched_skip_reconciliation() {
+        // Pre-DAG traces have phase spans but no t_sched anchor: skipped,
+        // not flagged (backwards compatibility).
+        let recs = vec![
+            config(0),
+            phase_span(1, 0, "phase.m2l", 123.0),
+            step_record(2, 0, 64, "search", 2),
+        ];
+        let v = validate_trace(&recs, &ValidateOptions::default());
+        assert!(v.is_empty(), "unexpected violations: {v:?}");
     }
 
     #[test]

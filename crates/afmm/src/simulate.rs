@@ -261,6 +261,13 @@ impl<K: Kernel> StrategyTracker<K> {
         self.faults = faults;
     }
 
+    /// Set the execution policy the tracked engine schedules its virtual
+    /// solves under (Barrier oracle vs dependency-driven Dag). Physics is
+    /// unaffected; only the timing model changes.
+    pub fn set_exec_policy(&mut self, policy: crate::ExecPolicy) {
+        self.engine.set_exec_policy(policy);
+    }
+
     /// The virtual node as disturbed so far (device status included).
     pub fn node(&self) -> &HeteroNode {
         &self.node
@@ -421,6 +428,11 @@ impl<K: Kernel> StrategyTracker<K> {
                         "online_gpus",
                         telemetry::Value::U64(self.node.num_online_gpus() as u64),
                     ),
+                    // The *undisturbed* scheduler makespan (no external-load
+                    // stretch, no noise): the anchor the replay validator
+                    // reconciles the per-phase spans against, which are
+                    // likewise derived from undisturbed timing.
+                    ("t_sched", telemetry::Value::F64(timing.t_cpu)),
                 ],
             );
         }

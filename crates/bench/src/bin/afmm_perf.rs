@@ -45,7 +45,7 @@ fn main() -> ExitCode {
 fn run_and_render(cfg: &SuiteConfig) -> BenchReport {
     eprintln!(
         "# afmm-perf: {} suite ({} scenarios pending, reps={}, warmup={})",
-        cfg.mode, 6, cfg.reps, cfg.warmup
+        cfg.mode, 7, cfg.reps, cfg.warmup
     );
     run_suite(cfg, &mut |line| eprintln!("# {line}"))
 }

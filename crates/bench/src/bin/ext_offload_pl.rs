@@ -43,7 +43,10 @@ fn main() {
                 engine.lists(),
                 &flops,
                 &node,
-                ExecPolicy { offload_pl: true },
+                ExecPolicy {
+                    offload_pl: true,
+                    ..Default::default()
+                },
             )
             .unwrap()
             .compute();

@@ -15,8 +15,8 @@
 use std::time::Instant;
 
 use afmm::{
-    CostModel, FaultEvent, FaultSchedule, FmmEngine, FmmParams, HeteroNode, LbConfig, LbState,
-    Strategy, StrategyTracker,
+    CostModel, ExecPolicy, FaultEvent, FaultSchedule, FmmEngine, FmmParams, HeteroNode, LbConfig,
+    LbState, SchedMode, Strategy, StrategyTracker,
 };
 use fmm_math::GravityKernel;
 use octree::{
@@ -123,8 +123,9 @@ impl SuiteConfig {
 
 /// Run the whole registry; `progress` receives one line per scenario.
 pub fn run_suite(cfg: &SuiteConfig, progress: &mut dyn FnMut(&str)) -> BenchReport {
-    let runners: [(&str, fn(&SuiteConfig) -> Scenario); 6] = [
+    let runners: [(&str, fn(&SuiteConfig) -> Scenario); 7] = [
         ("solve_step", solve_step),
+        ("dag_pipeline", dag_pipeline),
         ("plan_patch_vs_rebuild", plan_patch_vs_rebuild),
         ("enforce_s", enforce_s),
         ("balancer_convergence", balancer_convergence),
@@ -215,6 +216,95 @@ fn solve_step(cfg: &SuiteConfig) -> Scenario {
             Metric::virtual_point("virtual_cpu_s", "s", timing.t_cpu),
             Metric::virtual_point("virtual_gpu_s", "s", timing.t_gpu),
         ],
+        snapshot,
+    }
+}
+
+/// **dag_pipeline** — barrier vs dependency-driven execution of the *same*
+/// plan on a matrix of heterogeneous node shapes. The virtual makespans are
+/// deterministic, so the per-config speedups are gated: a change that costs
+/// the list scheduler its pipelining win (M2L overlapping the upsweep, GPU
+/// lanes overlapping CPU work) fails the compare. The wall metric tracks
+/// the scheduler's own cost — the price of dependency-driven dispatch over
+/// the barrier oracle's simpler id-greedy sweep.
+///
+/// The leaf capacity matches `solve_step`'s S=96: the fine-grained DAG pays
+/// one extra task of dispatch overhead per node, so its win lives where
+/// dependency slack binds (deeper trees, span-bound schedules), not in the
+/// work-bound limit — see DESIGN.md §11.
+fn dag_pipeline(cfg: &SuiteConfig) -> Scenario {
+    let s = 96;
+    let configs: [(usize, usize); 3] = [(10, 4), (10, 1), (8, 2)];
+    let b = nbody::plummer(cfg.n_solve, 1.0, 1.0, cfg.seed + 6);
+    let mut engine = FmmEngine::new(GravityKernel::default(), FmmParams::default(), &b.pos, s);
+    engine.refresh_lists();
+    let flops = crate::default_flops(&GravityKernel::default());
+
+    let node0 = HeteroNode::system_a(configs[0].0, configs[0].1);
+    engine.set_exec_policy(ExecPolicy {
+        mode: SchedMode::Dag,
+        ..Default::default()
+    });
+    let samples = sample(cfg.warmup, cfg.reps, || {
+        std::hint::black_box(engine.time_step(&flops, &node0).expect("healthy node"));
+    });
+
+    let mut metrics = vec![Metric::wall("wall_dag_step_s", "s", samples, cfg.seed)];
+    for &(cores, gpus) in &configs {
+        let node = HeteroNode::system_a(cores, gpus);
+        engine.set_exec_policy(ExecPolicy::default());
+        let bar = engine.time_step(&flops, &node).expect("healthy node");
+        engine.set_exec_policy(ExecPolicy {
+            mode: SchedMode::Dag,
+            ..Default::default()
+        });
+        let dag = engine.time_step(&flops, &node).expect("healthy node");
+        let tag = format!("{cores}c{gpus}g");
+        metrics.push(Metric::virtual_point(
+            &format!("virtual_barrier_{tag}_s"),
+            "s",
+            bar.compute(),
+        ));
+        metrics.push(Metric::virtual_point(
+            &format!("virtual_dag_{tag}_s"),
+            "s",
+            dag.compute(),
+        ));
+        metrics.push(
+            Metric::virtual_point(
+                &format!("dag_speedup_{tag}"),
+                "x",
+                bar.compute() / dag.compute(),
+            )
+            .higher_is_better(),
+        );
+    }
+
+    let counts = engine.counts();
+    let snapshot = gather(&SnapshotParts {
+        tree: Some(engine.tree()),
+        lists: Some(engine.lists()),
+        counts: Some(counts),
+        ..Default::default()
+    });
+    Scenario {
+        name: "dag_pipeline".to_string(),
+        params: obj(vec![
+            ("n", Json::Num(cfg.n_solve as f64)),
+            ("distribution", Json::Str("plummer".to_string())),
+            ("s", Json::Num(s as f64)),
+            (
+                "configs",
+                Json::Str(
+                    configs
+                        .iter()
+                        .map(|(c, g)| format!("{c}C{g}G"))
+                        .collect::<Vec<_>>()
+                        .join(","),
+                ),
+            ),
+        ]),
+        metrics,
         snapshot,
     }
 }

@@ -1,19 +1,71 @@
+use std::fmt;
+
 /// Index of a task within a [`TaskGraph`].
 pub type TaskId = u32;
 
-/// A unit of schedulable work: `cost` units of single-core work that may
-/// only start once all `deps` have completed.
+/// Which resource pool a task occupies while it runs.
+///
+/// `Cpu` tasks cost flops and run on any of the node's virtual cores at the
+/// configured effective rate. `Gpu(d)` tasks are *pre-timed* device kernels:
+/// their cost is already in seconds and they are pinned to device lane `d`
+/// (a kernel simulated for device 3 cannot run on device 1 — per-device
+/// slowdown and partition are baked into its duration).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Lane {
+    #[default]
+    Cpu,
+    Gpu(u16),
+}
+
+/// A unit of schedulable work: `cost` units of single-core work (flops for
+/// [`Lane::Cpu`], seconds for [`Lane::Gpu`]) that may only start once all
+/// `deps` have completed.
 #[derive(Clone, Debug)]
 pub struct Task {
     pub cost: f64,
     pub deps: Vec<TaskId>,
+    pub lane: Lane,
 }
 
+/// A rejected [`TaskGraph::try_add`]: the task description could not be part
+/// of a well-formed DAG.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GraphError {
+    /// Cost was NaN, infinite, or negative.
+    BadCost { id: TaskId, cost: f64 },
+    /// A dependency referred to a task not yet added (forward edge — would
+    /// make cycles representable).
+    ForwardDep { id: TaskId, dep: TaskId },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::BadCost { id, cost } => {
+                write!(f, "task {id}: cost {cost} is not finite and >= 0")
+            }
+            GraphError::ForwardDep { id, dep } => {
+                write!(f, "task {id}: dependency {dep} does not precede it")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
 /// A dependency DAG of tasks. Dependencies must point at already-added
-/// tasks, which makes cycles unrepresentable by construction.
+/// tasks, which makes cycles unrepresentable by construction — and that
+/// invariant is *enforced* (release mode included): a malformed task is
+/// rejected by [`TaskGraph::try_add`] and panics in [`TaskGraph::add`]
+/// rather than silently mis-scheduling.
 #[derive(Clone, Debug, Default)]
 pub struct TaskGraph {
     pub(crate) tasks: Vec<Task>,
+    /// Number of [`Lane::Gpu`] tasks (so the schedulers can cheaply tell a
+    /// pure-CPU graph from a mixed one).
+    pub(crate) gpu_tasks: usize,
+    /// Highest GPU lane index referenced, if any.
+    pub(crate) max_gpu_lane: Option<u16>,
 }
 
 impl TaskGraph {
@@ -24,19 +76,50 @@ impl TaskGraph {
     pub fn with_capacity(n: usize) -> Self {
         TaskGraph {
             tasks: Vec::with_capacity(n),
+            gpu_tasks: 0,
+            max_gpu_lane: None,
         }
     }
 
-    /// Add a task; every dependency must be a previously returned id.
-    pub fn add(&mut self, cost: f64, deps: Vec<TaskId>) -> TaskId {
+    /// Validated insertion: every dependency must be a previously returned
+    /// id and the cost must be finite and non-negative. These are real
+    /// checks, active in `--release` builds.
+    pub fn try_add(
+        &mut self,
+        lane: Lane,
+        cost: f64,
+        deps: Vec<TaskId>,
+    ) -> Result<TaskId, GraphError> {
         let id = self.tasks.len() as TaskId;
-        debug_assert!(
-            cost >= 0.0 && cost.is_finite(),
-            "task cost must be finite and >= 0"
-        );
-        debug_assert!(deps.iter().all(|&d| d < id), "deps must precede the task");
-        self.tasks.push(Task { cost, deps });
-        id
+        if !(cost >= 0.0 && cost.is_finite()) {
+            return Err(GraphError::BadCost { id, cost });
+        }
+        if let Some(&dep) = deps.iter().find(|&&d| d >= id) {
+            return Err(GraphError::ForwardDep { id, dep });
+        }
+        if let Lane::Gpu(d) = lane {
+            self.gpu_tasks += 1;
+            self.max_gpu_lane = Some(self.max_gpu_lane.map_or(d, |m| m.max(d)));
+        }
+        self.tasks.push(Task { cost, deps, lane });
+        Ok(id)
+    }
+
+    /// Add a CPU task; panics (also in release) when the task is malformed.
+    /// Use [`TaskGraph::try_add`] to handle the error gracefully.
+    pub fn add(&mut self, cost: f64, deps: Vec<TaskId>) -> TaskId {
+        match self.try_add(Lane::Cpu, cost, deps) {
+            Ok(id) => id,
+            Err(e) => panic!("TaskGraph::add: {e}"),
+        }
+    }
+
+    /// Add a device-lane task (`cost` in seconds); panics when malformed.
+    pub fn add_gpu(&mut self, device: u16, cost: f64, deps: Vec<TaskId>) -> TaskId {
+        match self.try_add(Lane::Gpu(device), cost, deps) {
+            Ok(id) => id,
+            Err(e) => panic!("TaskGraph::add_gpu: {e}"),
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -47,15 +130,31 @@ impl TaskGraph {
         self.tasks.is_empty()
     }
 
-    /// Sum of all task costs (the work term of Graham's bound).
+    /// Number of device-lane tasks in the graph.
+    pub fn gpu_task_count(&self) -> usize {
+        self.gpu_tasks
+    }
+
+    /// Minimum number of GPU lanes a schedule of this graph requires
+    /// (`max referenced lane + 1`, or 0 for a pure-CPU graph).
+    pub fn required_gpu_lanes(&self) -> usize {
+        self.max_gpu_lane.map_or(0, |m| m as usize + 1)
+    }
+
+    /// Sum of all **CPU** task costs (the work term of Graham's bound).
+    /// GPU-lane tasks are excluded: their costs are seconds, not flops.
     pub fn total_work(&self) -> f64 {
-        self.tasks.iter().map(|t| t.cost).sum()
+        self.tasks
+            .iter()
+            .filter(|t| t.lane == Lane::Cpu)
+            .map(|t| t.cost)
+            .sum()
     }
 }
 
 /// Length of the longest dependency chain weighted by cost (the span term of
 /// Graham's bound): a lower bound on any schedule's makespan, independent of
-/// core count.
+/// core count. Meaningful for pure-CPU graphs (uniform cost units).
 pub fn critical_path(graph: &TaskGraph) -> f64 {
     let mut finish = vec![0.0f64; graph.tasks.len()];
     for (i, t) in graph.tasks.iter().enumerate() {
@@ -110,5 +209,51 @@ mod tests {
         let g = TaskGraph::new();
         assert_eq!(critical_path(&g), 0.0);
         assert_eq!(g.total_work(), 0.0);
+    }
+
+    #[test]
+    fn try_add_rejects_malformed_tasks() {
+        let mut g = TaskGraph::new();
+        let a = g.try_add(Lane::Cpu, 1.0, vec![]).unwrap();
+        assert!(matches!(
+            g.try_add(Lane::Cpu, f64::NAN, vec![]),
+            Err(GraphError::BadCost { id: 1, .. })
+        ));
+        assert!(matches!(
+            g.try_add(Lane::Cpu, -1.0, vec![]),
+            Err(GraphError::BadCost { id: 1, .. })
+        ));
+        assert!(matches!(
+            g.try_add(Lane::Cpu, 1.0, vec![a, 7]),
+            Err(GraphError::ForwardDep { id: 1, dep: 7 })
+        ));
+        // A task may not depend on itself (its own id is a forward dep).
+        assert!(matches!(
+            g.try_add(Lane::Cpu, 1.0, vec![1]),
+            Err(GraphError::ForwardDep { id: 1, dep: 1 })
+        ));
+        // The graph is unchanged by rejected inserts.
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "TaskGraph::add")]
+    fn add_panics_on_forward_dep_in_release_too() {
+        let mut g = TaskGraph::new();
+        g.add(1.0, vec![3]);
+    }
+
+    #[test]
+    fn gpu_lane_bookkeeping() {
+        let mut g = TaskGraph::new();
+        g.add(1.0, vec![]);
+        assert_eq!(g.gpu_task_count(), 0);
+        assert_eq!(g.required_gpu_lanes(), 0);
+        g.add_gpu(2, 0.5, vec![]);
+        g.add_gpu(0, 0.25, vec![]);
+        assert_eq!(g.gpu_task_count(), 2);
+        assert_eq!(g.required_gpu_lanes(), 3);
+        // GPU seconds stay out of the flop-work total.
+        assert_eq!(g.total_work(), 1.0);
     }
 }

@@ -14,10 +14,12 @@
 //!
 //! Everything is deterministic: same graph + same config ⇒ same makespan.
 
+mod dag;
 mod graph;
 mod memory;
 mod sim;
 
-pub use graph::{critical_path, Task, TaskGraph, TaskId};
+pub use dag::{bottom_levels, schedule, DagConfig, DagResult};
+pub use graph::{critical_path, GraphError, Lane, Task, TaskGraph, TaskId};
 pub use memory::MemoryModel;
 pub use sim::{simulate, SimConfig, SimResult};

@@ -89,6 +89,11 @@ impl Ord for Time {
 pub fn simulate(graph: &TaskGraph, cfg: &SimConfig) -> SimResult {
     assert!(cfg.cores >= 1, "node must have at least one core");
     assert!(cfg.rate > 0.0, "core rate must be positive");
+    assert!(
+        graph.gpu_task_count() == 0,
+        "the barrier executor is CPU-only; use sched_sim::schedule for \
+         graphs with GPU-lane tasks"
+    );
     let n = graph.tasks.len();
     let eff_rate = cfg.rate * cfg.memory.rate_factor(cfg.cores);
 
@@ -245,7 +250,7 @@ mod tests {
 
     #[test]
     fn rate_scales_time_inversely() {
-        let g = independent(&vec![10.0; 16]);
+        let g = independent(&[10.0; 16]);
         let slow = simulate(&g, &SimConfig::ideal(4, 1.0));
         let fast = simulate(&g, &SimConfig::ideal(4, 10.0));
         assert!((slow.makespan / fast.makespan - 10.0).abs() < 1e-9);
@@ -253,7 +258,7 @@ mod tests {
 
     #[test]
     fn overhead_adds_per_task() {
-        let g = independent(&vec![1.0; 8]);
+        let g = independent(&[1.0; 8]);
         let base = SimConfig::ideal(1, 1.0);
         let with = SimConfig {
             task_overhead: 0.5,

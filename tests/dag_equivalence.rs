@@ -1,0 +1,182 @@
+//! Barrier-vs-Dag execution-policy equivalence and pipelining gates.
+//!
+//! The execution policy only changes how the *virtual node* schedules the
+//! already-planned work — the physics must not notice. These tests pin both
+//! halves of that contract: forces are bit-identical under either policy,
+//! and on quick-suite-scale heterogeneous configs the dependency-driven
+//! scheduler's makespan is never worse than the phase-barrier oracle.
+
+use afmm::{ExecPolicy, SchedMode};
+use afmm_repro::prelude::*;
+use fmm_math::Kernel;
+
+fn engine_at(n: usize, s: usize, seed: u64) -> (FmmEngine<GravityKernel>, Bodies) {
+    let b = nbody::plummer(n, 1.0, 1.0, seed);
+    let mut e = FmmEngine::new(GravityKernel::default(), FmmParams::default(), &b.pos, s);
+    e.refresh_lists();
+    (e, b)
+}
+
+/// The hetero configs the `dag_pipeline` perf-lab scenario gates on. All are
+/// multi-core: with very few cores the barrier executor is already
+/// near-serial and the Dag lowering's extra per-task overhead can cost more
+/// than pipelining recovers, so the win claim lives at realistic node shapes.
+const CONFIGS: [(usize, usize); 3] = [(10, 4), (10, 1), (8, 2)];
+
+/// Forces are bit-identical under Barrier and Dag policies: the scheduler
+/// choice must never leak into the physics.
+#[test]
+fn forces_bit_identical_under_both_policies() {
+    for &(n, s, seed) in &[(500usize, 16usize, 11u64), (2_000, 32, 12), (900, 8, 13)] {
+        let (mut e, b) = engine_at(n, s, seed);
+        let mass = vec![1.0; n];
+
+        e.set_exec_policy(ExecPolicy::default());
+        let barrier = e.solve(&b.pos, &mass);
+
+        e.set_exec_policy(ExecPolicy {
+            mode: SchedMode::Dag,
+            ..Default::default()
+        });
+        let dag = e.solve(&b.pos, &mass);
+
+        assert_eq!(barrier.field.len(), dag.field.len());
+        for (i, (a, d)) in barrier.field.iter().zip(&dag.field).enumerate() {
+            assert!(
+                a.x.to_bits() == d.x.to_bits()
+                    && a.y.to_bits() == d.y.to_bits()
+                    && a.z.to_bits() == d.z.to_bits(),
+                "force {i} differs between policies: {a:?} vs {d:?}"
+            );
+        }
+        for (i, (a, d)) in barrier.pot.iter().zip(&dag.pot).enumerate() {
+            assert!(
+                a.to_bits() == d.to_bits(),
+                "potential {i} differs between policies: {a} vs {d}"
+            );
+        }
+    }
+}
+
+/// On every quick-suite hetero config, the Dag makespan is no worse than the
+/// Barrier makespan — and the CPU span strictly improves at scale, because
+/// M2L tasks start as soon as their own sources' M2M finish instead of
+/// waiting for the full upsweep.
+#[test]
+fn dag_never_worse_than_barrier_at_scale() {
+    let flops = GravityKernel::default().op_flops(&ExpansionOps::new(FmmParams::default().order));
+    for &(n, s) in &[(4_000usize, 32usize), (12_000, 64)] {
+        let (mut e, _) = engine_at(n, s, 42);
+        let mut improved = false;
+        for &(cores, gpus) in &CONFIGS {
+            let node = HeteroNode::system_a(cores, gpus);
+
+            e.set_exec_policy(ExecPolicy::default());
+            let bar = e.time_step(&flops, &node).unwrap();
+            assert!(
+                bar.phases.is_none(),
+                "barrier path must not report DAG spans"
+            );
+
+            e.set_exec_policy(ExecPolicy {
+                mode: SchedMode::Dag,
+                ..Default::default()
+            });
+            let dag = e.time_step(&flops, &node).unwrap();
+            assert!(dag.phases.is_some(), "dag path must report measured spans");
+
+            assert!(
+                dag.compute() <= bar.compute() * (1.0 + 1e-9),
+                "n={n} s={s} {cores}C{gpus}G: dag {} > barrier {}",
+                dag.compute(),
+                bar.compute()
+            );
+            assert!(
+                dag.t_cpu <= bar.t_cpu * (1.0 + 1e-9),
+                "n={n} s={s} {cores}C{gpus}G: dag t_cpu {} > barrier {}",
+                dag.t_cpu,
+                bar.t_cpu
+            );
+            if dag.compute() < bar.compute() * 0.999 {
+                improved = true;
+            }
+        }
+        assert!(
+            improved,
+            "n={n} s={s}: Dag should beat Barrier by >0.1% somewhere"
+        );
+    }
+}
+
+/// The same holds with the P2M/L2P offload policy enabled: the Dag path
+/// folds expansion transfers into the GPU lanes without regressing.
+#[test]
+fn dag_not_worse_with_offload_policy() {
+    let flops = GravityKernel::default().op_flops(&ExpansionOps::new(FmmParams::default().order));
+    let (mut e, _) = engine_at(6_000, 48, 7);
+    let node = HeteroNode::system_a(10, 2);
+
+    e.set_exec_policy(ExecPolicy {
+        offload_pl: true,
+        mode: SchedMode::Barrier,
+    });
+    let bar = e.time_step(&flops, &node).unwrap();
+
+    e.set_exec_policy(ExecPolicy {
+        offload_pl: true,
+        mode: SchedMode::Dag,
+    });
+    let dag = e.time_step(&flops, &node).unwrap();
+
+    assert!(
+        dag.compute() <= bar.compute() * (1.0 + 1e-9),
+        "offload: dag {} > barrier {}",
+        dag.compute(),
+        bar.compute()
+    );
+    // GPU lanes pipeline: per-device (p2p + expansion) chains never exceed
+    // the barrier model's sum of serial maxima.
+    assert!(dag.t_gpu <= bar.t_gpu * (1.0 + 1e-9));
+}
+
+/// Measured DAG phase spans are self-consistent: far-field busy time sums to
+/// the CPU work the report claims, so `parallel_rate` and the replay
+/// reconciliation invariant both see the same arithmetic.
+#[test]
+fn dag_phase_spans_reconcile_with_report() {
+    let flops = GravityKernel::default().op_flops(&ExpansionOps::new(FmmParams::default().order));
+    let (mut e, _) = engine_at(3_000, 32, 21);
+    let node = HeteroNode::system_a(8, 2);
+    e.set_exec_policy(ExecPolicy {
+        mode: SchedMode::Dag,
+        ..Default::default()
+    });
+    let t = e.time_step(&flops, &node).unwrap();
+    let phases = t.phases.as_ref().expect("dag path reports spans");
+
+    // With GPUs online the near field lives on the device lanes, so the
+    // far-field spans account for every CPU core-second exactly.
+    let busy = phases.far_field_busy();
+    assert!(
+        (busy - t.cpu_work_seconds).abs() <= 1e-9 * t.cpu_work_seconds.max(1e-12),
+        "far-field span busy {} != cpu_work_seconds {}",
+        busy,
+        t.cpu_work_seconds
+    );
+    assert!(t.parallel_rate() >= 1.0 && t.parallel_rate() <= 8.0 + 1e-9);
+    // Every span sits inside its lane's makespan: far-field phases within
+    // the CPU span, the GPU-lane P2P phase within the GPU span.
+    for (tag, sp) in phases.iter() {
+        if sp.tasks > 0 {
+            let lane_end = if tag == afmm::PhaseTag::P2p {
+                t.t_gpu
+            } else {
+                t.t_cpu
+            };
+            assert!(
+                sp.end <= lane_end * (1.0 + 1e-9),
+                "{tag:?} span overruns makespan"
+            );
+        }
+    }
+}

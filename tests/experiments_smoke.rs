@@ -162,7 +162,10 @@ fn extension_shape_offload() {
         &lists,
         &f,
         &starved,
-        afmm::ExecPolicy { offload_pl: true },
+        afmm::ExecPolicy {
+            offload_pl: true,
+            ..Default::default()
+        },
     )
     .unwrap();
     assert!(off.t_cpu < base.t_cpu);
