@@ -38,7 +38,7 @@ pub enum PhaseTag {
 }
 
 impl PhaseTag {
-    const ALL: [PhaseTag; 6] = [
+    pub const ALL: [PhaseTag; 6] = [
         PhaseTag::P2m,
         PhaseTag::M2m,
         PhaseTag::M2l,
@@ -47,8 +47,20 @@ impl PhaseTag {
         PhaseTag::P2p,
     ];
 
-    fn index(self) -> usize {
+    pub fn index(self) -> usize {
         self as usize
+    }
+
+    /// Stable lowercase label for telemetry fields and CLI tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            PhaseTag::P2m => "p2m",
+            PhaseTag::M2m => "m2m",
+            PhaseTag::M2l => "m2l",
+            PhaseTag::L2l => "l2l",
+            PhaseTag::L2p => "l2p",
+            PhaseTag::P2p => "p2p",
+        }
     }
 }
 
@@ -124,6 +136,108 @@ impl PhaseSpans {
             .filter(|&&t| t != PhaseTag::P2p)
             .map(|&t| self.spans[t.index()].busy)
             .sum()
+    }
+}
+
+/// One task's realized schedule, joined with its FMM phase — the
+/// `sched.task` telemetry payload.
+#[derive(Clone, Copy, Debug)]
+pub struct TaskTrace {
+    pub task: TaskId,
+    pub phase: PhaseTag,
+    /// Execution slot: `< cores` is a CPU core, else `cores + GPU lane`.
+    pub slot: u32,
+    /// Bottom-level (critical-path-to-exit) priority the dispatcher used.
+    pub prio: f64,
+    /// Instant the task's last dependency completed (0 for roots).
+    pub ready: f64,
+    pub start: f64,
+    pub finish: f64,
+}
+
+impl TaskTrace {
+    pub fn duration(&self) -> f64 {
+        self.finish - self.start
+    }
+}
+
+/// The scheduler X-ray of one Dag-mode step: every task's realized
+/// schedule, the lane/critical-path analytics, and the critical path's
+/// duration re-aggregated by FMM phase. Produced only when
+/// [`ExecPolicy::trace`](crate::ExecPolicy) is set — it is strictly
+/// observational and never feeds back into the timing.
+#[derive(Clone, Debug)]
+pub struct SchedXray {
+    /// CPU cores the schedule ran on (decodes [`TaskTrace::slot`]).
+    pub cores: usize,
+    /// GPU lanes the schedule ran on.
+    pub gpu_lanes: usize,
+    /// Which dual-pass anomaly-guard order won.
+    pub pass: sched_sim::SchedPass,
+    /// Lane stats, realized critical path, and bottleneck attribution.
+    pub analysis: sched_sim::SchedAnalysis,
+    /// Per-task traces, indexed by [`TaskId`].
+    pub tasks: Vec<TaskTrace>,
+    /// Critical-path duration attributed to each phase (indexed by
+    /// [`PhaseTag::index`]), normalized by the path's duration sum —
+    /// sums to 1.0 on any non-empty schedule.
+    pub crit_phase_frac: [f64; 6],
+    /// Busy fraction of each GPU lane over the makespan, indexed by device
+    /// (from [`DagResult::lane_utilization`]).
+    pub gpu_lane_util: Vec<f64>,
+}
+
+impl SchedXray {
+    /// Join the lowering's phase tags with a finished schedule.
+    pub fn build(lowering: &DagLowering, cfg: &sched_sim::DagConfig, result: &DagResult) -> Self {
+        let analysis = sched_sim::analyze(&lowering.graph, result);
+        let prio = sched_sim::bottom_levels(&lowering.graph, cfg);
+        let tasks: Vec<TaskTrace> = lowering
+            .phase
+            .iter()
+            .enumerate()
+            .map(|(i, &phase)| TaskTrace {
+                task: i as TaskId,
+                phase,
+                slot: result.slot[i],
+                prio: prio[i],
+                ready: result.ready[i],
+                start: result.start[i],
+                finish: result.finish[i],
+            })
+            .collect();
+        let mut phase_s = [0.0f64; 6];
+        for c in &analysis.crit_path {
+            phase_s[lowering.phase[c.task as usize].index()] += c.duration();
+        }
+        let denom = if analysis.crit_sum > 0.0 {
+            analysis.crit_sum
+        } else {
+            1.0
+        };
+        let crit_phase_frac = phase_s.map(|s| s / denom);
+        let gpu_lane_util = (0..result.gpu_busy.len())
+            .map(|d| result.lane_utilization(d))
+            .collect();
+        SchedXray {
+            cores: result.cores,
+            gpu_lanes: result.gpu_busy.len(),
+            pass: result.pass,
+            analysis,
+            tasks,
+            crit_phase_frac,
+            gpu_lane_util,
+        }
+    }
+
+    /// Phase of each critical-path entry, aligned with
+    /// `analysis.crit_path`.
+    pub fn crit_phases(&self) -> Vec<PhaseTag> {
+        self.analysis
+            .crit_path
+            .iter()
+            .map(|c| self.tasks[c.task as usize].phase)
+            .collect()
     }
 }
 

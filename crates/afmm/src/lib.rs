@@ -64,12 +64,17 @@ pub use filter::{FilterSnapshot, TimingFilter};
 pub use plan::ExecutionPlan;
 pub use supervisor::{RecoveryAction, Supervisor, SupervisorConfig, SupervisorReport};
 // Fault-injection vocabulary, re-exported so drivers need only `afmm`.
-pub use dag::{lower_plan, measure_spans, DagLowering, PhaseSpan, PhaseSpans, PhaseTag};
+pub use dag::{
+    lower_plan, measure_spans, DagLowering, PhaseSpan, PhaseSpans, PhaseTag, SchedXray, TaskTrace,
+};
 pub use exec::{
     build_gpu_jobs, build_task_graph, build_task_graph_with, phase_times, record_phase_spans,
     time_step, time_step_policy, time_step_with_jobs, time_step_with_jobs_policy, ExecPolicy,
-    PhaseTimes, SchedMode, TimingReport,
+    PhaseTimes, SchedMode, TimingReport, DEFAULT_PHASE_TOLERANCE,
 };
 pub use gpu_sim::{DeviceStatus, FaultEvent, FaultSchedule, TimedFault};
-pub use replay::{diff_traces, validate_trace, DiffEntry, TraceDiff, ValidateOptions, Violation};
+pub use replay::{
+    diff_traces, validate_trace, validate_trace_report, DiffEntry, TraceDiff, ValidateOptions,
+    ValidationReport, Violation,
+};
 pub use simulate::{GravitySim, RunSummary, StepRecord, StokesSim, StrategyTracker};

@@ -69,7 +69,13 @@ pub struct ValidateOptions {
     /// share — both land well inside this bound, while a zeroed or scaled
     /// span from a corrupted trace does not. Steps missing either side
     /// (older traces) are skipped.
-    pub phase_tolerance: f64,
+    ///
+    /// `None` (the default) applies the tolerance the run itself recorded —
+    /// [`crate::ExecPolicy::phase_tolerance`], carried in the trace's
+    /// `run.config` header and refreshed by `exec.policy` events — falling
+    /// back to [`crate::DEFAULT_PHASE_TOLERANCE`] for older traces.
+    /// `Some(t)` overrides both (the CLI's `--phase-tol`).
+    pub phase_tolerance: Option<f64>,
 }
 
 impl Default for ValidateOptions {
@@ -77,9 +83,28 @@ impl Default for ValidateOptions {
         ValidateOptions {
             audit_tolerance: 10.0,
             anomaly_window: 3,
-            phase_tolerance: 0.2,
+            phase_tolerance: None,
         }
     }
+}
+
+/// Outcome of [`validate_trace_report`]: the violations plus the realized
+/// phase-reconciliation quality, so callers can report *how close* the
+/// trace was instead of only pass/fail.
+#[derive(Debug, Clone, Default)]
+pub struct ValidationReport {
+    pub violations: Vec<Violation>,
+    /// Largest realized relative phase residual
+    /// `|Σ phase spans − t_sched| / t_sched` over reconciled steps
+    /// (0 when no step carried both sides).
+    pub max_phase_residual: f64,
+    /// Step the largest residual occurred on.
+    pub max_phase_residual_step: Option<u64>,
+    /// Number of steps that carried both reconciliation sides.
+    pub reconciled_steps: usize,
+    /// The relative tolerance the last reconciled step was checked against
+    /// (the CLI override, the trace's recorded tolerance, or the default).
+    pub phase_tolerance: f64,
 }
 
 fn str_field<'a>(r: &'a EventRecord, key: &str) -> Option<&'a str> {
@@ -138,10 +163,20 @@ const LEGAL_TRANSITIONS: &[(&str, &str, &str)] = &[
 
 /// Replay a trace and collect every invariant violation (empty = legal run).
 ///
+/// Thin wrapper over [`validate_trace_report`] for callers that only need
+/// the violation list.
+pub fn validate_trace(records: &[EventRecord], opts: &ValidateOptions) -> Vec<Violation> {
+    validate_trace_report(records, opts).violations
+}
+
+/// Replay a trace, collect every invariant violation, and report the
+/// realized phase-reconciliation residual (see [`ValidationReport`]).
+///
 /// `records` must be in emission order (as read back by
 /// [`telemetry::TraceReader`]); the validator re-checks that via
 /// `seq_monotone` rather than sorting.
-pub fn validate_trace(records: &[EventRecord], opts: &ValidateOptions) -> Vec<Violation> {
+pub fn validate_trace_report(records: &[EventRecord], opts: &ValidateOptions) -> ValidationReport {
+    let mut report = ValidationReport::default();
     let mut out = Vec::new();
     let mut last_seq: Option<u64> = None;
 
@@ -153,6 +188,12 @@ pub fn validate_trace(records: &[EventRecord], opts: &ValidateOptions) -> Vec<Vi
             u64_field(c, "s_max").unwrap_or(u64::MAX),
         )
     });
+    // The tolerance the run itself recorded, refreshed by `exec.policy`
+    // events as the stream is replayed; a caller override beats it.
+    let mut trace_tol = config
+        .and_then(|c| f64_field(c, "phase_tolerance"))
+        .unwrap_or(crate::exec::DEFAULT_PHASE_TOLERANCE);
+    report.phase_tolerance = opts.phase_tolerance.unwrap_or(trace_tol);
     let has_steps = records.iter().any(|r| r.name == "step.record");
     if config.is_none() && has_steps {
         out.push(Violation {
@@ -334,8 +375,16 @@ pub fn validate_trace(records: &[EventRecord], opts: &ValidateOptions) -> Vec<Vi
                 // Needs both sides present — older traces carry neither.
                 if let Some(t_sched) = f64_field(r, "t_sched") {
                     if phase_spans > 0 && t_sched.is_finite() {
+                        let tol = opts.phase_tolerance.unwrap_or(trace_tol);
+                        report.phase_tolerance = tol;
                         let gap = (phase_sum - t_sched).abs();
-                        if gap > opts.phase_tolerance * t_sched.max(1e-12) + 1e-12 {
+                        let residual = gap / t_sched.max(1e-12);
+                        report.reconciled_steps += 1;
+                        if residual > report.max_phase_residual {
+                            report.max_phase_residual = residual;
+                            report.max_phase_residual_step = Some(r.step);
+                        }
+                        if gap > tol * t_sched.max(1e-12) + 1e-12 {
                             out.push(Violation {
                                 invariant: "phase_reconciliation",
                                 seq: r.seq,
@@ -347,6 +396,11 @@ pub fn validate_trace(records: &[EventRecord], opts: &ValidateOptions) -> Vec<Vi
                             });
                         }
                     }
+                }
+            }
+            "exec.policy" => {
+                if let Some(t) = f64_field(r, "phase_tolerance") {
+                    trace_tol = t;
                 }
             }
             "lb.regression" => last_regression = Some((r.step, r.seq)),
@@ -408,7 +462,8 @@ pub fn validate_trace(records: &[EventRecord], opts: &ValidateOptions) -> Vec<Vi
             _ => {}
         }
     }
-    out
+    report.violations = out;
+    report
 }
 
 /// One step-aligned discrepancy between two runs.
@@ -827,6 +882,96 @@ mod tests {
         ];
         let v = validate_trace(&recs, &ValidateOptions::default());
         assert!(v.is_empty(), "unexpected violations: {v:?}");
+    }
+
+    #[test]
+    fn report_carries_realized_residual() {
+        // Two reconciled steps: 10% residual on step 0, 2% on step 1. Both
+        // inside the default tolerance, but the report says how close.
+        let recs = vec![
+            config(0),
+            phase_span(1, 0, "phase.m2l", 0.9),
+            step_record_with_sched(2, 0, 64, "search", 1.0),
+            phase_span(3, 1, "phase.m2l", 0.98),
+            step_record_with_sched(4, 1, 64, "search", 1.0),
+        ];
+        let rep = validate_trace_report(&recs, &ValidateOptions::default());
+        assert!(rep.violations.is_empty(), "{:?}", rep.violations);
+        assert_eq!(rep.reconciled_steps, 2);
+        assert!((rep.max_phase_residual - 0.1).abs() < 1e-12);
+        assert_eq!(rep.max_phase_residual_step, Some(0));
+        assert_eq!(rep.phase_tolerance, crate::exec::DEFAULT_PHASE_TOLERANCE);
+    }
+
+    #[test]
+    fn trace_recorded_tolerance_is_honored() {
+        // The run recorded a tight 5% tolerance in its header; a 10%
+        // residual that the default 20% would admit must now be flagged.
+        let mut cfg = config(0);
+        cfg.fields.push(("phase_tolerance", Value::F64(0.05)));
+        let recs = vec![
+            cfg,
+            phase_span(1, 0, "phase.m2l", 0.9),
+            step_record_with_sched(2, 0, 64, "search", 1.0),
+        ];
+        let rep = validate_trace_report(&recs, &ValidateOptions::default());
+        assert!(
+            rep.violations
+                .iter()
+                .any(|x| x.invariant == "phase_reconciliation"),
+            "{:?}",
+            rep.violations
+        );
+        assert_eq!(rep.phase_tolerance, 0.05);
+    }
+
+    #[test]
+    fn exec_policy_event_refreshes_tolerance() {
+        // A mid-run policy change loosens the tolerance before the step.
+        let mut cfg = config(0);
+        cfg.fields.push(("phase_tolerance", Value::F64(0.05)));
+        let recs = vec![
+            cfg,
+            event(
+                1,
+                0,
+                "exec.policy",
+                vec![
+                    ("mode", Value::Str("dag".into())),
+                    ("phase_tolerance", Value::F64(0.5)),
+                ],
+            ),
+            phase_span(2, 0, "phase.m2l", 0.9),
+            step_record_with_sched(3, 0, 64, "search", 1.0),
+        ];
+        let rep = validate_trace_report(&recs, &ValidateOptions::default());
+        assert!(rep.violations.is_empty(), "{:?}", rep.violations);
+        assert_eq!(rep.phase_tolerance, 0.5);
+    }
+
+    #[test]
+    fn caller_override_beats_trace_tolerance() {
+        // Header says 50%, the caller (CLI --phase-tol) demands 1%.
+        let mut cfg = config(0);
+        cfg.fields.push(("phase_tolerance", Value::F64(0.5)));
+        let recs = vec![
+            cfg,
+            phase_span(1, 0, "phase.m2l", 0.9),
+            step_record_with_sched(2, 0, 64, "search", 1.0),
+        ];
+        let opts = ValidateOptions {
+            phase_tolerance: Some(0.01),
+            ..ValidateOptions::default()
+        };
+        let rep = validate_trace_report(&recs, &opts);
+        assert!(
+            rep.violations
+                .iter()
+                .any(|x| x.invariant == "phase_reconciliation"),
+            "{:?}",
+            rep.violations
+        );
+        assert_eq!(rep.phase_tolerance, 0.01);
     }
 
     #[test]

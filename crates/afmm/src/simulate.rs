@@ -233,6 +233,10 @@ impl<K: Kernel> StrategyTracker<K> {
                         telemetry::Value::U64(cfg.regression_hysteresis as u64),
                     ),
                     ("incr_factor", telemetry::Value::F64(cfg.incr_factor)),
+                    (
+                        "phase_tolerance",
+                        telemetry::Value::F64(self.engine.exec_policy().phase_tolerance),
+                    ),
                 ],
             );
         }
@@ -263,9 +267,35 @@ impl<K: Kernel> StrategyTracker<K> {
 
     /// Set the execution policy the tracked engine schedules its virtual
     /// solves under (Barrier oracle vs dependency-driven Dag). Physics is
-    /// unaffected; only the timing model changes.
+    /// unaffected; only the timing model changes. Emits an `exec.policy`
+    /// event so trace consumers (the replay validator's phase-tolerance
+    /// lookup in particular) see the policy the subsequent steps ran under,
+    /// even when it changes after the `run.config` header.
     pub fn set_exec_policy(&mut self, policy: crate::ExecPolicy) {
         self.engine.set_exec_policy(policy);
+        if self.rec.is_enabled() {
+            self.rec.event(
+                "exec.policy",
+                vec![
+                    (
+                        "mode",
+                        telemetry::Value::Str(
+                            match policy.mode {
+                                crate::SchedMode::Barrier => "barrier",
+                                crate::SchedMode::Dag => "dag",
+                            }
+                            .into(),
+                        ),
+                    ),
+                    ("offload_pl", telemetry::Value::Bool(policy.offload_pl)),
+                    ("trace", telemetry::Value::Bool(policy.trace)),
+                    (
+                        "phase_tolerance",
+                        telemetry::Value::F64(policy.phase_tolerance),
+                    ),
+                ],
+            );
+        }
     }
 
     /// The virtual node as disturbed so far (device status included).
@@ -400,6 +430,9 @@ impl<K: Kernel> StrategyTracker<K> {
                 }
             }
             crate::exec::record_phase_spans(&self.rec, &counts, &self.flops, &self.node, &timing);
+            if let Some(xray) = timing.sched.as_deref() {
+                crate::exec::record_sched_xray(&self.rec, xray);
+            }
             if let Some(gpu) = timing.gpu.as_ref() {
                 gpu.record_metrics(&self.rec);
             }
@@ -415,26 +448,40 @@ impl<K: Kernel> StrategyTracker<K> {
             // exporter's S-counter-track's) per-step anchor. `state` and `s`
             // describe the step as it ran — i.e. *before* any transition the
             // balancer made in post_step above.
-            self.rec.event(
-                "step.record",
-                vec![
-                    ("s", telemetry::Value::U64(s as u64)),
-                    ("state", telemetry::Value::Str(state.name().into())),
-                    ("t_cpu", telemetry::Value::F64(t_cpu)),
-                    ("t_gpu", telemetry::Value::F64(t_gpu)),
-                    ("t_lb", telemetry::Value::F64(t_lb)),
-                    ("acted", telemetry::Value::Bool(acted)),
-                    (
-                        "online_gpus",
-                        telemetry::Value::U64(self.node.num_online_gpus() as u64),
-                    ),
-                    // The *undisturbed* scheduler makespan (no external-load
-                    // stretch, no noise): the anchor the replay validator
-                    // reconciles the per-phase spans against, which are
-                    // likewise derived from undisturbed timing.
-                    ("t_sched", telemetry::Value::F64(timing.t_cpu)),
-                ],
-            );
+            let mut step_fields = vec![
+                ("s", telemetry::Value::U64(s as u64)),
+                ("state", telemetry::Value::Str(state.name().into())),
+                ("t_cpu", telemetry::Value::F64(t_cpu)),
+                ("t_gpu", telemetry::Value::F64(t_gpu)),
+                ("t_lb", telemetry::Value::F64(t_lb)),
+                ("acted", telemetry::Value::Bool(acted)),
+                (
+                    "online_gpus",
+                    telemetry::Value::U64(self.node.num_online_gpus() as u64),
+                ),
+                // The *undisturbed* scheduler makespan (no external-load
+                // stretch, no noise): the anchor the replay validator
+                // reconciles the per-phase spans against, which are
+                // likewise derived from undisturbed timing.
+                ("t_sched", telemetry::Value::F64(timing.t_cpu)),
+            ];
+            // Scheduler X-ray summary (Dag mode with tracing on): the
+            // step-level pipelining gauges.
+            if let Some(xray) = timing.sched.as_deref() {
+                step_fields.push((
+                    "critpath_len",
+                    telemetry::Value::U64(xray.analysis.crit_path.len() as u64),
+                ));
+                step_fields.push((
+                    "lane_idle_frac",
+                    telemetry::Value::F64(xray.analysis.lane_idle_frac),
+                ));
+                step_fields.push((
+                    "pipeline_overlap",
+                    telemetry::Value::F64(xray.analysis.pipeline_overlap),
+                ));
+            }
+            self.rec.event("step.record", step_fields);
         }
         let rec = StepRecord {
             step: step_idx,

@@ -17,7 +17,7 @@
 
 use std::process::ExitCode;
 
-use bench::harness::{compare, run_suite, BenchReport, CompareConfig, SuiteConfig};
+use bench::harness::{compare, run_suite, BenchReport, CompareConfig, Json, SuiteConfig, Verdict};
 
 const USAGE: &str = "usage: afmm-perf <run|compare|baseline> [...]
   run [--quick|--smoke] [-o out.json]   run the suite, write a BenchReport JSON
@@ -104,6 +104,13 @@ fn cmd_compare(args: &[String]) -> ExitCode {
         eprintln!("# note: comparing a \"{om}\" baseline against a \"{nm}\" report");
     }
     if result.regressions() > 0 {
+        if result
+            .rows
+            .iter()
+            .any(|r| r.scenario == "dag_pipeline" && r.gate && r.verdict == Verdict::Regressed)
+        {
+            print_sched_attribution(&old, &new);
+        }
         eprintln!(
             "# FAIL: {} statistically significant regression(s) vs {old_path}",
             result.regressions()
@@ -112,6 +119,66 @@ fn cmd_compare(args: &[String]) -> ExitCode {
     }
     eprintln!("# OK: no significant regressions vs {old_path}");
     ExitCode::SUCCESS
+}
+
+/// A gated `dag_pipeline` regression says the scheduler lost time — this
+/// says *where*: compare the two reports' scheduler-x-ray snapshots and
+/// print the phase / cause / lane shifts of the realized critical path.
+fn print_sched_attribution(old: &BenchReport, new: &BenchReport) {
+    let sched = |r: &BenchReport| -> Option<Json> {
+        r.scenario("dag_pipeline")
+            .and_then(|s| s.snapshot.get("sched"))
+            .cloned()
+    };
+    let (Some(o), Some(n)) = (sched(old), sched(new)) else {
+        eprintln!("# dag_pipeline regressed; no sched snapshot on one side — cannot attribute");
+        return;
+    };
+    let num = |j: &Json, k: &str| j.get(k).and_then(Json::as_f64).unwrap_or(f64::NAN);
+    eprintln!(
+        "# dag_pipeline regressed — critical-path attribution (old -> new, {} cores + {} lanes):",
+        num(&n, "cores"),
+        num(&n, "gpu_lanes")
+    );
+    eprintln!(
+        "#   makespan {:.4e}s -> {:.4e}s   crit len {} -> {}   lane idle {:.1}% -> {:.1}%   overlap {:.1}% -> {:.1}%",
+        num(&o, "makespan_s"),
+        num(&n, "makespan_s"),
+        num(&o, "critpath_len"),
+        num(&n, "critpath_len"),
+        100.0 * num(&o, "lane_idle_frac"),
+        100.0 * num(&n, "lane_idle_frac"),
+        100.0 * num(&o, "pipeline_overlap"),
+        100.0 * num(&n, "pipeline_overlap"),
+    );
+    let pair = |label: &str, ov: f64, nv: f64| {
+        let marker = if (nv - ov).abs() > 0.05 {
+            "  <-- moved"
+        } else {
+            ""
+        };
+        eprintln!(
+            "#   {label:<22} {:>6.1}% -> {:>6.1}%{marker}",
+            100.0 * ov,
+            100.0 * nv
+        );
+    };
+    for k in ["dependency_frac", "starvation_frac", "serialization_frac"] {
+        pair(k, num(&o, k), num(&n, k));
+    }
+    let phase_frac = |j: &Json, p: &str| {
+        j.get("crit_phase_frac")
+            .and_then(|x| x.get(p))
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::NAN)
+    };
+    for p in ["p2m", "m2m", "m2l", "l2l", "l2p", "p2p"] {
+        pair(
+            &format!("crit phase {p}"),
+            phase_frac(&o, p),
+            phase_frac(&n, p),
+        );
+    }
 }
 
 /// Default location of the checked-in baseline: `bench/baseline.json` at

@@ -4,7 +4,8 @@
 //! ```text
 //! afmm-trace export   <trace.jsonl> [-o out.json]   Chrome trace_event JSON
 //! afmm-trace summary  <trace.jsonl>                 event counts + timeline
-//! afmm-trace validate <trace.jsonl> [--audit-tol X] replay invariant check
+//! afmm-trace validate <trace.jsonl> [--audit-tol X] [--phase-tol X]
+//!                                                   replay invariant check
 //! afmm-trace diff     <a.jsonl> <b.jsonl>           step-aligned comparison
 //! ```
 //!
@@ -16,13 +17,16 @@
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-use afmm::{diff_traces, validate_trace, ValidateOptions};
+use afmm::{diff_traces, validate_trace_report, ValidateOptions};
 use telemetry::{ChromeTraceExporter, EventRecord, Value};
 
 const USAGE: &str = "usage: afmm-trace <export|summary|validate|diff> <trace.jsonl> [...]
   export   <trace.jsonl> [-o out.json]    write Chrome trace_event JSON
   summary  <trace.jsonl>                  print event counts and LB timeline
-  validate <trace.jsonl> [--audit-tol X]  check replay invariants
+  validate <trace.jsonl> [--audit-tol X] [--phase-tol X]
+                                          check replay invariants; --phase-tol
+                                          overrides the trace's recorded
+                                          phase-reconciliation tolerance
   diff     <a.jsonl> <b.jsonl>            step-aligned trajectory comparison";
 
 fn fail(msg: impl std::fmt::Display) -> ExitCode {
@@ -144,6 +148,10 @@ fn cmd_validate(args: &[String]) -> ExitCode {
                 Some(t) if t > 0.0 => opts.audit_tolerance = t,
                 _ => return fail("--audit-tol requires a positive number"),
             },
+            "--phase-tol" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(t) if t > 0.0 => opts.phase_tolerance = Some(t),
+                _ => return fail("--phase-tol requires a positive number"),
+            },
             _ if input.is_none() => input = Some(a.clone()),
             _ => return fail(format!("unexpected argument \"{a}\"\n{USAGE}")),
         }
@@ -155,8 +163,17 @@ fn cmd_validate(args: &[String]) -> ExitCode {
         Ok(r) => r,
         Err(e) => return fail(e),
     };
-    let violations = validate_trace(&records, &opts);
-    if violations.is_empty() {
+    let report = validate_trace_report(&records, &opts);
+    if report.reconciled_steps > 0 {
+        eprintln!(
+            "# phase reconciliation: max residual {:.3e} (tolerance {:.3e}) at step {} over {} step(s)",
+            report.max_phase_residual,
+            report.phase_tolerance,
+            report.max_phase_residual_step.unwrap_or(0),
+            report.reconciled_steps
+        );
+    }
+    if report.violations.is_empty() {
         let steps = records.iter().filter(|r| r.name == "step.record").count();
         eprintln!(
             "# {input}: OK — {} records, {steps} steps, all replay invariants hold",
@@ -164,8 +181,11 @@ fn cmd_validate(args: &[String]) -> ExitCode {
         );
         return ExitCode::SUCCESS;
     }
-    eprintln!("# {input}: {} invariant violation(s)", violations.len());
-    for v in &violations {
+    eprintln!(
+        "# {input}: {} invariant violation(s)",
+        report.violations.len()
+    );
+    for v in &report.violations {
         println!("{v}");
     }
     ExitCode::from(1)

@@ -280,13 +280,27 @@ fn dag_pipeline(cfg: &SuiteConfig) -> Scenario {
         );
     }
 
+    // One traced run on the primary config: the scheduler x-ray feeds the
+    // snapshot so a gated speedup regression can be attributed to the
+    // phase/lane where the critical path moved (see `afmm-perf compare`).
+    engine.set_exec_policy(ExecPolicy {
+        mode: SchedMode::Dag,
+        trace: true,
+        ..Default::default()
+    });
+    let traced = engine.time_step(&flops, &node0).expect("healthy node");
+    let sched_json = traced.sched.as_deref().map(sched_snapshot);
+
     let counts = engine.counts();
-    let snapshot = gather(&SnapshotParts {
+    let mut snapshot = gather(&SnapshotParts {
         tree: Some(engine.tree()),
         lists: Some(engine.lists()),
         counts: Some(counts),
         ..Default::default()
     });
+    if let (Json::Obj(fields), Some(sched)) = (&mut snapshot, sched_json) {
+        fields.push(("sched".to_string(), sched));
+    }
     Scenario {
         name: "dag_pipeline".to_string(),
         params: obj(vec![
@@ -307,6 +321,43 @@ fn dag_pipeline(cfg: &SuiteConfig) -> Scenario {
         metrics,
         snapshot,
     }
+}
+
+/// Flatten a scheduler x-ray into the snapshot's `sched` object: enough to
+/// say *where* a makespan delta lives (phase fractions of the realized
+/// critical path, cause split, per-lane utilization) without storing the
+/// per-task trace.
+fn sched_snapshot(x: &afmm::SchedXray) -> Json {
+    let a = &x.analysis;
+    let phases: Vec<(String, Json)> = afmm::PhaseTag::ALL
+        .iter()
+        .map(|p| {
+            (
+                p.label().to_string(),
+                Json::Num(x.crit_phase_frac[p.index()]),
+            )
+        })
+        .collect();
+    let lane_util = (0..x.gpu_lanes)
+        .map(|d| Json::Num(x.gpu_lane_util[d]))
+        .collect();
+    obj(vec![
+        ("pass", Json::Str(x.pass.label().to_string())),
+        ("cores", Json::Num(x.cores as f64)),
+        ("gpu_lanes", Json::Num(x.gpu_lanes as f64)),
+        ("makespan_s", Json::Num(a.makespan)),
+        ("critpath_len", Json::Num(a.crit_path.len() as f64)),
+        ("critpath_sum_s", Json::Num(a.crit_sum)),
+        ("lane_idle_frac", Json::Num(a.lane_idle_frac)),
+        ("pipeline_overlap", Json::Num(a.pipeline_overlap)),
+        ("crit_cpu_frac", Json::Num(a.crit_cpu_frac)),
+        ("crit_gpu_frac", Json::Num(a.crit_gpu_frac)),
+        ("dependency_frac", Json::Num(a.dependency_frac)),
+        ("starvation_frac", Json::Num(a.resource_cpu_frac)),
+        ("serialization_frac", Json::Num(a.resource_gpu_frac)),
+        ("crit_phase_frac", Json::Obj(phases)),
+        ("gpu_lane_util", Json::Arr(lane_util)),
+    ])
 }
 
 /// Result of one plan-economy measurement at a fixed S — shared with the

@@ -1,0 +1,685 @@
+//! Schedule analytics: where did the makespan go?
+//!
+//! [`crate::schedule`] reports *what* the schedule was (per-task start /
+//! finish / slot); this module explains *why* it was that long. Three
+//! instruments, all derived purely from the recorded schedule:
+//!
+//! * **Per-lane stats** ([`LaneStats`]) — busy seconds, utilization over
+//!   the makespan, and an idle-gap census (count, total, max, and a
+//!   4-bucket histogram by gap size relative to the makespan) for every
+//!   CPU core and GPU lane.
+//! * **Realized critical path** ([`SchedAnalysis::crit_path`]) — the actual
+//!   chain of abutting task executions that determined the makespan,
+//!   extracted by walking back from the last-finishing task. At each hop
+//!   the blocker is either a *dependency* (the task started the instant it
+//!   became ready, so its latest-finishing predecessor is the blocker) or a
+//!   *resource* (the task waited ready while its slot was occupied, so the
+//!   slot's previous occupant is the blocker — the scheduler is non-delay,
+//!   so that occupant finished exactly when this task started). Either way
+//!   the blocker's finish equals the current task's start, so the chain's
+//!   durations telescope to exactly the makespan — the reconciliation
+//!   invariant `afmm-sched explain` checks to 1e-9.
+//! * **Bottleneck attribution** — the critical path's duration split by
+//!   lane (CPU vs each GPU device) and by blocking cause: dependency-bound
+//!   time is irreducible chain latency, resource-bound time on CPU slots is
+//!   dispatch starvation (more cores would shrink it), resource-bound time
+//!   on a GPU lane is device serialization (a different partition would).
+
+use crate::dag::DagResult;
+use crate::graph::{TaskGraph, TaskId};
+
+/// Why a critical-path task could not have started any earlier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HopBound {
+    /// First task of the chain: started at t = 0 (or the walk stopped).
+    Start,
+    /// Started the instant it became ready — blocked by its
+    /// latest-finishing dependency.
+    Dependency,
+    /// Sat ready while its slot was busy — blocked by the previous task
+    /// on the same core / GPU lane.
+    Resource,
+}
+
+impl HopBound {
+    /// Stable lowercase label for telemetry fields and CLI tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            HopBound::Start => "start",
+            HopBound::Dependency => "dep",
+            HopBound::Resource => "res",
+        }
+    }
+}
+
+/// One link of the realized critical path, in execution order.
+#[derive(Clone, Copy, Debug)]
+pub struct CritTask {
+    pub task: TaskId,
+    /// Execution slot (`< cores` = core index, else `cores + lane`).
+    pub slot: u32,
+    pub start: f64,
+    pub finish: f64,
+    pub bound: HopBound,
+}
+
+impl CritTask {
+    pub fn duration(&self) -> f64 {
+        self.finish - self.start
+    }
+}
+
+/// Idle-gap histogram bucket edges, as fractions of the makespan:
+/// `< 0.1%`, `0.1–1%`, `1–10%`, `>= 10%`.
+pub const GAP_BUCKETS: usize = 4;
+
+/// Occupancy census of one execution slot over the schedule's makespan.
+/// Gaps include the leading idle stretch before the slot's first task and
+/// the trailing one after its last.
+#[derive(Clone, Debug)]
+pub struct LaneStats {
+    /// Slot index (`< cores` = CPU core, else GPU lane `slot - cores`).
+    pub slot: u32,
+    pub is_gpu: bool,
+    /// Busy seconds accumulated on this slot.
+    pub busy: f64,
+    /// `busy / makespan` in [0, 1].
+    pub utilization: f64,
+    /// Number of tasks the slot executed.
+    pub tasks: usize,
+    /// Idle gaps of positive length (including leading/trailing).
+    pub idle_gaps: usize,
+    pub idle_total: f64,
+    pub idle_max: f64,
+    /// Gap-size histogram over `gap / makespan` (see [`GAP_BUCKETS`]).
+    pub gap_hist: [usize; GAP_BUCKETS],
+}
+
+/// The full X-ray of one schedule. All fractions are over the critical
+/// path's own duration sum, so each family sums to 1.0 (on a non-empty
+/// schedule): `crit_cpu_frac + crit_gpu_frac` and
+/// `dependency_frac + resource_cpu_frac + resource_gpu_frac`.
+#[derive(Clone, Debug)]
+pub struct SchedAnalysis {
+    pub makespan: f64,
+    /// One entry per slot: `cores` CPU entries then one per GPU lane.
+    pub lanes: Vec<LaneStats>,
+    /// Realized critical path, earliest task first.
+    pub crit_path: Vec<CritTask>,
+    /// Sum of critical-path durations; equals `makespan` up to float
+    /// rounding whenever `crit_truncated` is false.
+    pub crit_sum: f64,
+    /// Defensive flag: the backward walk hit its iteration bound without
+    /// reaching t = 0 (cannot happen for schedules produced by
+    /// [`crate::schedule`]; reconciliation will flag it if it does).
+    pub crit_truncated: bool,
+    /// `1 - Σ busy / (slots × makespan)`: overall fraction of slot-time
+    /// spent idle.
+    pub lane_idle_frac: f64,
+    /// Fraction of the makespan during which at least one CPU core *and*
+    /// at least one GPU lane were simultaneously busy — the paper's
+    /// heterogeneous pipelining, measured.
+    pub pipeline_overlap: f64,
+    /// Critical-path time spent executing on CPU slots / `crit_sum`.
+    pub crit_cpu_frac: f64,
+    /// Critical-path time spent executing on GPU lanes / `crit_sum`.
+    pub crit_gpu_frac: f64,
+    /// Per-slot critical-path fractions (same indexing as `lanes`).
+    pub crit_slot_frac: Vec<f64>,
+    /// Dependency-bound (plus chain-start) critical-path time / `crit_sum`.
+    pub dependency_frac: f64,
+    /// Resource-bound time on CPU slots: dispatch starvation.
+    pub resource_cpu_frac: f64,
+    /// Resource-bound time on GPU lanes: device serialization.
+    pub resource_gpu_frac: f64,
+}
+
+/// Human-readable slot name: `core3` or `gpu1`.
+pub fn slot_label(slot: u32, cores: usize) -> String {
+    if (slot as usize) < cores {
+        format!("core{slot}")
+    } else {
+        format!("gpu{}", slot as usize - cores)
+    }
+}
+
+/// Analyze a schedule produced by [`crate::schedule`] on `graph`.
+pub fn analyze(graph: &TaskGraph, res: &DagResult) -> SchedAnalysis {
+    let n = graph.len();
+    let cores = res.cores;
+    let nslots = cores + res.gpu_busy.len();
+    let makespan = res.makespan;
+
+    // Per-slot task lists in execution order. Slots never run two tasks at
+    // once, so (start, finish, id) is a total execution order per slot.
+    let mut by_slot: Vec<Vec<TaskId>> = vec![Vec::new(); nslots];
+    for t in 0..n {
+        by_slot[res.slot[t] as usize].push(t as TaskId);
+    }
+    for list in &mut by_slot {
+        list.sort_by(|&a, &b| {
+            let ka = (res.start[a as usize], res.finish[a as usize], a);
+            let kb = (res.start[b as usize], res.finish[b as usize], b);
+            ka.partial_cmp(&kb).expect("schedule times are finite")
+        });
+    }
+    let mut pos = vec![0usize; n];
+    for list in &by_slot {
+        for (p, &t) in list.iter().enumerate() {
+            pos[t as usize] = p;
+        }
+    }
+
+    let lanes = lane_stats(res, &by_slot, makespan);
+    let lane_idle_frac = if makespan > 0.0 && nslots > 0 {
+        let total: f64 = res.busy.iter().chain(res.gpu_busy.iter()).sum();
+        (1.0 - total / (makespan * nslots as f64)).max(0.0)
+    } else {
+        0.0
+    };
+    let pipeline_overlap = pipeline_overlap(res, makespan);
+
+    let (crit_path, crit_truncated) = extract_critical_path(graph, res, &by_slot, &pos);
+    let crit_sum: f64 = crit_path.iter().map(|c| c.duration()).sum();
+
+    // Attribution: split the path's duration by executing lane and by
+    // blocking cause, normalized by the path's own sum so the fractions
+    // close to 1.0 by construction.
+    let denom = if crit_sum > 0.0 { crit_sum } else { 1.0 };
+    let mut cpu_s = 0.0;
+    let mut gpu_s = 0.0;
+    let mut dep_s = 0.0;
+    let mut res_cpu_s = 0.0;
+    let mut res_gpu_s = 0.0;
+    let mut slot_s = vec![0.0f64; nslots];
+    for c in &crit_path {
+        let d = c.duration();
+        let on_cpu = (c.slot as usize) < cores;
+        if on_cpu {
+            cpu_s += d;
+        } else {
+            gpu_s += d;
+        }
+        slot_s[c.slot as usize] += d;
+        match c.bound {
+            HopBound::Start | HopBound::Dependency => dep_s += d,
+            HopBound::Resource => {
+                if on_cpu {
+                    res_cpu_s += d;
+                } else {
+                    res_gpu_s += d;
+                }
+            }
+        }
+    }
+
+    SchedAnalysis {
+        makespan,
+        lanes,
+        crit_path,
+        crit_sum,
+        crit_truncated,
+        lane_idle_frac,
+        pipeline_overlap,
+        crit_cpu_frac: cpu_s / denom,
+        crit_gpu_frac: gpu_s / denom,
+        crit_slot_frac: slot_s.iter().map(|&s| s / denom).collect(),
+        dependency_frac: dep_s / denom,
+        resource_cpu_frac: res_cpu_s / denom,
+        resource_gpu_frac: res_gpu_s / denom,
+    }
+}
+
+/// Walk back from the makespan-defining task. Returns the path in
+/// execution order plus the defensive truncation flag.
+fn extract_critical_path(
+    graph: &TaskGraph,
+    res: &DagResult,
+    by_slot: &[Vec<TaskId>],
+    pos: &[usize],
+) -> (Vec<CritTask>, bool) {
+    let n = graph.len();
+    if n == 0 || res.makespan <= 0.0 {
+        return (Vec::new(), false);
+    }
+    // Makespan-defining task: latest finish, lowest id on ties.
+    let mut cur: TaskId = 0;
+    for t in 1..n {
+        if res.finish[t] > res.finish[cur as usize] {
+            cur = t as TaskId;
+        }
+    }
+
+    let mut path: Vec<CritTask> = Vec::new();
+    let mut truncated = false;
+    loop {
+        if path.len() > n {
+            truncated = true;
+            break;
+        }
+        let i = cur as usize;
+        let (bound, next) = if res.start[i] > res.ready[i] {
+            // Waited on its slot: the blocker is the slot's previous
+            // occupant (non-delay schedule ⇒ it finished at start[i]).
+            let p = pos[i];
+            if p == 0 {
+                (HopBound::Start, None) // unreachable for our scheduler
+            } else {
+                (
+                    HopBound::Resource,
+                    Some(by_slot[res.slot[i] as usize][p - 1]),
+                )
+            }
+        } else if !graph.tasks[i].deps.is_empty() {
+            // Started the instant it became ready: the blocker is the
+            // latest-finishing dependency (finish == ready == start).
+            let pred = graph.tasks[i]
+                .deps
+                .iter()
+                .copied()
+                .min_by(|&a, &b| {
+                    // max finish, lowest id on ties
+                    res.finish[b as usize]
+                        .partial_cmp(&res.finish[a as usize])
+                        .expect("schedule times are finite")
+                        .then(a.cmp(&b))
+                })
+                .expect("deps checked non-empty");
+            (HopBound::Dependency, Some(pred))
+        } else {
+            (HopBound::Start, None)
+        };
+        path.push(CritTask {
+            task: cur,
+            slot: res.slot[i],
+            start: res.start[i],
+            finish: res.finish[i],
+            bound,
+        });
+        match next {
+            Some(p) => cur = p,
+            None => break,
+        }
+    }
+    path.reverse();
+    (path, truncated)
+}
+
+fn lane_stats(res: &DagResult, by_slot: &[Vec<TaskId>], makespan: f64) -> Vec<LaneStats> {
+    let cores = res.cores;
+    by_slot
+        .iter()
+        .enumerate()
+        .map(|(slot, list)| {
+            let is_gpu = slot >= cores;
+            let busy = if is_gpu {
+                res.gpu_busy[slot - cores]
+            } else {
+                res.busy[slot]
+            };
+            let mut gaps = 0usize;
+            let mut total = 0.0f64;
+            let mut max = 0.0f64;
+            let mut hist = [0usize; GAP_BUCKETS];
+            let mut record = |gap: f64| {
+                if gap > 0.0 {
+                    gaps += 1;
+                    total += gap;
+                    max = max.max(gap);
+                    hist[gap_bucket(gap, makespan)] += 1;
+                }
+            };
+            let mut cursor = 0.0f64;
+            for &t in list {
+                record(res.start[t as usize] - cursor);
+                cursor = res.finish[t as usize];
+            }
+            record(makespan - cursor);
+            LaneStats {
+                slot: slot as u32,
+                is_gpu,
+                busy,
+                utilization: if makespan > 0.0 { busy / makespan } else { 0.0 },
+                tasks: list.len(),
+                idle_gaps: gaps,
+                idle_total: total,
+                idle_max: max,
+                gap_hist: hist,
+            }
+        })
+        .collect()
+}
+
+fn gap_bucket(gap: f64, makespan: f64) -> usize {
+    let frac = if makespan > 0.0 { gap / makespan } else { 1.0 };
+    if frac < 1e-3 {
+        0
+    } else if frac < 1e-2 {
+        1
+    } else if frac < 1e-1 {
+        2
+    } else {
+        3
+    }
+}
+
+/// Fraction of the makespan with ≥1 CPU core and ≥1 GPU lane busy at once.
+fn pipeline_overlap(res: &DagResult, makespan: f64) -> f64 {
+    if makespan <= 0.0 || res.gpu_busy.is_empty() {
+        return 0.0;
+    }
+    let cores = res.cores;
+    let collect = |want_gpu: bool| -> Vec<(f64, f64)> {
+        let iv: Vec<(f64, f64)> = (0..res.slot.len())
+            .filter(|&t| ((res.slot[t] as usize) >= cores) == want_gpu)
+            .map(|t| (res.start[t], res.finish[t]))
+            .collect();
+        union_intervals(iv)
+    };
+    let cpu_iv = collect(false);
+    let gpu_iv = collect(true);
+    intersect_len(&cpu_iv, &gpu_iv) / makespan
+}
+
+/// Merge possibly-overlapping intervals into a sorted disjoint union.
+fn union_intervals(mut iv: Vec<(f64, f64)>) -> Vec<(f64, f64)> {
+    iv.retain(|&(s, f)| f > s);
+    iv.sort_by(|a, b| a.partial_cmp(b).expect("schedule times are finite"));
+    let mut out: Vec<(f64, f64)> = Vec::with_capacity(iv.len());
+    for (s, f) in iv {
+        match out.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(f),
+            _ => out.push((s, f)),
+        }
+    }
+    out
+}
+
+/// Total length of the intersection of two disjoint sorted interval lists.
+fn intersect_len(a: &[(f64, f64)], b: &[(f64, f64)]) -> f64 {
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut len = 0.0f64;
+    while i < a.len() && j < b.len() {
+        let lo = a[i].0.max(b[j].0);
+        let hi = a[i].1.min(b[j].1);
+        if hi > lo {
+            len += hi - lo;
+        }
+        if a[i].1 < b[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    len
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::{bottom_levels, schedule, DagConfig};
+    use crate::sim::SimConfig;
+    use proptest::prelude::*;
+
+    fn cpu(cores: usize) -> DagConfig {
+        DagConfig::cpu_only(SimConfig::ideal(cores, 1.0))
+    }
+
+    fn het(cores: usize, lanes: usize) -> DagConfig {
+        DagConfig {
+            cpu: SimConfig::ideal(cores, 1.0),
+            gpu_lanes: lanes,
+        }
+    }
+
+    fn assert_reconciles(a: &SchedAnalysis) {
+        assert!(!a.crit_truncated);
+        assert!(
+            (a.crit_sum - a.makespan).abs() <= 1e-9 * a.makespan.max(1.0),
+            "crit_sum {} vs makespan {}",
+            a.crit_sum,
+            a.makespan
+        );
+        if !a.crit_path.is_empty() {
+            let lane_sum = a.crit_cpu_frac + a.crit_gpu_frac;
+            let cause_sum = a.dependency_frac + a.resource_cpu_frac + a.resource_gpu_frac;
+            assert!((lane_sum - 1.0).abs() < 1e-9, "lane fractions {lane_sum}");
+            assert!(
+                (cause_sum - 1.0).abs() < 1e-9,
+                "cause fractions {cause_sum}"
+            );
+            let slot_sum: f64 = a.crit_slot_frac.iter().sum();
+            assert!((slot_sum - 1.0).abs() < 1e-9, "slot fractions {slot_sum}");
+        }
+        // Every consecutive pair abuts: pred finish == succ start.
+        for w in a.crit_path.windows(2) {
+            assert_eq!(w[0].finish, w[1].start);
+        }
+        if let Some(first) = a.crit_path.first() {
+            assert_eq!(first.start, 0.0);
+            assert_eq!(first.bound, HopBound::Start);
+        }
+    }
+
+    #[test]
+    fn chain_critical_path_is_whole_chain() {
+        // 5-task chain of cost 2 on 4 cores: every hop dependency-bound.
+        let mut g = TaskGraph::new();
+        let mut prev = None;
+        for _ in 0..5 {
+            let deps = prev.map(|p| vec![p]).unwrap_or_default();
+            prev = Some(g.add(2.0, deps));
+        }
+        let cfg = cpu(4);
+        let bl = bottom_levels(&g, &cfg);
+        // Exact bottom levels of a cost-2 chain: 10, 8, 6, 4, 2.
+        assert_eq!(bl, vec![10.0, 8.0, 6.0, 4.0, 2.0]);
+        let r = schedule(&g, &cfg);
+        let a = analyze(&g, &r);
+        assert_eq!(a.makespan, 10.0);
+        assert_eq!(a.crit_path.len(), 5);
+        assert_eq!(
+            a.crit_path.iter().map(|c| c.task).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
+        for c in &a.crit_path[1..] {
+            assert_eq!(c.bound, HopBound::Dependency);
+        }
+        assert_eq!(a.dependency_frac, 1.0);
+        assert_eq!(a.crit_cpu_frac, 1.0);
+        assert_eq!(a.pipeline_overlap, 0.0);
+        // One core is busy the whole time, three fully idle.
+        assert!((a.lane_idle_frac - 0.75).abs() < 1e-12);
+        assert_reconciles(&a);
+    }
+
+    #[test]
+    fn diamond_picks_heavy_arm() {
+        // a(1) -> {b(4), c(2)} -> d(1) on 2 cores: path a,b,d = 6.
+        let mut g = TaskGraph::new();
+        let a = g.add(1.0, vec![]);
+        let b = g.add(4.0, vec![a]);
+        let c = g.add(2.0, vec![a]);
+        let d = g.add(1.0, vec![b, c]);
+        let r = schedule(&g, &cpu(2));
+        assert_eq!(r.makespan, 6.0);
+        let an = analyze(&g, &r);
+        assert_eq!(
+            an.crit_path.iter().map(|t| t.task).collect::<Vec<_>>(),
+            vec![a, b, d]
+        );
+        assert_eq!(an.crit_path[1].bound, HopBound::Dependency);
+        assert_eq!(an.crit_path[2].bound, HopBound::Dependency);
+        // ready-time bookkeeping: d became ready when b finished (t = 5).
+        assert_eq!(r.ready[d as usize], 5.0);
+        assert_eq!(r.ready[c as usize], 1.0);
+        assert_reconciles(&an);
+    }
+
+    #[test]
+    fn fork_join_on_one_core_is_resource_bound() {
+        // root(1) -> 3 × branch(2) -> join(1) on ONE core: the branches
+        // serialize, so the path crosses two resource-bound hops.
+        let mut g = TaskGraph::new();
+        let root = g.add(1.0, vec![]);
+        let branches: Vec<TaskId> = (0..3).map(|_| g.add(2.0, vec![root])).collect();
+        let join = g.add(1.0, branches.clone());
+        let r = schedule(&g, &cpu(1));
+        assert_eq!(r.makespan, 8.0);
+        let a = analyze(&g, &r);
+        // Path: root, b0, b1, b2, join — b1 and b2 resource-bound.
+        assert_eq!(a.crit_path.len(), 5);
+        assert_eq!(
+            a.crit_path.iter().map(|t| t.bound).collect::<Vec<_>>(),
+            vec![
+                HopBound::Start,
+                HopBound::Dependency,
+                HopBound::Resource,
+                HopBound::Resource,
+                HopBound::Dependency,
+            ]
+        );
+        // 4s resource-bound (starvation) of an 8s makespan.
+        assert!((a.resource_cpu_frac - 0.5).abs() < 1e-12);
+        assert_eq!(a.resource_gpu_frac, 0.0);
+        // ready-times: every branch ready at 1.0 even though two waited.
+        for &b in &branches {
+            assert_eq!(r.ready[b as usize], 1.0);
+        }
+        assert_eq!(r.ready[join as usize], 7.0);
+        assert_reconciles(&a);
+    }
+
+    #[test]
+    fn gpu_lane_contention_is_serialization() {
+        // Two 3s kernels pinned to lane 0 behind a 1s CPU root, plus a 2s
+        // CPU tail after the kernels: path = root, k0, k1, tail = 8, with
+        // k1 resource-bound on the lane.
+        let mut g = TaskGraph::new();
+        let root = g.add(1.0, vec![]);
+        let k0 = g.add_gpu(0, 3.0, vec![root]);
+        let k1 = g.add_gpu(0, 3.0, vec![root]);
+        let tail = g.add(2.0, vec![k0, k1]);
+        // Independent 5s CPU task on the second core, overlapping kernels.
+        g.add(5.0, vec![]);
+        let r = schedule(&g, &het(2, 2));
+        assert_eq!(r.makespan, 9.0);
+        let a = analyze(&g, &r);
+        assert_eq!(
+            a.crit_path.iter().map(|t| t.task).collect::<Vec<_>>(),
+            vec![root, k0, k1, tail]
+        );
+        assert_eq!(a.crit_path[2].bound, HopBound::Resource);
+        // 3s of the 9s path is GPU-lane serialization; 6s on GPU total.
+        assert!((a.resource_gpu_frac - 3.0 / 9.0).abs() < 1e-12);
+        assert!((a.crit_gpu_frac - 6.0 / 9.0).abs() < 1e-12);
+        // Lane utilization: lane 0 busy 6 of 9, lane 1 idle.
+        assert!((r.lane_utilization(0) - 6.0 / 9.0).abs() < 1e-12);
+        assert_eq!(r.lane_utilization(1), 0.0);
+        assert_eq!(r.lane_utilization(7), 0.0);
+        // Overlap: CPU busy [0,5)∪[7,9), GPU busy [1,7) ⇒ overlap [1,5).
+        assert!((a.pipeline_overlap - 4.0 / 9.0).abs() < 1e-12);
+        assert_reconciles(&a);
+    }
+
+    #[test]
+    fn empty_graph_analysis_is_zero() {
+        let g = TaskGraph::new();
+        let r = schedule(&g, &het(2, 1));
+        let a = analyze(&g, &r);
+        assert!(a.crit_path.is_empty());
+        assert_eq!(a.crit_sum, 0.0);
+        assert_eq!(a.lane_idle_frac, 0.0);
+        assert_eq!(a.pipeline_overlap, 0.0);
+        assert_eq!(a.lanes.len(), 3);
+    }
+
+    #[test]
+    fn idle_gaps_are_counted() {
+        // Core 1 runs a 1s task, then idles until the 5s chain on core 0
+        // finishes: exactly one trailing gap of 4s on core 1.
+        let mut g = TaskGraph::new();
+        let a0 = g.add(5.0, vec![]);
+        g.add(1.0, vec![]);
+        g.add(1.0, vec![a0]); // keeps core 0 busy to 6s
+        let r = schedule(&g, &cpu(2));
+        let an = analyze(&g, &r);
+        let lane1 = &an.lanes[1];
+        assert_eq!(lane1.tasks, 1);
+        assert_eq!(lane1.idle_gaps, 1);
+        assert!((lane1.idle_total - 5.0).abs() < 1e-12);
+        assert!((lane1.idle_max - 5.0).abs() < 1e-12);
+        assert_eq!(lane1.gap_hist[3], 1); // 5/6 of makespan ⇒ top bucket
+        assert!((lane1.utilization - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slot_labels() {
+        assert_eq!(slot_label(0, 4), "core0");
+        assert_eq!(slot_label(3, 4), "core3");
+        assert_eq!(slot_label(4, 4), "gpu0");
+        assert_eq!(slot_label(6, 4), "gpu2");
+    }
+
+    #[test]
+    fn interval_helpers() {
+        let u = union_intervals(vec![(3.0, 4.0), (0.0, 1.0), (0.5, 2.0), (4.0, 5.0)]);
+        assert_eq!(u, vec![(0.0, 2.0), (3.0, 5.0)]);
+        let v = union_intervals(vec![(1.0, 1.0)]);
+        assert!(v.is_empty());
+        let len = intersect_len(&[(0.0, 2.0), (3.0, 5.0)], &[(1.0, 4.0)]);
+        assert!((len - 2.0).abs() < 1e-12);
+    }
+
+    /// Random layered DAGs with mixed CPU/GPU tasks: the extracted path
+    /// must always telescope to the makespan, the fractions must close,
+    /// and the per-lane busy census must match the scheduler's own.
+    fn arb_graph() -> impl Strategy<Value = (TaskGraph, usize, usize)> {
+        (
+            2usize..6, // cores
+            0usize..4, // gpu lanes
+            prop::collection::vec((0u8..41, 0u8..5, any::<u32>()), 1..60),
+        )
+            .prop_map(|(cores, lanes, specs)| {
+                let mut g = TaskGraph::new();
+                for (i, &(cost, ndeps, pick)) in specs.iter().enumerate() {
+                    let deps: Vec<TaskId> = (0..ndeps as usize)
+                        .filter(|_| i > 0)
+                        .map(|k| ((pick as usize + k * 7) % i) as TaskId)
+                        .collect();
+                    let mut deps = deps;
+                    deps.sort_unstable();
+                    deps.dedup();
+                    if lanes > 0 && pick % 3 == 0 {
+                        g.add_gpu((pick as usize % lanes) as u16, cost as f64 * 0.125, deps);
+                    } else {
+                        g.add(cost as f64, deps);
+                    }
+                }
+                (g, cores, lanes)
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(200))]
+        #[test]
+        fn critical_path_sum_equals_makespan((g, cores, lanes) in arb_graph()) {
+            let r = schedule(&g, &het(cores, lanes));
+            let a = analyze(&g, &r);
+            assert_reconciles(&a);
+            // Lane census consistency with the scheduler's busy counters.
+            for ls in &a.lanes {
+                let from_sched = if ls.is_gpu {
+                    r.gpu_busy[ls.slot as usize - cores]
+                } else {
+                    r.busy[ls.slot as usize]
+                };
+                prop_assert!((ls.busy - from_sched).abs() < 1e-9);
+                prop_assert!(
+                    ls.idle_total + ls.busy <= a.makespan + 1e-9,
+                    "lane {} overfull", ls.slot
+                );
+            }
+        }
+    }
+}

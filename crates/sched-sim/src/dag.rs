@@ -35,6 +35,28 @@ impl DagConfig {
     }
 }
 
+/// Which of the dual anomaly-guard passes produced the kept schedule
+/// (Graham's anomalies: the "smarter" bottom-level order can pack worse
+/// than plain id order, so [`schedule`] runs both and keeps the better).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SchedPass {
+    /// Bottom-level (critical-path) priorities won (or tied).
+    #[default]
+    ByLevel,
+    /// The plain task-id oracle order packed strictly better.
+    ById,
+}
+
+impl SchedPass {
+    /// Stable lowercase label for telemetry fields.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedPass::ByLevel => "by_level",
+            SchedPass::ById => "by_id",
+        }
+    }
+}
+
 /// Outcome of one dependency-driven schedule: the pipelined makespan plus
 /// the per-task completion times the phase telemetry aggregates.
 #[derive(Clone, Debug)]
@@ -54,6 +76,17 @@ pub struct DagResult {
     pub start: Vec<f64>,
     /// Per-task completion time, indexed by [`TaskId`].
     pub finish: Vec<f64>,
+    /// Per-task ready time (instant the last dependency completed; 0 for
+    /// roots), indexed by [`TaskId`]. `start - ready` is how long the task
+    /// waited on a resource rather than on its dependencies.
+    pub ready: Vec<f64>,
+    /// Execution slot per task: `< cores` is a CPU core index, `>= cores`
+    /// is `cores + GPU lane index`. Indexed by [`TaskId`].
+    pub slot: Vec<u32>,
+    /// Number of CPU cores the schedule ran on (decodes [`DagResult::slot`]).
+    pub cores: usize,
+    /// Which anomaly-guard pass produced this schedule.
+    pub pass: SchedPass,
     /// Number of tasks executed (= graph size).
     pub tasks_executed: usize,
 }
@@ -66,6 +99,19 @@ impl DagResult {
         }
         let total: f64 = self.busy.iter().sum();
         total / (self.cpu_makespan * self.busy.len() as f64)
+    }
+
+    /// Utilization of GPU lane `device` in [0, 1] over the *overall*
+    /// makespan — the fraction of the step the device spent computing
+    /// rather than waiting on the pipeline. 0 for unknown lanes.
+    pub fn lane_utilization(&self, device: usize) -> f64 {
+        if self.makespan <= 0.0 {
+            return 0.0;
+        }
+        match self.gpu_busy.get(device) {
+            Some(&b) => b / self.makespan,
+            None => 0.0,
+        }
     }
 }
 
@@ -160,7 +206,10 @@ pub fn schedule(graph: &TaskGraph, cfg: &DagConfig) -> DagResult {
     // lowest-TaskId dispatch — exactly `simulate`'s order on CPU tasks.
     let by_id = run_list(graph, cfg, &vec![0.0; graph.tasks.len()]);
     if by_id.makespan < by_level.makespan {
-        by_id
+        DagResult {
+            pass: SchedPass::ById,
+            ..by_id
+        }
     } else {
         by_level
     }
@@ -210,6 +259,10 @@ fn run_list(graph: &TaskGraph, cfg: &DagConfig, prio: &[f64]) -> DagResult {
     let mut gpu_busy = vec![0.0f64; cfg.gpu_lanes];
     let mut start = vec![0.0f64; n];
     let mut finish = vec![0.0f64; n];
+    // Roots are ready at t=0; everything else stamps the instant its last
+    // dependency drains (inside `complete`).
+    let mut ready = vec![0.0f64; n];
+    let mut slot_of = vec![0u32; n];
     let mut now = 0.0f64;
     let mut cpu_makespan = 0.0f64;
     let mut gpu_makespan = 0.0f64;
@@ -217,10 +270,12 @@ fn run_list(graph: &TaskGraph, cfg: &DagConfig, prio: &[f64]) -> DagResult {
 
     let complete = |slot: u32,
                     task: TaskId,
+                    now: f64,
                     executed: &mut usize,
                     idle_cores: &mut BinaryHeap<Reverse<u32>>,
                     lane_idle: &mut [bool],
                     indeg: &mut [u32],
+                    ready: &mut [f64],
                     rc: &mut ReadyHeap,
                     rg: &mut [ReadyHeap]| {
         *executed += 1;
@@ -232,6 +287,7 @@ fn run_list(graph: &TaskGraph, cfg: &DagConfig, prio: &[f64]) -> DagResult {
         for &c in &children[task as usize] {
             indeg[c as usize] -= 1;
             if indeg[c as usize] == 0 {
+                ready[c as usize] = now;
                 let key = (Time(prio[c as usize]), Reverse(c));
                 match graph.tasks[c as usize].lane {
                     Lane::Cpu => rc.push(key),
@@ -251,6 +307,7 @@ fn run_list(graph: &TaskGraph, cfg: &DagConfig, prio: &[f64]) -> DagResult {
             busy[core as usize] += d;
             start[task as usize] = now;
             finish[task as usize] = now + d;
+            slot_of[task as usize] = core;
             cpu_makespan = cpu_makespan.max(now + d);
             running.push(Reverse((Time(now + d), core, task)));
         }
@@ -262,6 +319,7 @@ fn run_list(graph: &TaskGraph, cfg: &DagConfig, prio: &[f64]) -> DagResult {
                     gpu_busy[lane] += d;
                     start[task as usize] = now;
                     finish[task as usize] = now + d;
+                    slot_of[task as usize] = (cfg.cpu.cores + lane) as u32;
                     gpu_makespan = gpu_makespan.max(now + d);
                     running.push(Reverse((
                         Time(now + d),
@@ -278,10 +336,12 @@ fn run_list(graph: &TaskGraph, cfg: &DagConfig, prio: &[f64]) -> DagResult {
         complete(
             slot,
             task,
+            now,
             &mut executed,
             &mut idle_cores,
             &mut lane_idle,
             &mut indeg,
+            &mut ready,
             &mut ready_cpu,
             &mut ready_gpu,
         );
@@ -295,10 +355,12 @@ fn run_list(graph: &TaskGraph, cfg: &DagConfig, prio: &[f64]) -> DagResult {
             complete(
                 slot2,
                 task2,
+                now,
                 &mut executed,
                 &mut idle_cores,
                 &mut lane_idle,
                 &mut indeg,
+                &mut ready,
                 &mut ready_cpu,
                 &mut ready_gpu,
             );
@@ -314,6 +376,10 @@ fn run_list(graph: &TaskGraph, cfg: &DagConfig, prio: &[f64]) -> DagResult {
         gpu_busy,
         start,
         finish,
+        ready,
+        slot: slot_of,
+        cores: cfg.cpu.cores,
+        pass: SchedPass::ByLevel,
         tasks_executed: executed,
     }
 }

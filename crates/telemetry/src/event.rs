@@ -102,6 +102,51 @@ impl EventRecord {
         self.fields.iter().find(|(k, _)| *k == name).map(|(_, v)| v)
     }
 
+    /// Fetch a numeric field as `f64` (accepts `F64`, `U64`, and `I64` —
+    /// JSON does not distinguish, so readers should not either).
+    pub fn field_f64(&self, name: &str) -> Option<f64> {
+        match self.field(name)? {
+            Value::F64(v) => Some(*v),
+            Value::U64(v) => Some(*v as f64),
+            Value::I64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Fetch a non-negative integer field as `u64`.
+    pub fn field_u64(&self, name: &str) -> Option<u64> {
+        match self.field(name)? {
+            Value::U64(v) => Some(*v),
+            Value::I64(v) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// Fetch a signed integer field as `i64`.
+    pub fn field_i64(&self, name: &str) -> Option<i64> {
+        match self.field(name)? {
+            Value::I64(v) => Some(*v),
+            Value::U64(v) => i64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// Fetch a string field.
+    pub fn field_str(&self, name: &str) -> Option<&str> {
+        match self.field(name)? {
+            Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Fetch a boolean field.
+    pub fn field_bool(&self, name: &str) -> Option<bool> {
+        match self.field(name)? {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// Encode as a single JSON object (one JSONL line, no trailing newline).
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(96);

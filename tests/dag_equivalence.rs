@@ -119,12 +119,14 @@ fn dag_not_worse_with_offload_policy() {
     e.set_exec_policy(ExecPolicy {
         offload_pl: true,
         mode: SchedMode::Barrier,
+        ..Default::default()
     });
     let bar = e.time_step(&flops, &node).unwrap();
 
     e.set_exec_policy(ExecPolicy {
         offload_pl: true,
         mode: SchedMode::Dag,
+        ..Default::default()
     });
     let dag = e.time_step(&flops, &node).unwrap();
 
