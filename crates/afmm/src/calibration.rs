@@ -1,0 +1,472 @@
+//! Persistent cost-model calibration store.
+//!
+//! The balancer's [`CostModel`](crate::CostModel) starts every run cold and
+//! re-learns its per-operation coefficients from the first observed solves
+//! (paper §IV.D). Those coefficients are a property of the *machine and
+//! workload shape*, not of the run — a 16-core host solving N≈10⁶ Plummer
+//! bodies at S=96 prices an M2L the same way tomorrow as today. This module
+//! aggregates realized coefficients across runs into per-cell running means
+//! keyed by [`CalibrationKey`] — host fingerprint, ⌊log₂N⌋ bucket, device
+//! mix, and S — and persists them as flat JSONL.
+//!
+//! This PR the store is a read-only observatory fed by `afmm-perf record`:
+//! it answers "what does this machine's cost table converge to?" and how
+//! far the model's predictions land from observed step times
+//! ([`telemetry::AuditStats`]). The intended consumer is the warm-start
+//! balancer (ROADMAP item 3): seed a fresh `CostModel` from the matching
+//! cell instead of the hand-tuned defaults, and skip most of the
+//! observation settle.
+//!
+//! Persistence is one flat JSON object per line, read back through
+//! [`telemetry::parse_flat_json`], so unknown fields written by newer
+//! binaries are ignored instead of rejected.
+
+use crate::cost::CostModel;
+use std::fmt::Write as _;
+use std::path::Path;
+use telemetry::{flat_f64, flat_str, flat_u64, push_json_f64, push_json_str, AuditStats};
+
+/// Which cell of the calibration table an observation lands in.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CalibrationKey {
+    /// Host fingerprint, e.g. `"linux-x86_64-16c"`.
+    pub host: String,
+    /// ⌊log₂ N⌋ of the body count — coefficient scale is stable within a
+    /// 2× size band, and bucketing keeps the table small.
+    pub n_bucket: u32,
+    /// Device mix label, e.g. `"10c4g"` (cores + GPUs).
+    pub mix: String,
+    /// Max bodies per leaf the tree was built with.
+    pub s: u64,
+}
+
+impl CalibrationKey {
+    pub fn new(host: &str, n: usize, cores: usize, gpus: usize, s: u64) -> Self {
+        CalibrationKey {
+            host: host.to_string(),
+            n_bucket: n_bucket(n),
+            mix: mix_label(cores, gpus),
+            s,
+        }
+    }
+}
+
+/// ⌊log₂ N⌋ (0 for N ≤ 1).
+pub fn n_bucket(n: usize) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        n.ilog2()
+    }
+}
+
+/// `"<cores>c<gpus>g"`.
+pub fn mix_label(cores: usize, gpus: usize) -> String {
+    format!("{cores}c{gpus}g")
+}
+
+/// One cell: count-weighted running means of every coefficient plus the
+/// aggregated prediction-audit error for the runs that fed it.
+#[derive(Clone, Debug)]
+pub struct CalibrationCell {
+    pub key: CalibrationKey,
+    /// Observations merged into this cell.
+    pub runs: u64,
+    /// Running-mean coefficient table (`is_observed()` is true).
+    pub model: CostModel,
+    /// Audited predictions across all merged runs.
+    pub audit_count: u64,
+    /// Count-weighted mean relative prediction error.
+    pub audit_mean: f64,
+    /// Worst p90 relative error any merged run reported.
+    pub audit_p90: f64,
+}
+
+/// The nine coefficient fields, in serialization order.
+const COEFFS: [&str; 9] = [
+    "c_p2m",
+    "c_m2m",
+    "c_m2l",
+    "c_l2l",
+    "c_l2p",
+    "c_cpu_pair",
+    "c_node",
+    "c_gpu_pair",
+    "parallel_rate",
+];
+
+fn coeff(model: &CostModel, name: &str) -> f64 {
+    match name {
+        "c_p2m" => model.c_p2m,
+        "c_m2m" => model.c_m2m,
+        "c_m2l" => model.c_m2l,
+        "c_l2l" => model.c_l2l,
+        "c_l2p" => model.c_l2p,
+        "c_cpu_pair" => model.c_cpu_pair,
+        "c_node" => model.c_node,
+        "c_gpu_pair" => model.c_gpu_pair,
+        "parallel_rate" => model.parallel_rate,
+        _ => unreachable!("unknown coefficient {name}"),
+    }
+}
+
+fn coeff_mut<'a>(model: &'a mut CostModel, name: &str) -> &'a mut f64 {
+    match name {
+        "c_p2m" => &mut model.c_p2m,
+        "c_m2m" => &mut model.c_m2m,
+        "c_m2l" => &mut model.c_m2l,
+        "c_l2l" => &mut model.c_l2l,
+        "c_l2p" => &mut model.c_l2p,
+        "c_cpu_pair" => &mut model.c_cpu_pair,
+        "c_node" => &mut model.c_node,
+        "c_gpu_pair" => &mut model.c_gpu_pair,
+        "parallel_rate" => &mut model.parallel_rate,
+        _ => unreachable!("unknown coefficient {name}"),
+    }
+}
+
+impl CalibrationCell {
+    fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"host\":");
+        push_json_str(&mut out, &self.key.host);
+        let _ = write!(out, ",\"n_bucket\":{}", self.key.n_bucket);
+        out.push_str(",\"mix\":");
+        push_json_str(&mut out, &self.key.mix);
+        let _ = write!(out, ",\"s\":{},\"runs\":{}", self.key.s, self.runs);
+        for name in COEFFS {
+            out.push_str(",\"");
+            out.push_str(name);
+            out.push_str("\":");
+            push_json_f64(&mut out, coeff(&self.model, name));
+        }
+        let _ = write!(out, ",\"audit_count\":{}", self.audit_count);
+        out.push_str(",\"audit_mean\":");
+        push_json_f64(&mut out, self.audit_mean);
+        out.push_str(",\"audit_p90\":");
+        push_json_f64(&mut out, self.audit_p90);
+        out.push('}');
+        out
+    }
+
+    fn from_json_line(line: &str) -> Result<Self, String> {
+        let fields = telemetry::parse_flat_json(line)?;
+        let host = flat_str(&fields, "host")
+            .ok_or("calibration cell missing \"host\"")?
+            .to_string();
+        let mix = flat_str(&fields, "mix")
+            .ok_or("calibration cell missing \"mix\"")?
+            .to_string();
+        let n_bucket =
+            flat_u64(&fields, "n_bucket").ok_or("calibration cell missing \"n_bucket\"")? as u32;
+        let s = flat_u64(&fields, "s").ok_or("calibration cell missing \"s\"")?;
+        let mut model = CostModel::new();
+        for name in COEFFS {
+            if let Some(v) = flat_f64(&fields, name) {
+                *coeff_mut(&mut model, name) = v;
+            }
+        }
+        model.set_observed(true);
+        Ok(CalibrationCell {
+            key: CalibrationKey {
+                host,
+                n_bucket,
+                mix,
+                s,
+            },
+            runs: flat_u64(&fields, "runs").unwrap_or(1).max(1),
+            model,
+            audit_count: flat_u64(&fields, "audit_count").unwrap_or(0),
+            audit_mean: flat_f64(&fields, "audit_mean").unwrap_or(0.0),
+            audit_p90: flat_f64(&fields, "audit_p90").unwrap_or(0.0),
+        })
+    }
+}
+
+/// The whole table, cell per `(host, n_bucket, mix, s)`.
+#[derive(Clone, Debug, Default)]
+pub struct CalibrationStore {
+    cells: Vec<CalibrationCell>,
+}
+
+impl CalibrationStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    pub fn cells(&self) -> &[CalibrationCell] {
+        &self.cells
+    }
+
+    pub fn get(&self, key: &CalibrationKey) -> Option<&CalibrationCell> {
+        self.cells.iter().find(|c| &c.key == key)
+    }
+
+    /// Merge one run's realized coefficients (and optionally its
+    /// prediction-audit summary) into the matching cell, creating it on
+    /// first sight. Coefficients merge as count-weighted running means so
+    /// cell order and run order don't change the converged table;
+    /// `audit_p90` keeps the worst run seen (a calibration consumer cares
+    /// about the error *bound*, not its average shape).
+    pub fn observe(&mut self, key: CalibrationKey, model: &CostModel, audit: Option<&AuditStats>) {
+        let cell = match self.cells.iter_mut().find(|c| c.key == key) {
+            Some(c) => c,
+            None => {
+                let mut fresh = CostModel::new();
+                for name in COEFFS {
+                    *coeff_mut(&mut fresh, name) = 0.0;
+                }
+                fresh.set_observed(true);
+                self.cells.push(CalibrationCell {
+                    key,
+                    runs: 0,
+                    model: fresh,
+                    audit_count: 0,
+                    audit_mean: 0.0,
+                    audit_p90: 0.0,
+                });
+                self.cells.last_mut().expect("just pushed")
+            }
+        };
+        let w_old = cell.runs as f64;
+        let w_new = w_old + 1.0;
+        for name in COEFFS {
+            let c = coeff_mut(&mut cell.model, name);
+            *c = (*c * w_old + coeff(model, name)) / w_new;
+        }
+        cell.runs += 1;
+        if let Some(a) = audit {
+            let n_old = cell.audit_count as f64;
+            let n_new = a.count as f64;
+            if n_old + n_new > 0.0 {
+                cell.audit_mean = (cell.audit_mean * n_old + a.mean * n_new) / (n_old + n_new);
+            }
+            cell.audit_count += a.count as u64;
+            cell.audit_p90 = cell.audit_p90.max(a.p90);
+        }
+    }
+
+    /// Write the table, one cell per line. Rewrites the whole file: cells
+    /// are aggregates, not a log, so unlike the perf ledger there is
+    /// nothing append-only about them.
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| format!("creating {}: {e}", dir.display()))?;
+            }
+        }
+        let mut text = String::new();
+        for cell in &self.cells {
+            text.push_str(&cell.to_json_line());
+            text.push('\n');
+        }
+        std::fs::write(path, text).map_err(|e| format!("writing {}: {e}", path.display()))
+    }
+
+    /// Read a table. Missing file → empty store; corrupt lines are skipped
+    /// with a warning each (forward compatibility: newer binaries may add
+    /// fields, which [`telemetry::parse_flat_json`] readers ignore).
+    pub fn load(path: &Path) -> Result<(Self, Vec<String>), String> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok((Self::default(), Vec::new()))
+            }
+            Err(e) => return Err(format!("reading {}: {e}", path.display())),
+        };
+        let mut store = Self::default();
+        let mut warnings = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match CalibrationCell::from_json_line(line) {
+                Ok(c) => store.cells.push(c),
+                Err(e) => warnings.push(format!("skipping calibration line {}: {e}", i + 1)),
+            }
+        }
+        Ok((store, warnings))
+    }
+
+    /// Human-readable table dump.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "calibration store — {} cell{}\n",
+            self.cells.len(),
+            if self.cells.len() == 1 { "" } else { "s" }
+        ));
+        for c in &self.cells {
+            out.push_str(&format!(
+                "\n{} N=2^{} {} S={}  ({} run{})\n",
+                c.key.host,
+                c.key.n_bucket,
+                c.key.mix,
+                c.key.s,
+                c.runs,
+                if c.runs == 1 { "" } else { "s" }
+            ));
+            for name in COEFFS {
+                out.push_str(&format!("  {name:<14} {:.3e}\n", coeff(&c.model, name)));
+            }
+            if c.audit_count > 0 {
+                out.push_str(&format!(
+                    "  audit          {} predictions, mean rel err {:.3}, worst p90 {:.3}\n",
+                    c.audit_count, c.audit_mean, c.audit_p90
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(scale: f64) -> CostModel {
+        let mut m = CostModel::new();
+        m.c_p2m = 1.0e-8 * scale;
+        m.c_m2m = 2.0e-8 * scale;
+        m.c_m2l = 3.0e-9 * scale;
+        m.c_l2l = 2.0e-8 * scale;
+        m.c_l2p = 1.5e-8 * scale;
+        m.c_cpu_pair = 4.0e-10 * scale;
+        m.c_node = 5.0e-7 * scale;
+        m.c_gpu_pair = 1.0e-11 * scale;
+        m.parallel_rate = 8.0 * scale;
+        m.set_observed(true);
+        m
+    }
+
+    fn key() -> CalibrationKey {
+        CalibrationKey::new("linux-x86_64-16c", 1_000_000, 10, 4, 96)
+    }
+
+    #[test]
+    fn key_buckets_and_mix() {
+        let k = key();
+        assert_eq!(k.n_bucket, 19); // 2^19 = 524288 ≤ 1e6 < 2^20
+        assert_eq!(k.mix, "10c4g");
+        assert_eq!(n_bucket(0), 0);
+        assert_eq!(n_bucket(1), 0);
+        assert_eq!(n_bucket(2), 1);
+        assert_eq!(mix_label(16, 0), "16c0g");
+    }
+
+    #[test]
+    fn observe_is_a_running_mean() {
+        let mut store = CalibrationStore::new();
+        let audit = AuditStats {
+            count: 10,
+            acted: 2,
+            mean: 0.10,
+            median: 0.08,
+            p90: 0.2,
+            max: 0.5,
+        };
+        store.observe(key(), &model(1.0), Some(&audit));
+        store.observe(key(), &model(3.0), Some(&audit));
+        assert_eq!(store.len(), 1);
+        let c = store.get(&key()).unwrap();
+        assert_eq!(c.runs, 2);
+        assert!((c.model.c_m2l - 2.0 * 3.0e-9).abs() < 1e-18); // mean of 1× and 3×
+        assert!((c.model.parallel_rate - 16.0).abs() < 1e-9);
+        assert_eq!(c.audit_count, 20);
+        assert!((c.audit_mean - 0.10).abs() < 1e-12);
+        assert!((c.audit_p90 - 0.2).abs() < 1e-12);
+        assert!(c.model.is_observed());
+    }
+
+    #[test]
+    fn different_keys_get_different_cells() {
+        let mut store = CalibrationStore::new();
+        store.observe(key(), &model(1.0), None);
+        store.observe(
+            CalibrationKey::new("linux-x86_64-16c", 1_000_000, 10, 4, 128),
+            &model(2.0),
+            None,
+        );
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn save_load_round_trips() {
+        let dir = std::env::temp_dir().join(format!("afmm-calib-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("calibration.jsonl");
+        let mut store = CalibrationStore::new();
+        let audit = AuditStats {
+            count: 5,
+            acted: 1,
+            mean: 0.07,
+            median: 0.06,
+            p90: 0.11,
+            max: 0.3,
+        };
+        store.observe(key(), &model(1.0), Some(&audit));
+        store.save(&path).unwrap();
+        let (back, warnings) = CalibrationStore::load(&path).unwrap();
+        assert!(warnings.is_empty(), "{warnings:?}");
+        assert_eq!(back.len(), 1);
+        let c = back.get(&key()).unwrap();
+        assert_eq!(c.runs, 1);
+        assert!((c.model.c_m2l - 3.0e-9).abs() < 1e-20);
+        assert_eq!(c.audit_count, 5);
+        // Save → load → save is byte-stable.
+        let text = std::fs::read_to_string(&path).unwrap();
+        back.save(&path).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), text);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_tolerates_unknown_fields_and_skips_corrupt_lines() {
+        let dir = std::env::temp_dir().join(format!("afmm-calib-fwd-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("calibration.jsonl");
+        let mut store = CalibrationStore::new();
+        store.observe(key(), &model(1.0), None);
+        store.save(&path).unwrap();
+        let grown = std::fs::read_to_string(&path)
+            .unwrap()
+            .replace("{\"host\"", "{\"gpu_clock_mhz\":2100,\"host\"")
+            + "this line is not json\n";
+        std::fs::write(&path, grown).unwrap();
+        let (back, warnings) = CalibrationStore::load(&path).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("line 2"), "{warnings:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_file_is_empty_store() {
+        let (store, warnings) =
+            CalibrationStore::load(Path::new("/nonexistent/afmm/calib.jsonl")).unwrap();
+        assert!(store.is_empty());
+        assert!(warnings.is_empty());
+    }
+
+    #[test]
+    fn render_lists_cells() {
+        let mut store = CalibrationStore::new();
+        store.observe(key(), &model(1.0), None);
+        let text = store.render();
+        assert!(
+            text.contains("linux-x86_64-16c N=2^19 10c4g S=96"),
+            "{text}"
+        );
+        assert!(text.contains("c_m2l"), "{text}");
+    }
+}

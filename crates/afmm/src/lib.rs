@@ -36,6 +36,7 @@
 //! ```
 
 mod balance;
+pub mod calibration;
 pub mod chaos;
 pub mod checkpoint;
 mod config;
@@ -54,6 +55,7 @@ pub use balance::{
     fine_grained_optimize, lbtime, search_best_s_cpu_only, BalancerSnapshot, FgoOutcome, LbConfig,
     LbReport, LbState, LoadBalancer, Strategy,
 };
+pub use calibration::{CalibrationCell, CalibrationKey, CalibrationStore};
 pub use chaos::{ChaosEvent, ChaosPlan, TimedChaos};
 pub use checkpoint::{EngineSnapshot, TrackerSnapshot, SCHEMA_VERSION};
 pub use config::{CpuSpec, FmmParams, HeteroNode};

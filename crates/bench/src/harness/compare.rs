@@ -156,7 +156,7 @@ impl CompareReport {
     }
 }
 
-fn format_value(v: f64) -> String {
+pub(crate) fn format_value(v: f64) -> String {
     if v == 0.0 {
         "0".to_string()
     } else if v.abs() >= 1000.0 {

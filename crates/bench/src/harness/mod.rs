@@ -12,9 +12,16 @@
 //! ([`snapshot`]) so a perf delta can be *attributed* instead of guessed
 //! at. The `afmm-perf` binary is the driver; `plan_patch_vs_rebuild` and
 //! `telemetry_report` are thin wrappers over the same building blocks.
+//!
+//! The pairwise gate is extended longitudinally by the perf [`ledger`]: an
+//! append-only JSONL history of run summaries keyed by `(host, mode)`
+//! series, with median/MAD history views, offline change-point trend
+//! classification (step / drift / spike), and rolling-median baselines for
+//! `compare --against-ledger`.
 
 pub mod compare;
 pub mod json;
+pub mod ledger;
 pub mod report;
 pub mod scenarios;
 pub mod snapshot;
@@ -22,6 +29,10 @@ pub mod stats;
 
 pub use compare::{compare, CompareConfig, CompareReport, Verdict};
 pub use json::Json;
+pub use ledger::{
+    host_key, render_history, render_trends, synthesize_baseline, trend_rows, Ledger, LedgerEntry,
+    TrendRow, LEDGER_SCHEMA_VERSION,
+};
 pub use report::{BenchReport, Direction, Metric, MetricKind, Scenario, SCHEMA_VERSION};
 pub use scenarios::{measure_plan_economy, run_suite, twigs, PlanEconomy, SuiteConfig};
 pub use snapshot::{gather, SnapshotParts};

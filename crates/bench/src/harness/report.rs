@@ -290,30 +290,10 @@ impl BenchReport {
     /// HEAD commit read straight from `.git` (no subprocess): follows one
     /// level of `ref:` indirection, returns "unknown" outside a checkout.
     pub fn current_commit() -> String {
-        fn read_head(root: &std::path::Path) -> Option<String> {
-            let head = std::fs::read_to_string(root.join(".git/HEAD")).ok()?;
-            let head = head.trim();
-            if let Some(r) = head.strip_prefix("ref: ") {
-                let direct = std::fs::read_to_string(root.join(".git").join(r)).ok();
-                if let Some(sha) = direct {
-                    return Some(sha.trim().to_string());
-                }
-                // Packed refs fallback.
-                let packed = std::fs::read_to_string(root.join(".git/packed-refs")).ok()?;
-                for line in packed.lines() {
-                    if let Some(sha) = line.strip_suffix(r) {
-                        return Some(sha.trim().to_string());
-                    }
-                }
-                None
-            } else {
-                Some(head.to_string())
-            }
-        }
         let mut dir = std::env::current_dir().ok();
         while let Some(d) = dir {
             if d.join(".git").exists() {
-                return read_head(&d).unwrap_or_else(|| "unknown".to_string());
+                return commit_from_repo_root(&d).unwrap_or_else(|| "unknown".to_string());
             }
             dir = d.parent().map(|p| p.to_path_buf());
         }
@@ -340,37 +320,90 @@ impl BenchReport {
         s
     }
 
-    /// Parse a report, rejecting unknown schema versions (a future v2
-    /// report must not be silently misread as v1).
+    /// Parse a report. See [`BenchReport::from_json_warn`]; warnings are
+    /// dropped here for callers that only need the data.
     pub fn from_json(text: &str) -> Result<Self, String> {
+        Self::from_json_warn(text).map(|(r, _)| r)
+    }
+
+    /// Parse a report, tolerating growth: unknown fields are ignored
+    /// everywhere, and a *newer* `schema_version` parses best-effort with a
+    /// warning instead of a hard error — an old binary must still be able
+    /// to read (and trend over) a ledger grown by newer ones. Under a newer
+    /// version, scenarios this build cannot interpret are skipped with a
+    /// warning; under the native version they stay hard errors, because
+    /// there they can only mean corruption.
+    pub fn from_json_warn(text: &str) -> Result<(Self, Vec<String>), String> {
         let v = Json::parse(text).map_err(|e| e.to_string())?;
         let version = v
             .get("schema_version")
             .and_then(Json::as_u64)
             .ok_or("report missing \"schema_version\"")?;
-        if version != SCHEMA_VERSION {
-            return Err(format!(
-                "unsupported schema_version {version} (this build reads {SCHEMA_VERSION})"
+        let mut warnings = Vec::new();
+        let newer = version > SCHEMA_VERSION;
+        if newer {
+            warnings.push(format!(
+                "report schema_version {version} is newer than this build's \
+                 {SCHEMA_VERSION}; parsing known fields only"
             ));
         }
-        Ok(BenchReport {
-            schema_version: version,
-            host: v.get("host").cloned().unwrap_or(Json::Obj(Vec::new())),
-            commit: v
-                .get("commit")
-                .and_then(Json::as_str)
-                .unwrap_or("unknown")
-                .to_string(),
-            config: v.get("config").cloned().unwrap_or(Json::Obj(Vec::new())),
-            scenarios: v
-                .get("scenarios")
-                .and_then(Json::as_arr)
-                .ok_or("report missing \"scenarios\"")?
-                .iter()
-                .map(Scenario::from_json)
-                .collect::<Result<_, _>>()?,
-        })
+        let mut scenarios = Vec::new();
+        for sv in v
+            .get("scenarios")
+            .and_then(Json::as_arr)
+            .ok_or("report missing \"scenarios\"")?
+        {
+            match Scenario::from_json(sv) {
+                Ok(sc) => scenarios.push(sc),
+                Err(e) if newer => warnings.push(format!("skipping scenario: {e}")),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok((
+            BenchReport {
+                schema_version: version,
+                host: v.get("host").cloned().unwrap_or(Json::Obj(Vec::new())),
+                commit: v
+                    .get("commit")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown")
+                    .to_string(),
+                config: v.get("config").cloned().unwrap_or(Json::Obj(Vec::new())),
+                scenarios,
+            },
+            warnings,
+        ))
     }
+}
+
+/// Resolve HEAD inside `root/.git`: a detached sha directly, a loose ref
+/// file, or the packed-refs fallback. Packed-refs lines are matched
+/// strictly — `"<sha> <full ref name>"` with a single separating space —
+/// and peeled `^<sha>` annotations plus `#` headers are skipped, so a ref
+/// whose name merely *ends with* the target (e.g. `refs/heads/do-main` vs
+/// `main`) or a tag's peeled object can never be reported as HEAD.
+fn commit_from_repo_root(root: &std::path::Path) -> Option<String> {
+    let head = std::fs::read_to_string(root.join(".git/HEAD")).ok()?;
+    let head = head.trim();
+    let Some(r) = head.strip_prefix("ref: ") else {
+        return Some(head.to_string());
+    };
+    if let Ok(sha) = std::fs::read_to_string(root.join(".git").join(r)) {
+        return Some(sha.trim().to_string());
+    }
+    let packed = std::fs::read_to_string(root.join(".git/packed-refs")).ok()?;
+    for line in packed.lines() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('^') {
+            continue;
+        }
+        if let Some((sha, name)) = line.split_once(' ') {
+            if name == r && !sha.is_empty() && sha.bytes().all(|b| b.is_ascii_hexdigit()) {
+                return Some(sha.to_string());
+            }
+        }
+    }
+    None
 }
 
 #[cfg(test)]
@@ -417,11 +450,59 @@ mod tests {
     }
 
     #[test]
-    fn rejects_future_schema() {
+    fn tolerates_future_schema_with_warning() {
         let mut text = tiny_report().to_json();
         text = text.replace("\"schema_version\":1", "\"schema_version\":99");
-        let err = BenchReport::from_json(&text).unwrap_err();
-        assert!(err.contains("schema_version 99"), "{err}");
+        let (r, warnings) = BenchReport::from_json_warn(&text).unwrap();
+        assert_eq!(r.schema_version, 99);
+        assert_eq!(r.scenarios.len(), 1);
+        assert!(
+            warnings.iter().any(|w| w.contains("schema_version 99")),
+            "{warnings:?}"
+        );
+    }
+
+    #[test]
+    fn round_trips_with_unknown_extra_fields() {
+        // A grown v1 report: extra keys at every level must be ignored, and
+        // everything this build understands must survive unchanged.
+        let text = tiny_report()
+            .to_json()
+            .replace(
+                "{\"schema_version\":1",
+                "{\"schema_version\":1,\"flux_capacitance\":[1,2,3]",
+            )
+            .replace(
+                "{\"name\":\"solve_step\"",
+                "{\"name\":\"solve_step\",\"annotations\":{\"color\":\"teal\"}",
+            )
+            .replace("{\"name\":\"wall_s\"", "{\"name\":\"wall_s\",\"p99\":0.53");
+        let (r, warnings) = BenchReport::from_json_warn(&text).unwrap();
+        assert!(warnings.is_empty(), "{warnings:?}");
+        assert_eq!(r.commit, "deadbeef");
+        let m = r.scenario("solve_step").unwrap().metric("wall_s").unwrap();
+        assert_eq!(m.samples, vec![0.5, 0.52, 0.49]);
+        // Re-serializing drops the unknown fields but stays parseable.
+        let again = BenchReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(again.scenarios[0].metrics.len(), 3);
+    }
+
+    #[test]
+    fn future_schema_skips_unreadable_scenarios() {
+        // Under a *newer* schema, a scenario shaped in a way v1 cannot read
+        // is skipped with a warning; under the native version it is a
+        // hard error (corruption).
+        let broken = tiny_report()
+            .to_json()
+            .replace("\"kind\":\"wall\"", "\"kind\":\"quantile_sketch\"");
+        assert!(BenchReport::from_json(&broken).is_err());
+        let future = broken.replace("\"schema_version\":1", "\"schema_version\":2");
+        let (r, warnings) = BenchReport::from_json_warn(&future).unwrap();
+        assert!(r.scenarios.is_empty());
+        assert!(
+            warnings.iter().any(|w| w.contains("skipping scenario")),
+            "{warnings:?}"
+        );
     }
 
     #[test]
@@ -429,5 +510,79 @@ mod tests {
         let c = BenchReport::current_commit();
         // In the repo checkout this is a 40-char sha; elsewhere "unknown".
         assert!(c == "unknown" || c.len() == 40, "commit = {c:?}");
+    }
+
+    /// Build a synthetic `.git` layout under a fresh temp dir.
+    fn synthetic_git(tag: &str, head: &str, files: &[(&str, &str)]) -> std::path::PathBuf {
+        let root =
+            std::env::temp_dir().join(format!("afmm-report-git-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(root.join(".git/refs/heads")).unwrap();
+        std::fs::write(root.join(".git/HEAD"), head).unwrap();
+        for (rel, contents) in files {
+            let p = root.join(".git").join(rel);
+            std::fs::create_dir_all(p.parent().unwrap()).unwrap();
+            std::fs::write(p, contents).unwrap();
+        }
+        root
+    }
+
+    const SHA_A: &str = "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa";
+    const SHA_B: &str = "bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb";
+
+    #[test]
+    fn commit_loose_ref_wins_over_packed() {
+        let root = synthetic_git(
+            "loose",
+            "ref: refs/heads/main\n",
+            &[
+                ("refs/heads/main", &format!("{SHA_A}\n")),
+                ("packed-refs", &format!("{SHA_B} refs/heads/main\n")),
+            ],
+        );
+        assert_eq!(commit_from_repo_root(&root).as_deref(), Some(SHA_A));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn commit_packed_refs_requires_exact_name_and_skips_peeled() {
+        // `refs/heads/do-main` ends with "main" and the peeled `^sha` line
+        // follows an annotated tag; neither may be reported as HEAD.
+        let packed = format!(
+            "# pack-refs with: peeled fully-peeled sorted \n\
+             {SHA_B} refs/heads/do-main\n\
+             {SHA_B} refs/tags/v1.0\n\
+             ^{SHA_B}\n\
+             {SHA_A} refs/heads/main\n"
+        );
+        let root = synthetic_git(
+            "packed",
+            "ref: refs/heads/main\n",
+            &[("packed-refs", &packed)],
+        );
+        assert_eq!(commit_from_repo_root(&root).as_deref(), Some(SHA_A));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn commit_packed_refs_rejects_non_hex_and_missing_ref() {
+        let packed = format!(
+            "gggggggggggggggggggggggggggggggggggggggg refs/heads/main\n\
+             {SHA_A} refs/heads/other\n"
+        );
+        let root = synthetic_git(
+            "miss",
+            "ref: refs/heads/main\n",
+            &[("packed-refs", &packed)],
+        );
+        assert_eq!(commit_from_repo_root(&root), None);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn commit_detached_head_returns_sha() {
+        let root = synthetic_git("detached", &format!("{SHA_A}\n"), &[]);
+        assert_eq!(commit_from_repo_root(&root).as_deref(), Some(SHA_A));
+        let _ = std::fs::remove_dir_all(&root);
     }
 }

@@ -200,6 +200,7 @@ fn solve_step(cfg: &SuiteConfig) -> Scenario {
         cost: Some(&cost),
         timing: timing.gpu.as_ref(),
         metrics_json: None,
+        audit: None,
     });
     Scenario {
         name: "solve_step".to_string(),
@@ -514,7 +515,15 @@ fn enforce_s(cfg: &SuiteConfig) -> Scenario {
 /// contracting-cloud workload: wall time of the whole run plus the
 /// deterministic virtual compute/LB totals and the settle step.
 fn balancer_convergence(cfg: &SuiteConfig) -> Scenario {
-    let run = |record: bool| -> (f64, afmm::RunSummary, Option<String>, u64, usize) {
+    type BalanceRun = (
+        f64,
+        afmm::RunSummary,
+        Option<String>,
+        u64,
+        usize,
+        telemetry::AuditStats,
+    );
+    let run = |record: bool| -> BalanceRun {
         let setup = nbody::collapsing_plummer(cfg.n_balance, 1.0, cfg.seed + 3);
         let rec = if record {
             telemetry::Recorder::enabled()
@@ -554,7 +563,8 @@ fn balancer_convergence(cfg: &SuiteConfig) -> Scenario {
             .unwrap_or(cfg.balance_steps);
         let s_final = tracker.balancer().s() as u64;
         let metrics_json = record.then(|| rec.metrics_json());
-        (t, tracker.summary(), metrics_json, s_final, settle)
+        let audit = tracker.audits().stats();
+        (t, tracker.summary(), metrics_json, s_final, settle, audit)
     };
 
     for _ in 0..cfg.warmup.max(1) {
@@ -563,14 +573,15 @@ fn balancer_convergence(cfg: &SuiteConfig) -> Scenario {
     let mut samples = Vec::with_capacity(cfg.reps);
     let mut last = None;
     for _ in 0..cfg.reps {
-        let (t, summary, metrics_json, s_final, settle) = run(true);
+        let (t, summary, metrics_json, s_final, settle, audit) = run(true);
         samples.push(t);
-        last = Some((summary, metrics_json, s_final, settle));
+        last = Some((summary, metrics_json, s_final, settle, audit));
     }
-    let (summary, metrics_json, s_final, settle) = last.expect("reps >= 1");
+    let (summary, metrics_json, s_final, settle, audit) = last.expect("reps >= 1");
 
     let snapshot = gather(&SnapshotParts {
         metrics_json: metrics_json.clone(),
+        audit: Some(audit),
         ..Default::default()
     });
     Scenario {

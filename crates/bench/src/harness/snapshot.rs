@@ -36,6 +36,10 @@ pub struct SnapshotParts<'a> {
     /// Pre-rendered metrics registry JSON (from
     /// [`telemetry::MetricsRegistry::snapshot_json`]).
     pub metrics_json: Option<String>,
+    /// Cost-model prediction audit summary
+    /// ([`telemetry::AuditTrail::stats`]) from a tracked run — the realized
+    /// predict-vs-observe error the calibration store aggregates.
+    pub audit: Option<telemetry::AuditStats>,
 }
 
 /// Assemble the snapshot object from whichever parts the scenario has.
@@ -52,6 +56,9 @@ pub fn gather(parts: &SnapshotParts<'_>) -> Json {
     }
     if let Some(cost) = parts.cost {
         fields.push(("cost_model", cost_snapshot(cost)));
+    }
+    if let Some(audit) = &parts.audit {
+        fields.push(("audit", audit_snapshot(audit)));
     }
     if let Some(mj) = &parts.metrics_json {
         // The registry dump is already canonical JSON; parse so it nests as
@@ -228,6 +235,19 @@ fn gpu_snapshot(timing: &KernelTiming) -> Json {
     ])
 }
 
+/// Prediction-audit summary: how far the cost model's `predict` calls were
+/// from the observed step times over the run.
+fn audit_snapshot(a: &telemetry::AuditStats) -> Json {
+    obj(vec![
+        ("count", Json::Num(a.count as f64)),
+        ("acted", Json::Num(a.acted as f64)),
+        ("mean", Json::Num(a.mean)),
+        ("median", Json::Num(a.median)),
+        ("p90", Json::Num(a.p90)),
+        ("max", Json::Num(a.max)),
+    ])
+}
+
 /// The observational coefficient table (paper §IV.D).
 fn cost_snapshot(cost: &CostModel) -> Json {
     obj(vec![
@@ -275,6 +295,14 @@ mod tests {
             cost: Some(&cost),
             timing: timing.gpu.as_ref(),
             metrics_json: Some(reg.snapshot_json()),
+            audit: Some(telemetry::AuditStats {
+                count: 8,
+                acted: 3,
+                mean: 0.07,
+                median: 0.05,
+                p90: 0.12,
+                max: 0.2,
+            }),
         });
 
         let t = snap.get("tree").expect("tree part");
@@ -310,6 +338,10 @@ mod tests {
         let c = snap.get("cost_model").expect("cost part");
         assert_eq!(c.get("observed").unwrap().as_bool(), Some(true));
         assert!(c.get("c_m2l").unwrap().as_f64().unwrap() > 0.0);
+
+        let a = snap.get("audit").expect("audit part");
+        assert_eq!(a.get("count").unwrap().as_f64(), Some(8.0));
+        assert_eq!(a.get("p90").unwrap().as_f64(), Some(0.12));
 
         let m = snap.get("metrics").expect("metrics part");
         assert_eq!(

@@ -171,6 +171,24 @@ pub struct AuditStats {
 }
 
 impl AuditStats {
+    /// Parse the flat object [`AuditStats::to_json`] writes. Unknown fields
+    /// are ignored (forward compatibility: the calibration store reads
+    /// stats written by possibly newer binaries); missing fields default to
+    /// zero the same way an empty window does.
+    pub fn from_json(line: &str) -> Result<Self, String> {
+        let fields = crate::trace::parse_flat_json(line)?;
+        let num = |k: &str| crate::trace::flat_f64(&fields, k).unwrap_or(0.0);
+        let int = |k: &str| crate::trace::flat_u64(&fields, k).unwrap_or(0) as usize;
+        Ok(AuditStats {
+            count: int("count"),
+            acted: int("acted"),
+            mean: num("mean"),
+            median: num("median"),
+            p90: num("p90"),
+            max: num("max"),
+        })
+    }
+
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(128);
         let _ = write!(
@@ -263,6 +281,83 @@ mod tests {
         let s = t.stats();
         assert_eq!(s.count, 1);
         assert_eq!(s.median, 0.0);
+    }
+
+    #[test]
+    fn window_of_one_keeps_only_latest() {
+        // `with_window(0)` clamps to 1 — the degenerate "latest only" trail.
+        let mut t = AuditTrail::with_window(0);
+        t.push(audit(0, 1.5, 1.0));
+        t.push(audit(1, 1.1, 1.0));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.total_recorded(), 2);
+        assert_eq!(t.audits().next().unwrap().step, 1);
+        let s = t.stats();
+        assert_eq!(s.count, 1);
+        assert!((s.median - 0.1).abs() < 1e-12, "median={}", s.median);
+        assert_eq!(s.median, s.max);
+    }
+
+    #[test]
+    fn exactly_full_window_does_not_evict_early() {
+        // Filling to exactly the window length must keep every audit; the
+        // eviction boundary is at window+1, not window.
+        let mut t = AuditTrail::with_window(4);
+        for i in 0..4 {
+            t.push(audit(i, 1.0 + 0.1 * (i + 1) as f64, 1.0));
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.total_recorded(), 4);
+        assert_eq!(t.audits().next().unwrap().step, 0);
+        // One more evicts exactly one, from the front.
+        t.push(audit(4, 1.0, 1.0));
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.total_recorded(), 5);
+        assert_eq!(t.audits().next().unwrap().step, 1);
+    }
+
+    #[test]
+    fn total_recorded_diverges_from_len_after_eviction() {
+        let mut t = AuditTrail::with_window(2);
+        assert_eq!((t.len(), t.total_recorded()), (0, 0));
+        for i in 0..10 {
+            t.push(audit(i, 1.0, 1.0));
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.total_recorded(), 10);
+        // Stats are over the *window*, not over everything ever recorded.
+        assert_eq!(t.stats().count, 2);
+    }
+
+    #[test]
+    fn stats_round_trip_through_json() {
+        let mut t = AuditTrail::new();
+        for (i, (p, a)) in [(1.05, 1.0), (1.3, 1.0), (0.8, 1.0), (2.0, 1.0)]
+            .iter()
+            .enumerate()
+        {
+            let mut au = audit(i as u64, *p, *a);
+            au.acted = i % 2 == 0;
+            t.push(au);
+        }
+        let s = t.stats();
+        let text = s.to_json();
+        assert!(crate::json_syntax_ok(&text));
+        let back = AuditStats::from_json(&text).unwrap();
+        assert_eq!(back, s);
+        // Unknown fields from a newer writer are tolerated.
+        let grown = text.replacen('{', "{\"p99\":0.5,\"note\":\"x\",", 1);
+        let back = AuditStats::from_json(&grown).unwrap();
+        assert_eq!(back, s);
+        // Default stats round-trip too (the empty-window case).
+        let d = AuditStats::default();
+        assert_eq!(AuditStats::from_json(&d.to_json()).unwrap(), d);
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(AuditStats::from_json("not json").is_err());
+        assert!(AuditStats::from_json("{\"count\":1").is_err());
     }
 
     #[test]

@@ -35,9 +35,15 @@ mod metrics;
 mod recorder;
 mod trace;
 
-pub use anomaly::{Anomaly, AnomalyChannel, AnomalyConfig, AnomalyDetector, AnomalyKind, Severity};
+pub use anomaly::{
+    classify_series, Anomaly, AnomalyChannel, AnomalyConfig, AnomalyDetector, AnomalyKind,
+    Severity, TrendConfig, TrendKind, TrendReport,
+};
 pub use audit::{AuditStats, AuditTrail, PredictionAudit, DEFAULT_WINDOW};
 pub use event::{push_json_f64, push_json_str, EventRecord, RecordKind, Value};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use recorder::{JsonlSink, Recorder, Sink, SpanGuard, VecSink, DEFAULT_CAPACITY};
-pub use trace::{intern, json_syntax_ok, read_trace, ChromeTraceExporter, TraceError, TraceReader};
+pub use trace::{
+    flat_f64, flat_str, flat_u64, intern, json_syntax_ok, parse_flat_json, read_trace,
+    ChromeTraceExporter, TraceError, TraceReader,
+};

@@ -348,6 +348,75 @@ impl EventRecord {
     }
 }
 
+/// Parse one *flat* JSON object (string/number/bool/null values only) into
+/// its key/value pairs, preserving order.
+///
+/// This is the shared reader for every flat JSONL artifact in the repo that
+/// is not an event record — audit-stat summaries, calibration-store cells —
+/// so they all accept exactly the grammar the canonical encoders emit.
+/// Unknown keys are the caller's business (they are returned, not rejected),
+/// which is what makes the artifacts forward-compatible: a newer writer can
+/// add fields without breaking an older reader. Nested objects/arrays are
+/// rejected like in the trace schema.
+pub fn parse_flat_json(line: &str) -> Result<Vec<(String, Value)>, String> {
+    let mut p = Parser::new(line);
+    p.expect(b'{')?;
+    let mut out: Vec<(String, Value)> = Vec::new();
+    let mut first = true;
+    loop {
+        p.skip_ws();
+        if p.peek() == Some(b'}') {
+            p.i += 1;
+            break;
+        }
+        if !first {
+            p.expect(b',')?;
+        }
+        first = false;
+        let key = p.parse_string()?;
+        p.expect(b':')?;
+        let value = match p.parse_token()? {
+            Token::Num(t) => number_value(t)?,
+            Token::Str(s) => Value::Str(s),
+            Token::Bool(b) => Value::Bool(b),
+            // `null` is the canonical spelling of a non-finite float.
+            Token::Null => Value::F64(f64::NAN),
+        };
+        out.push((key, value));
+    }
+    if !p.at_end() {
+        return Err("trailing garbage after object".into());
+    }
+    Ok(out)
+}
+
+/// Fetch a numeric field from [`parse_flat_json`] output as `f64`.
+pub fn flat_f64(fields: &[(String, Value)], key: &str) -> Option<f64> {
+    match fields.iter().find(|(k, _)| k == key)?.1 {
+        Value::F64(v) => Some(v),
+        Value::U64(v) => Some(v as f64),
+        Value::I64(v) => Some(v as f64),
+        _ => None,
+    }
+}
+
+/// Fetch a non-negative integer field from [`parse_flat_json`] output.
+pub fn flat_u64(fields: &[(String, Value)], key: &str) -> Option<u64> {
+    match fields.iter().find(|(k, _)| k == key)?.1 {
+        Value::U64(v) => Some(v),
+        Value::I64(v) if v >= 0 => Some(v as u64),
+        _ => None,
+    }
+}
+
+/// Fetch a string field from [`parse_flat_json`] output.
+pub fn flat_str<'a>(fields: &'a [(String, Value)], key: &str) -> Option<&'a str> {
+    match &fields.iter().find(|(k, _)| k == key)?.1 {
+        Value::Str(s) => Some(s),
+        _ => None,
+    }
+}
+
 // ---- streaming reader ----------------------------------------------------
 
 /// Streams a JSONL trace file back into typed [`EventRecord`]s, skipping
