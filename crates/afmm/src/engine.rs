@@ -390,6 +390,22 @@ impl<K: Kernel> FmmEngine<K> {
         Ok(())
     }
 
+    /// Structural heap footprint of everything the engine owns: the tree,
+    /// the live plan (when one exists), and the solve scratch buffers
+    /// (tree-ordered gathers plus expansion storage), all at capacity
+    /// granularity. The `mem.footprint` snapshot part reads this.
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.tree.heap_bytes()
+            + self.plan.as_ref().map_or(0, ExecutionPlan::heap_bytes)
+            + self.pos_t.capacity() * size_of::<Vec3>()
+            + self.str_t.capacity() * size_of::<f64>()
+            + self.pot_t.capacity() * size_of::<f64>()
+            + self.out_t.capacity() * size_of::<Vec3>()
+            + self.multipoles.capacity() * size_of::<f64>()
+            + self.locals.capacity() * size_of::<f64>()
+    }
+
     /// Patch/refresh epoch of the live plan (`None` without one). The
     /// supervisor tracks this across steps to verify the plan clock never
     /// runs backwards.
@@ -516,6 +532,11 @@ impl<K: Kernel> FmmEngine<K> {
         self.locals.resize(n_nodes * stride, 0.0);
 
         if n > 0 {
+            // One allocation scope over the three numeric phases: their
+            // per-level update collects are inherent to collect-then-write,
+            // so "phase" is measured (not zero-gated) by the memory
+            // observatory, unlike "rebin"/"plan.refresh".
+            let _mem = telemetry::AllocScope::enter("phase");
             {
                 let mut span = self.rec.start_span("solve.upsweep");
                 span.field("bodies", n);

@@ -109,6 +109,18 @@ impl ExecutionPlan {
         self.inc.epoch()
     }
 
+    /// Structural heap footprint: the incremental lists plus the cached GPU
+    /// job list (spine and per-job source-count vectors, at capacity).
+    pub fn heap_bytes(&self) -> usize {
+        self.inc.heap_bytes()
+            + self.jobs.capacity() * std::mem::size_of::<P2pJob>()
+            + self
+                .jobs
+                .iter()
+                .map(|j| j.source_counts.capacity() * std::mem::size_of::<usize>())
+                .sum::<usize>()
+    }
+
     /// Capture the list state for checkpointing. The GPU job cache is *not*
     /// part of the snapshot: [`crate::build_gpu_jobs`] is a deterministic
     /// function of tree + lists, so a restored plan regenerates the exact

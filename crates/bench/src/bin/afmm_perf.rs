@@ -30,6 +30,13 @@
 
 use std::process::ExitCode;
 
+/// With the `memprof` feature the counting allocator wraps the system one,
+/// lighting up the `memory_profile` scenario's allocator metrics. Without
+/// the feature nothing is wrapped and those metrics are omitted.
+#[cfg(feature = "memprof")]
+#[global_allocator]
+static ALLOC: telemetry::CountingAlloc = telemetry::CountingAlloc;
+
 use bench::harness::{
     compare, host_key, render_history, render_trends, run_suite, synthesize_baseline, trend_rows,
     BenchReport, CompareConfig, Json, Ledger, LedgerEntry, SuiteConfig, Verdict,
@@ -77,7 +84,7 @@ fn main() -> ExitCode {
 fn run_and_render(cfg: &SuiteConfig) -> BenchReport {
     eprintln!(
         "# afmm-perf: {} suite ({} scenarios pending, reps={}, warmup={})",
-        cfg.mode, 7, cfg.reps, cfg.warmup
+        cfg.mode, 8, cfg.reps, cfg.warmup
     );
     run_suite(cfg, &mut |line| eprintln!("# {line}"))
 }
@@ -205,6 +212,15 @@ fn cmd_compare(args: &[String]) -> ExitCode {
                     ledger_path.display()
                 ));
             };
+            if series.len() < k {
+                eprintln!(
+                    "# warning: --against-ledger {k} requested but the {key}/{mode} \
+                     series has only {} entr{}; the rolling median is thinner than \
+                     asked for and a single outlier run weighs more",
+                    series.len(),
+                    if series.len() == 1 { "y" } else { "ies" }
+                );
+            }
             eprintln!(
                 "# baseline synthesized from the last {} of {} ledger entries ({key}/{mode})",
                 k.min(series.len()),

@@ -75,15 +75,24 @@ fn cmd_export(args: &[String]) -> ExitCode {
     };
     let json = ChromeTraceExporter::export(&records);
     debug_assert!(telemetry::json_syntax_ok(&json));
-    let out_path =
-        output.unwrap_or_else(|| format!("{}.chrome.json", input.trim_end_matches(".jsonl")));
+    // Default output goes through `bench::out_path` (honoring
+    // `$BENCH_OUT_DIR`) so CI runs land artifacts in the scratch dir
+    // instead of the working tree; `-o` still overrides verbatim.
+    let out_path = output.map(std::path::PathBuf::from).unwrap_or_else(|| {
+        let stem = std::path::Path::new(&input)
+            .file_name()
+            .map(|f| f.to_string_lossy().into_owned())
+            .unwrap_or_else(|| input.clone());
+        bench::out_path(&format!("{}.chrome.json", stem.trim_end_matches(".jsonl")))
+    });
     if let Err(e) = std::fs::write(&out_path, &json) {
-        return fail(format!("write {out_path}: {e}"));
+        return fail(format!("write {}: {e}", out_path.display()));
     }
     eprintln!(
-        "# exported {} records from {input} to {out_path} ({} bytes); open in Perfetto \
+        "# exported {} records from {input} to {} ({} bytes); open in Perfetto \
          or chrome://tracing",
         records.len(),
+        out_path.display(),
         json.len()
     );
     ExitCode::SUCCESS

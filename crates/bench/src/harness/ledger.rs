@@ -73,6 +73,8 @@ pub struct LedgerEntry {
     pub cost_model: Json,
     /// Prediction-audit stats from the `balancer_convergence` snapshot.
     pub audit: Json,
+    /// Heap-footprint summary from the `memory_profile` snapshot.
+    pub mem: Json,
 }
 
 impl LedgerEntry {
@@ -111,6 +113,7 @@ impl LedgerEntry {
             sched: extract("dag_pipeline", "sched"),
             cost_model: extract("solve_step", "cost_model"),
             audit: extract("balancer_convergence", "audit"),
+            mem: extract("memory_profile", "mem"),
         }
     }
 
@@ -138,6 +141,7 @@ impl LedgerEntry {
             ("sched", self.sched.clone()),
             ("cost_model", self.cost_model.clone()),
             ("audit", self.audit.clone()),
+            ("mem", self.mem.clone()),
         ])
     }
 
@@ -202,6 +206,8 @@ impl LedgerEntry {
                 sched: v.get("sched").cloned().unwrap_or(Json::Null),
                 cost_model: v.get("cost_model").cloned().unwrap_or(Json::Null),
                 audit: v.get("audit").cloned().unwrap_or(Json::Null),
+                // Absent in pre-memory-observatory ledgers: read as Null.
+                mem: v.get("mem").cloned().unwrap_or(Json::Null),
             },
             warnings,
         ))
@@ -641,6 +647,7 @@ mod tests {
             Some(2.5e-9)
         );
         assert_eq!(e.sched, Json::Null);
+        assert_eq!(e.mem, Json::Null);
         // Scenario snapshots are not duplicated into the ledger.
         assert_eq!(e.scenarios[0].snapshot, Json::Obj(Vec::new()));
     }

@@ -16,7 +16,11 @@
 //!   [`afmm::CostModel`], so coefficient drift between baselines is visible;
 //! * **metrics** — the telemetry registry dump
 //!   ([`telemetry::MetricsRegistry::snapshot_json`]) when a recorder was
-//!   live during the scenario.
+//!   live during the scenario;
+//! * **mem** — the structural heap footprint ([`MemFootprint`]): absolute
+//!   bytes per owner plus the normalized bytes-per-body / bytes-per-node /
+//!   bytes-per-list-entry figures the memory observatory trends. Structural
+//!   accounting works with or without the `memprof` allocator feature.
 
 use super::json::{obj, Json};
 use super::stats::median;
@@ -40,6 +44,36 @@ pub struct SnapshotParts<'a> {
     /// ([`telemetry::AuditTrail::stats`]) from a tracked run — the realized
     /// predict-vs-observe error the calibration store aggregates.
     pub audit: Option<telemetry::AuditStats>,
+    /// Structural heap footprint of the scenario's live structures.
+    pub mem: Option<MemFootprint>,
+}
+
+/// Structural heap-footprint accounting, assembled by a scenario from the
+/// `heap_bytes()` methods on [`nbody::Bodies`], [`Octree`],
+/// [`afmm::ExecutionPlan`] / engine scratch, and the telemetry recorder's
+/// ring buffer. Byte figures are capacity-granular (reserved headroom is
+/// real memory); the divisor counts normalize them into the per-body /
+/// per-node / per-list-entry densities the perf ledger trends.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MemFootprint {
+    pub bodies_bytes: usize,
+    pub tree_bytes: usize,
+    /// Plan lists + caches + engine solve scratch.
+    pub plan_bytes: usize,
+    /// Telemetry recorder ring buffer ([`telemetry::Recorder::heap_bytes`]).
+    pub recorder_bytes: usize,
+    /// Body count (divisor for bytes-per-body).
+    pub bodies: usize,
+    /// Allocated node count (divisor for bytes-per-node).
+    pub nodes: usize,
+    /// Total M2L + P2P list entries (divisor for bytes-per-list-entry).
+    pub list_entries: usize,
+}
+
+impl MemFootprint {
+    pub fn total_bytes(&self) -> usize {
+        self.bodies_bytes + self.tree_bytes + self.plan_bytes + self.recorder_bytes
+    }
 }
 
 /// Assemble the snapshot object from whichever parts the scenario has.
@@ -59,6 +93,9 @@ pub fn gather(parts: &SnapshotParts<'_>) -> Json {
     }
     if let Some(audit) = &parts.audit {
         fields.push(("audit", audit_snapshot(audit)));
+    }
+    if let Some(mem) = &parts.mem {
+        fields.push(("mem", mem_snapshot(mem)));
     }
     if let Some(mj) = &parts.metrics_json {
         // The registry dump is already canonical JSON; parse so it nests as
@@ -248,6 +285,31 @@ fn audit_snapshot(a: &telemetry::AuditStats) -> Json {
     ])
 }
 
+/// Absolute bytes per owner plus the normalized densities. Ratios divide
+/// by zero-safe denominators (`Null` when the divisor is zero).
+fn mem_snapshot(mem: &MemFootprint) -> Json {
+    let ratio = |bytes: usize, div: usize| {
+        if div == 0 {
+            Json::Null
+        } else {
+            Json::Num(bytes as f64 / div as f64)
+        }
+    };
+    obj(vec![
+        ("bodies_bytes", Json::Num(mem.bodies_bytes as f64)),
+        ("tree_bytes", Json::Num(mem.tree_bytes as f64)),
+        ("plan_bytes", Json::Num(mem.plan_bytes as f64)),
+        ("recorder_bytes", Json::Num(mem.recorder_bytes as f64)),
+        ("total_bytes", Json::Num(mem.total_bytes() as f64)),
+        ("bytes_per_body", ratio(mem.bodies_bytes, mem.bodies)),
+        ("bytes_per_node", ratio(mem.tree_bytes, mem.nodes)),
+        (
+            "bytes_per_list_entry",
+            ratio(mem.plan_bytes, mem.list_entries),
+        ),
+    ])
+}
+
 /// The observational coefficient table (paper §IV.D).
 fn cost_snapshot(cost: &CostModel) -> Json {
     obj(vec![
@@ -303,6 +365,15 @@ mod tests {
                 p90: 0.12,
                 max: 0.2,
             }),
+            mem: Some(MemFootprint {
+                bodies_bytes: 2000 * 56,
+                tree_bytes: tree.heap_bytes(),
+                plan_bytes: lists.heap_bytes(),
+                recorder_bytes: 0,
+                bodies: 2000,
+                nodes: tree.num_nodes(),
+                list_entries: lists.num_m2l() + lists.num_p2p_pairs(),
+            }),
         });
 
         let t = snap.get("tree").expect("tree part");
@@ -342,6 +413,22 @@ mod tests {
         let a = snap.get("audit").expect("audit part");
         assert_eq!(a.get("count").unwrap().as_f64(), Some(8.0));
         assert_eq!(a.get("p90").unwrap().as_f64(), Some(0.12));
+
+        let mem = snap.get("mem").expect("mem part");
+        assert_eq!(
+            mem.get("bytes_per_body").unwrap().as_f64(),
+            Some(56.0),
+            "2000 bodies at 56 bytes each"
+        );
+        assert!(mem.get("bytes_per_node").unwrap().as_f64().unwrap() > 0.0);
+        assert!(mem.get("bytes_per_list_entry").unwrap().as_f64().unwrap() > 0.0);
+        let total = mem.get("total_bytes").unwrap().as_f64().unwrap();
+        assert_eq!(
+            total,
+            (2000.0 * 56.0)
+                + mem.get("tree_bytes").unwrap().as_f64().unwrap()
+                + mem.get("plan_bytes").unwrap().as_f64().unwrap()
+        );
 
         let m = snap.get("metrics").expect("metrics part");
         assert_eq!(

@@ -35,6 +35,15 @@ impl Bodies {
         self.pos.is_empty()
     }
 
+    /// Structural heap footprint of the three SoA arrays at *capacity*
+    /// granularity — reserved headroom is real memory. Feeds the
+    /// `mem.footprint` snapshot part's bytes-per-body figure.
+    pub fn heap_bytes(&self) -> usize {
+        self.pos.capacity() * std::mem::size_of::<Vec3>()
+            + self.vel.capacity() * std::mem::size_of::<Vec3>()
+            + self.mass.capacity() * std::mem::size_of::<f64>()
+    }
+
     /// Total mass.
     pub fn total_mass(&self) -> f64 {
         self.mass.iter().sum()

@@ -39,8 +39,17 @@ fn digit(code: u64, level: u16) -> u64 {
     (code >> (3 * (MAX_MORTON_LEVEL as u16 - level))) & 7
 }
 
-/// Compute clamped Morton codes for all positions relative to a root cube.
-pub(crate) fn morton_codes(pos: &[Vec3], center: Vec3, half_width: f64) -> Vec<u64> {
+/// Compute clamped Morton `(code, body)` pairs for all positions relative
+/// to a root cube into `pairs` (cleared first), sorted by (code, id) —
+/// deterministic under duplicate codes. Allocation-free once `pairs` has
+/// capacity for `pos.len()` entries, which is what lets [`Octree::rebin`]
+/// run with zero heap traffic in steady state.
+pub(crate) fn sorted_pairs_into(
+    pos: &[Vec3],
+    center: Vec3,
+    half_width: f64,
+    pairs: &mut Vec<(u64, u32)>,
+) {
     let n_cells = (1u64 << MAX_MORTON_LEVEL) as f64;
     let origin = center - Vec3::splat(half_width);
     let scale = n_cells / (2.0 * half_width);
@@ -50,26 +59,12 @@ pub(crate) fn morton_codes(pos: &[Vec3], center: Vec3, half_width: f64) -> Vec<u
         // boundary cells; rebuilds recenter the cube.
         (v.max(0.0) as u64).min(max_cell)
     };
-    pos.iter()
-        .map(|&p| {
-            let u = (p - origin) * scale;
-            morton_encode(cell(u.x), cell(u.y), cell(u.z))
-        })
-        .collect()
-}
-
-/// Sort body ids by (code, id) and return `(order, sorted_codes)`.
-/// Deterministic under duplicate codes.
-fn sorted_order(codes_by_body: &[u64]) -> (Vec<u32>, Vec<u64>) {
-    let mut pairs: Vec<(u64, u32)> = codes_by_body
-        .iter()
-        .enumerate()
-        .map(|(i, &c)| (c, i as u32))
-        .collect();
+    pairs.clear();
+    pairs.extend(pos.iter().enumerate().map(|(i, &p)| {
+        let u = (p - origin) * scale;
+        (morton_encode(cell(u.x), cell(u.y), cell(u.z)), i as u32)
+    }));
     pairs.par_sort_unstable();
-    let order = pairs.iter().map(|&(_, i)| i).collect();
-    let codes = pairs.iter().map(|&(c, _)| c).collect();
-    (order, codes)
 }
 
 /// Find the eight child-range boundaries of `range` by binary search on the
@@ -163,8 +158,10 @@ fn build_in_cube(
 ) -> Octree {
     assert!(params.s >= 1, "leaf capacity S must be at least 1");
     let max_level = params.max_level.min(MAX_MORTON_LEVEL as u16);
-    let by_body = morton_codes(pos, center, half_width);
-    let (order, codes) = sorted_order(&by_body);
+    let mut pairs: Vec<(u64, u32)> = Vec::with_capacity(pos.len());
+    sorted_pairs_into(pos, center, half_width, &mut pairs);
+    let order: Vec<u32> = pairs.iter().map(|&(_, i)| i).collect();
+    let codes: Vec<u64> = pairs.iter().map(|&(c, _)| c).collect();
 
     let mut nodes = Vec::new();
     // Reserve the paper's "node buffer" up front: a comfortable multiple of
@@ -201,6 +198,11 @@ fn build_in_cube(
         }
     }
 
+    // The DFS stack becomes rebin scratch: it is already warm to the width
+    // this structure needs, and keeping the pair buffer too makes even the
+    // *first* rebin allocation-free.
+    stack.clear();
+    stack.reserve(nodes.len());
     Octree {
         nodes,
         order,
@@ -209,6 +211,7 @@ fn build_in_cube(
         root_center: center,
         root_half_width: half_width,
         max_level,
+        scratch: crate::node::RebinScratch { pairs, stack },
     }
 }
 
@@ -223,14 +226,25 @@ impl Octree {
     /// This is the maintenance step the paper's strategies 1–3 all perform
     /// after each position update; only strategies 2–3 additionally modify
     /// the structure.
+    /// Runs with **zero heap allocations** once warm: the Morton pair
+    /// buffer and the DFS stack are reusable scratch carried by the tree
+    /// (seeded at build time), and `order`/`codes` are rewritten in place —
+    /// their length never changes. The `memory_profile` perf-lab scenario
+    /// gates this invariant through the `"rebin"` allocation scope.
     pub fn rebin(&mut self, pos: &[Vec3]) {
         assert_eq!(pos.len(), self.num_bodies());
-        let by_body = morton_codes(pos, self.root_center, self.root_half_width);
-        let (order, codes) = sorted_order(&by_body);
-        self.order = order;
-        self.codes = codes;
+        let _mem = telemetry::AllocScope::enter("rebin");
+        let mut pairs = std::mem::take(&mut self.scratch.pairs);
+        sorted_pairs_into(pos, self.root_center, self.root_half_width, &mut pairs);
+        for (i, &(c, b)) in pairs.iter().enumerate() {
+            self.order[i] = b;
+            self.codes[i] = c;
+        }
+        self.scratch.pairs = pairs;
 
-        let mut stack: Vec<NodeId> = vec![Self::ROOT];
+        let mut stack = std::mem::take(&mut self.scratch.stack);
+        stack.clear();
+        stack.push(Self::ROOT);
         while let Some(id) = stack.pop() {
             let n = self.nodes[id as usize];
             if n.first_child == NONE || n.collapsed {
@@ -244,6 +258,7 @@ impl Octree {
                 stack.push(c);
             }
         }
+        self.scratch.stack = stack;
     }
 
     /// Partition the body range of `id` among its eight children by Morton

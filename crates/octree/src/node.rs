@@ -69,6 +69,25 @@ pub struct TreeSnapshot {
     pub max_level: u16,
 }
 
+/// Reusable buffers for [`Octree::rebin`], carried by the tree so the
+/// steady-state maintenance step performs zero heap allocations once warm.
+/// Pure scratch: contents are meaningless between calls, snapshots exclude
+/// it, and [`Octree::check_invariants`] never looks at it.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct RebinScratch {
+    /// `(morton code, body id)` sort buffer.
+    pub(crate) pairs: Vec<(u64, u32)>,
+    /// DFS stack for the range-rederivation walk.
+    pub(crate) stack: Vec<NodeId>,
+}
+
+impl RebinScratch {
+    pub(crate) fn heap_bytes(&self) -> usize {
+        self.pairs.capacity() * std::mem::size_of::<(u64, u32)>()
+            + self.stack.capacity() * std::mem::size_of::<NodeId>()
+    }
+}
+
 /// The adaptive octree: a node arena plus the body permutation that gives
 /// every subtree a contiguous range.
 #[derive(Clone, Debug)]
@@ -86,6 +105,8 @@ pub struct Octree {
     pub(crate) root_half_width: f64,
     /// Deepest level subdivision may reach (≤ 21, the Morton limit).
     pub(crate) max_level: u16,
+    /// Warm rebin buffers; excluded from snapshots.
+    pub(crate) scratch: RebinScratch,
 }
 
 impl Octree {
@@ -227,6 +248,19 @@ impl Octree {
         )
     }
 
+    /// Structural heap footprint of the tree: the node arena, the body
+    /// permutation and Morton codes (at *capacity*, not length — reserved
+    /// headroom is real memory), plus the warm rebin scratch. Available
+    /// with or without the `memprof` feature; the allocator-measured and
+    /// structural figures are cross-checked by the agreement test in the
+    /// root test suite.
+    pub fn heap_bytes(&self) -> usize {
+        self.nodes.capacity() * std::mem::size_of::<Node>()
+            + self.order.capacity() * std::mem::size_of::<u32>()
+            + self.codes.capacity() * std::mem::size_of::<u64>()
+            + self.scratch.heap_bytes()
+    }
+
     /// Capture the complete tree state for checkpointing. The snapshot is an
     /// exact image: [`Octree::from_snapshot`] reconstructs a tree whose every
     /// field — including the Morton codes that drive re-binning — is
@@ -265,6 +299,8 @@ impl Octree {
             root_center: snap.root_center,
             root_half_width: snap.root_half_width,
             max_level: snap.max_level,
+            // Scratch is not state: a restored tree re-warms on first rebin.
+            scratch: RebinScratch::default(),
         };
         tree.check_invariants()?;
         Ok(tree)

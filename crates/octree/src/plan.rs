@@ -90,6 +90,11 @@ pub struct IncrementalLists {
     /// so per-patch set membership needs no O(n) clear.
     stamp: Vec<u32>,
     epoch: u32,
+    /// Warm DFS stack for [`IncrementalLists::refresh_counts`]'s visibility
+    /// walk; pure scratch, excluded from snapshots and audits.
+    walk: Vec<NodeId>,
+    /// Warm dirty-node buffer for the same path; pure scratch.
+    dirty_scratch: Vec<NodeId>,
     /// Telemetry handle; `Recorder::disabled()` (the default) is free.
     rec: telemetry::Recorder,
 }
@@ -139,6 +144,8 @@ impl IncrementalLists {
             body_count: Vec::new(),
             stamp: Vec::new(),
             epoch: 0,
+            walk: Vec::new(),
+            dirty_scratch: Vec::new(),
             rec: telemetry::Recorder::disabled(),
         };
         plan.rebuild(tree);
@@ -183,6 +190,21 @@ impl IncrementalLists {
 
     pub fn mac(&self) -> Mac {
         self.mac
+    }
+
+    /// Structural heap footprint of the plan: forward and inverse lists at
+    /// capacity granularity, the per-node caches, and the warm refresh
+    /// scratch. Counterpart of [`Octree::heap_bytes`] for the list half of
+    /// the execution plan.
+    pub fn heap_bytes(&self) -> usize {
+        self.lists.heap_bytes()
+            + crate::traversal::nested_vec_bytes(&self.rev_m2l)
+            + crate::traversal::nested_vec_bytes(&self.rev_p2p)
+            + self.node_counts.capacity() * std::mem::size_of::<OpCounts>()
+            + self.body_count.capacity() * std::mem::size_of::<u32>()
+            + self.stamp.capacity() * std::mem::size_of::<u32>()
+            + self.walk.capacity() * std::mem::size_of::<NodeId>()
+            + self.dirty_scratch.capacity() * std::mem::size_of::<NodeId>()
     }
 
     pub fn lists(&self) -> &InteractionLists {
@@ -247,6 +269,9 @@ impl IncrementalLists {
             body_count: snap.body_count,
             stamp: snap.stamp,
             epoch: snap.epoch,
+            // Scratch is not state: a restored plan re-warms on first refresh.
+            walk: Vec::new(),
+            dirty_scratch: Vec::new(),
             rec: telemetry::Recorder::disabled(),
         })
     }
@@ -389,6 +414,7 @@ impl IncrementalLists {
     /// Patch the plan through `tree.collapse(id)`. Returns false (tree and
     /// plan untouched) when the collapse is a no-op.
     pub fn apply_collapse(&mut self, tree: &mut Octree, id: NodeId) -> bool {
+        let _mem = telemetry::AllocScope::enter("plan.patch");
         if tree.node(id).is_leaf() {
             return false;
         }
@@ -402,6 +428,7 @@ impl IncrementalLists {
     /// Patch the plan through `tree.push_down(id)`. Returns false (tree and
     /// plan untouched) when the push-down is refused.
     pub fn apply_push_down(&mut self, tree: &mut Octree, id: NodeId) -> bool {
+        let _mem = telemetry::AllocScope::enter("plan.patch");
         if !tree.push_down(id) {
             return false;
         }
@@ -414,7 +441,13 @@ impl IncrementalLists {
     /// counts and P2M/L2P body counts — moved. If any *visible* node flipped
     /// between empty and non-empty the traversal shape itself changed (empty
     /// cells are skipped), so the plan falls back to one full re-traversal.
+    /// The Clean/Patched paths perform **zero heap allocations** once the
+    /// plan's scratch buffers are warm — the steady-state invariant gated by
+    /// the `memory_profile` scenario via the `plan.refresh` allocation scope.
+    /// Only the Rebuilt fallback (an emptiness flip or arena growth) and the
+    /// first, buffer-warming call may touch the allocator.
     pub fn refresh_counts(&mut self, tree: &Octree) -> PlanRefresh {
+        let _mem = telemetry::AllocScope::enter("plan.refresh");
         let n = tree.num_nodes();
         if self.body_count.len() != n {
             self.rebuild(tree);
@@ -422,12 +455,37 @@ impl IncrementalLists {
         }
         // Mark the visible set: flips on hidden nodes (stale ranges under a
         // collapsed subtree) are invisible to the traversal and harmless.
+        // The DFS runs on the warm `walk` stack instead of materialising
+        // `tree.visible_nodes()`; stamping order is irrelevant.
         self.epoch += 1;
         let visible = self.epoch;
-        for id in tree.visible_nodes() {
-            self.stamp[id as usize] = visible;
+        let mut walk = std::mem::take(&mut self.walk);
+        walk.clear();
+        // Each node enters the stack exactly once, so `n` bounds its depth.
+        if walk.capacity() < n {
+            walk.reserve(n - walk.len());
         }
-        let mut dirty: Vec<NodeId> = Vec::new();
+        walk.push(Octree::ROOT);
+        while let Some(id) = walk.pop() {
+            self.stamp[id as usize] = visible;
+            let node = tree.node(id);
+            if !node.is_leaf() {
+                for o in 0..8 {
+                    walk.push(node.first_child + o);
+                }
+            }
+        }
+        self.walk = walk;
+        let mut dirty = std::mem::take(&mut self.dirty_scratch);
+        dirty.clear();
+        // Which nodes go dirty varies step to step, so growing on demand
+        // would allocate mid-steady-state whenever a step out-dirties every
+        // step before it. Reserve the hard bound once instead: every node
+        // plus every reverse-P2P target it could enqueue.
+        let bound = n + self.rev_p2p.iter().map(Vec::len).sum::<usize>();
+        if dirty.capacity() < bound {
+            dirty.reserve(bound - dirty.len());
+        }
         for i in 0..n {
             let now = tree.node(i as NodeId).count() as u32;
             let before = self.body_count[i];
@@ -435,6 +493,7 @@ impl IncrementalLists {
                 continue;
             }
             if self.stamp[i] == visible && (now == 0) != (before == 0) {
+                self.dirty_scratch = dirty;
                 self.rebuild(tree);
                 return PlanRefresh::Rebuilt;
             }
@@ -446,10 +505,12 @@ impl IncrementalLists {
             }
         }
         if dirty.is_empty() {
+            self.dirty_scratch = dirty;
             self.rec.counter_add("plan.refresh.clean", 1);
             return PlanRefresh::Clean;
         }
         let recomputed = self.recount(tree, &dirty);
+        self.dirty_scratch = dirty;
         self.rec.counter_add("plan.refresh.patched", 1);
         self.rec
             .hist_record("plan.refresh.dirty", recomputed as f64);

@@ -46,6 +46,12 @@ impl InteractionLists {
         self.m2l.iter().map(Vec::len).sum()
     }
 
+    /// Structural heap footprint: outer spines plus every per-node list's
+    /// capacity (not length — swap_remove churn leaves real headroom).
+    pub fn heap_bytes(&self) -> usize {
+        nested_vec_bytes(&self.m2l) + nested_vec_bytes(&self.p2p)
+    }
+
     pub fn num_p2p_pairs(&self) -> usize {
         self.p2p.iter().map(Vec::len).sum()
     }
@@ -67,6 +73,16 @@ impl InteractionLists {
             })
             .sum()
     }
+}
+
+/// Heap bytes of a vec-of-vecs: each inner vector's reserved capacity plus
+/// the outer spine at length granularity (the spines here are built once
+/// at exactly the node count, so length ≈ capacity).
+pub(crate) fn nested_vec_bytes(v: &[Vec<NodeId>]) -> usize {
+    v.iter()
+        .map(|l| l.capacity() * std::mem::size_of::<NodeId>())
+        .sum::<usize>()
+        + std::mem::size_of_val(v)
 }
 
 /// Dual-tree traversal (exaFMM style) over the *visible* tree: starting from

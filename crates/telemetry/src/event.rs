@@ -147,6 +147,21 @@ impl EventRecord {
         }
     }
 
+    /// Structural heap footprint of this record: the fields vector's
+    /// capacity plus any owned string payloads. Excludes `size_of::<Self>()`
+    /// itself — the container holding the record accounts for that.
+    pub fn heap_bytes(&self) -> usize {
+        let strings: usize = self
+            .fields
+            .iter()
+            .map(|(_, v)| match v {
+                Value::Str(s) => s.capacity(),
+                _ => 0,
+            })
+            .sum();
+        self.fields.capacity() * std::mem::size_of::<(&'static str, Value)>() + strings
+    }
+
     /// Encode as a single JSON object (one JSONL line, no trailing newline).
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(96);

@@ -31,6 +31,7 @@
 mod anomaly;
 mod audit;
 mod event;
+pub mod memprof;
 mod metrics;
 mod recorder;
 mod trace;
@@ -41,6 +42,9 @@ pub use anomaly::{
 };
 pub use audit::{AuditStats, AuditTrail, PredictionAudit, DEFAULT_WINDOW};
 pub use event::{push_json_f64, push_json_str, EventRecord, RecordKind, Value};
+#[cfg(feature = "memprof")]
+pub use memprof::CountingAlloc;
+pub use memprof::{AllocScope, GlobalStats, ScopeStats};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use recorder::{JsonlSink, Recorder, Sink, SpanGuard, VecSink, DEFAULT_CAPACITY};
 pub use trace::{

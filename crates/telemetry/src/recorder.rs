@@ -177,6 +177,10 @@ impl Recorder {
         fields: Vec<(&'static str, Value)>,
     ) {
         let Some(i) = &self.inner else { return };
+        // Attribute the recorder's own allocations (JSON encode, ring
+        // growth) to the "telemetry" scope so they never pollute whatever
+        // scope the instrumented caller is in (see `memprof`).
+        let _mem = crate::memprof::AllocScope::enter("telemetry");
         let rec = EventRecord {
             seq: i.seq.fetch_add(1, Ordering::Relaxed),
             step: i.step.load(Ordering::Relaxed),
@@ -280,6 +284,18 @@ impl Recorder {
             .as_ref()
             .map(|i| i.metrics.snapshot_json())
             .unwrap_or_else(|| MetricsSnapshot::default().to_json())
+    }
+
+    /// Structural heap footprint of the ring buffer: the `VecDeque`'s
+    /// reserved capacity at `EventRecord` granularity plus each buffered
+    /// record's own heap (field vectors, string payloads). Zero for a
+    /// disabled recorder. Metrics-registry storage is not included — it is
+    /// bounded by the number of distinct metric names, not by traffic.
+    pub fn heap_bytes(&self) -> usize {
+        let Some(i) = &self.inner else { return 0 };
+        let ev = i.events.lock().unwrap();
+        ev.capacity() * std::mem::size_of::<EventRecord>()
+            + ev.iter().map(EventRecord::heap_bytes).sum::<usize>()
     }
 
     pub fn flush(&self) {
